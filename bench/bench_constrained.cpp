@@ -1,0 +1,140 @@
+// EXT-D -- the original constrained problem (Sections 2.2 and 7):
+// minimize Cmax subject to Mmax <= capacity.
+//
+// Sweep the budget tightness capacity = beta * LB for beta in [1, 4]:
+//   * RLS-driven solver (Delta = capacity/LB): success rate and achieved
+//     makespan ratio; guaranteed feasible for beta > 2 (Corollary 2);
+//   * SBO-driven solver with the paper's binary-search refinement on
+//     independent tasks;
+//   * memory-tight workloads to exercise the regime the paper's Section 7
+//     flags as hard ("when it is difficult to fit the tasks").
+// Expected shape: success probability rises from ~0 near beta = 1 to 1 at
+// beta > 2 (provably), with the achieved makespan degrading as the budget
+// tightens.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/constrained.hpp"
+
+int main() {
+  using namespace storesched;
+  using bench::banner;
+
+  banner("EXT-D", "Constrained solves: min Cmax s.t. Mmax <= capacity");
+
+  const std::vector<Fraction> betas{Fraction(11, 10), Fraction(3, 2),
+                                    Fraction(2),      Fraction(5, 2),
+                                    Fraction(3),      Fraction(4)};
+  const int m = 8;
+  const int seeds = 12;
+  bool all_ok = true;
+  const LptSchedulerAlg lpt;
+
+  const auto run_sweep = [&](const std::string& label, bool dag,
+                             bool memory_tight) {
+    std::cout << "\n" << label << " (m = " << m << ", " << seeds
+              << " seeds per beta):\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const Fraction& beta : betas) {
+      int rls_success = 0;
+      int sbo_success = 0;
+      Accumulator rls_ratio;
+      Accumulator sbo_ratio;
+      Rng rng(0x200 + static_cast<std::uint64_t>(beta.num()) * 13 +
+              (dag ? 7u : 0u) + (memory_tight ? 3u : 0u));
+      for (int seed = 0; seed < seeds; ++seed) {
+        Instance inst = [&] {
+          if (dag) return generate_dag_by_name("soc", 150, m, {}, rng);
+          GenParams gp;
+          gp.n = 150;
+          gp.m = m;
+          gp.p_max = 200;
+          gp.s_max = 200;
+          return memory_tight ? generate_memory_tight(gp, 1.2, rng)
+                              : generate_uniform(gp, rng);
+        }();
+        const Fraction lb = inst.storage_lower_bound_fraction();
+        const Mem cap = (beta * lb).floor();
+
+        const ConstrainedResult via_rls = solve_constrained_rls(
+            inst, cap, dag ? PriorityPolicy::kBottomLevel
+                           : PriorityPolicy::kInputOrder);
+        if (via_rls.feasible) {
+          ++rls_success;
+          if (via_rls.objectives.mmax > cap) all_ok = false;
+          rls_ratio.add(static_cast<double>(via_rls.objectives.cmax) /
+                        static_cast<double>(inst.time_lower_bound()));
+        } else if (Fraction(2) < beta && cap >= inst.max_s()) {
+          // beta > 2 implies Delta > 2: RLS must succeed.
+          all_ok = false;
+        }
+
+        if (!dag) {
+          const ConstrainedResult via_sbo =
+              solve_constrained_sbo(inst, cap, lpt, lpt);
+          if (via_sbo.feasible) {
+            ++sbo_success;
+            if (via_sbo.objectives.mmax > cap) all_ok = false;
+            sbo_ratio.add(static_cast<double>(via_sbo.objectives.cmax) /
+                          static_cast<double>(inst.time_lower_bound()));
+          }
+        }
+      }
+      rows.push_back(
+          {bench::frac(beta), std::to_string(rls_success) + "/" +
+                                  std::to_string(seeds),
+           rls_ratio.count() ? fmt(rls_ratio.summary().mean) : "n/a",
+           dag ? "-" : std::to_string(sbo_success) + "/" + std::to_string(seeds),
+           dag || !sbo_ratio.count() ? "-" : fmt(sbo_ratio.summary().mean)});
+    }
+    std::cout << markdown_table({"beta (cap/LB)", "RLS success",
+                                 "RLS Cmax/LB mean", "SBO success",
+                                 "SBO Cmax/LB mean"},
+                                rows);
+  };
+
+  run_sweep("Independent uniform workloads", /*dag=*/false, /*tight=*/false);
+  run_sweep("Independent memory-tight workloads", /*dag=*/false, /*tight=*/true);
+  run_sweep("SoC pipeline DAGs", /*dag=*/true, /*tight=*/false);
+
+  // --- Sharp feasibility threshold: equal code sizes. ---
+  // With 1.5 tasks of code S per processor, LB = 1.5 S and a processor
+  // holds two codes iff 2S <= beta * 1.5 S, i.e. beta >= 4/3: RLS (and any
+  // schedule) flips from infeasible to feasible exactly there. This is the
+  // Section 7 regime "when it is difficult to fit the tasks due to the
+  // memory constraint".
+  std::cout << "\nEqual-code workloads (n = 12, m = 8, s = 100 each; "
+               "threshold at beta = 4/3):\n";
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const Fraction& beta : std::vector<Fraction>{
+             Fraction(1), Fraction(5, 4), Fraction(13, 10), Fraction(4, 3),
+             Fraction(3, 2), Fraction(2)}) {
+      Rng rng(0x300);
+      std::vector<Task> tasks;
+      for (int i = 0; i < 12; ++i) {
+        tasks.push_back({rng.uniform_int(1, 100), 100});
+      }
+      const Instance inst(std::move(tasks), 8);
+      const Mem cap = (beta * inst.storage_lower_bound_fraction()).floor();
+      const ConstrainedResult r = solve_constrained_rls(inst, cap);
+      const bool should_fit = !(beta < Fraction(4, 3));
+      if (r.feasible != should_fit) all_ok = false;
+      rows.push_back({bench::frac(beta), std::to_string(cap),
+                      r.feasible ? "feasible" : "infeasible",
+                      should_fit ? "feasible" : "infeasible"});
+    }
+    std::cout << markdown_table(
+        {"beta (cap/LB)", "capacity", "RLS outcome", "predicted"}, rows);
+  }
+
+  std::cout << "\ncapacity respected on every feasible run and beta > 2 "
+               "always feasible: "
+            << (all_ok ? "YES" : "NO (bug!)") << "\n";
+  return all_ok ? 0 : 1;
+}

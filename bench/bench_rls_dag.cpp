@@ -1,0 +1,125 @@
+// EXT-B -- empirical behaviour of RLS_Delta on DAG workloads (Section 5.1).
+//
+// Across DAG families (layered, fork-join, Cholesky-shaped, FFT, SoC
+// pipeline) and a Delta grid:
+//   * Mmax / LB must never exceed Delta (Corollary 2);
+//   * Cmax / max(work/m, critical path) must stay below the Lemma 5 ratio
+//     2 + 1/(Delta-2) - (Delta-1)/(m(Delta-2));
+//   * the number of marked processors must respect Lemma 4's
+//     floor(m/(Delta-1));
+//   * offline RLS is compared with the online event-driven dispatcher under
+//     the same budget.
+// Expected shape: memory tracks the cap for small Delta and detaches for
+// large Delta, while the makespan ratio falls towards the Graham 2 - 1/m
+// regime as Delta grows.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/dag_generators.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/rls.hpp"
+#include "core/theory.hpp"
+#include "sim/online.hpp"
+
+int main() {
+  using namespace storesched;
+  using bench::banner;
+
+  banner("EXT-B", "RLS_Delta on DAG workloads: guarantees and online dispatch");
+
+  const std::vector<std::string> families{"layered", "forkjoin", "cholesky",
+                                          "fft", "soc"};
+  const std::vector<Fraction> deltas{Fraction(21, 10), Fraction(5, 2),
+                                     Fraction(3), Fraction(4), Fraction(8)};
+  const int m = 8;
+  bool all_ok = true;
+
+  std::cout << "\nDAG sweep (~200-node graphs, m = " << m
+            << ", 8 seeds each), bottom-level priority:\n";
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& family : families) {
+    for (const Fraction& delta : deltas) {
+      Accumulator c_ratio;
+      Accumulator m_ratio;
+      Accumulator marked;
+      Rng rng(0xD0 + static_cast<std::uint64_t>(family.size()) * 7 +
+              static_cast<std::uint64_t>(delta.num()));
+      int infeasible = 0;
+      for (int seed = 0; seed < 8; ++seed) {
+        const Instance inst = generate_dag_by_name(family, 200, m, {}, rng);
+        const RlsResult r =
+            rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+        if (!r.feasible) {
+          ++infeasible;
+          continue;
+        }
+        const Fraction c_lb = Fraction::max(
+            Fraction(inst.total_work(), inst.m()),
+            Fraction(inst.critical_path()));
+        c_ratio.add(static_cast<double>(cmax(inst, r.schedule)) /
+                    c_lb.to_double());
+        if (Fraction(0) < r.lb) {
+          m_ratio.add(static_cast<double>(mmax(inst, r.schedule)) /
+                      r.lb.to_double());
+        }
+        marked.add(static_cast<double>(r.marked_count));
+        // Exact guarantee checks.
+        if (!(Fraction(mmax(inst, r.schedule)) <= delta * r.lb)) all_ok = false;
+        if (!(Fraction(cmax(inst, r.schedule)) <=
+              rls_cmax_ratio(delta, inst.m()) * c_lb)) {
+          all_ok = false;
+        }
+        if (r.marked_count > rls_marked_bound(delta, inst.m())) all_ok = false;
+      }
+      // Delta > 2 guarantees feasibility.
+      if (infeasible > 0) all_ok = false;
+      rows.push_back({family, bench::frac(delta), fmt(c_ratio.summary().mean),
+                      fmt(c_ratio.summary().max),
+                      fmt(rls_cmax_ratio(delta, m).to_double()),
+                      fmt(m_ratio.summary().mean), fmt(delta.to_double()),
+                      fmt(marked.summary().mean),
+                      std::to_string(rls_marked_bound(delta, m))});
+    }
+  }
+  std::cout << markdown_table({"family", "Delta", "Cmax/LB mean", "Cmax/LB max",
+                               "Lemma5 bound", "Mmax/LB mean", "cap (=Delta)",
+                               "marked mean", "Lemma4 bound"},
+                              rows);
+
+  // --- Offline RLS vs online dispatcher under the same budget. ---
+  std::cout << "\nOffline RLS vs online event-driven dispatch (same budget "
+               "Delta * LB, layered DAGs, 8 seeds):\n";
+  std::vector<std::vector<std::string>> online_rows;
+  for (const Fraction& delta : deltas) {
+    Accumulator off_c;
+    Accumulator on_c;
+    int online_stuck = 0;
+    Rng rng(0xE0 + static_cast<std::uint64_t>(delta.num()));
+    for (int seed = 0; seed < 8; ++seed) {
+      const Instance inst = generate_dag_by_name("layered", 200, m, {}, rng);
+      const RlsResult off =
+          rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+      const OnlineResult on =
+          simulate_online_rls(inst, delta, PriorityPolicy::kBottomLevel);
+      if (off.feasible) off_c.add(static_cast<double>(cmax(inst, off.schedule)));
+      if (on.feasible) {
+        on_c.add(static_cast<double>(cmax(inst, on.schedule)));
+      } else {
+        ++online_stuck;
+      }
+    }
+    online_rows.push_back({bench::frac(delta), fmt(off_c.summary().mean, 1),
+                           fmt(on_c.summary().mean, 1),
+                           std::to_string(online_stuck)});
+  }
+  std::cout << markdown_table(
+      {"Delta", "offline RLS Cmax mean", "online Cmax mean", "online stuck"},
+      online_rows);
+
+  std::cout << "\nall guarantees (Cor.2, Lemma 4, Lemma 5, feasibility for "
+               "Delta > 2) hold: "
+            << (all_ok ? "YES" : "NO (bug!)") << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// EXT-A -- empirical approximation ratios of SBO_Delta (Section 3).
+//
+// For a grid of Delta values, scheduler pairs and workload generators:
+//   * on small instances, measure (Cmax/C*max, Mmax/M*max) against the
+//     exact optima from exhaustive Pareto enumeration;
+//   * on large instances, measure against the Graham lower bounds.
+// The theory predicts every measured pair lies on or under the guarantee
+// curve ((1+Delta) rho1, (1+1/Delta) rho2) and (by Section 4) cannot lie
+// inside the impossibility domain. Expected shape: makespan ratio grows and
+// memory ratio shrinks as Delta grows, crossing near Delta = 1.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/pareto_enum.hpp"
+#include "core/sbo.hpp"
+#include "core/theory.hpp"
+
+int main() {
+  using namespace storesched;
+  using bench::banner;
+
+  banner("EXT-A", "Empirical SBO_Delta ratios vs exact optima and bounds");
+
+  const std::vector<Fraction> deltas{Fraction(1, 4), Fraction(1, 2),
+                                     Fraction(1),    Fraction(2),
+                                     Fraction(4)};
+  const std::vector<std::string> generators{"uniform", "correlated",
+                                            "anticorrelated"};
+  bool all_within = true;
+
+  // --- Small instances: ratios against exact optima. ---
+  std::cout << "\nSmall instances (n in [6,10], m = 2, 40 seeds each), LPT/LPT "
+               "ingredients, ratios vs exact C*max / M*max:\n";
+  const LptSchedulerAlg lpt;
+  std::vector<std::vector<std::string>> small_rows;
+  for (const std::string& gen : generators) {
+    for (const Fraction& delta : deltas) {
+      Accumulator rc;
+      Accumulator rm;
+      Rng rng(0xA0 + static_cast<std::uint64_t>(delta.num()) * 31 +
+              static_cast<std::uint64_t>(gen.size()));
+      for (int seed = 0; seed < 40; ++seed) {
+        GenParams gp;
+        gp.n = static_cast<std::size_t>(rng.uniform_int(6, 10));
+        gp.m = 2;
+        gp.p_max = 40;
+        gp.s_max = 40;
+        const Instance inst = generate_by_name(gen, gp, rng);
+        const auto front = enumerate_pareto(inst);
+        const SboResult r = sbo_schedule(inst, delta, lpt);
+        const ObjectivePoint pt = objectives(inst, r.schedule);
+        rc.add(static_cast<double>(pt.cmax) /
+               static_cast<double>(front.optimal_cmax()));
+        rm.add(static_cast<double>(pt.mmax) /
+               static_cast<double>(front.optimal_mmax()));
+      }
+      const Fraction c_bound = sbo_cmax_ratio(delta, lpt.ratio(2));
+      const Fraction m_bound = sbo_mmax_ratio(delta, lpt.ratio(2));
+      const Summary sc = rc.summary();
+      const Summary sm = rm.summary();
+      if (sc.max > c_bound.to_double() + 1e-9 ||
+          sm.max > m_bound.to_double() + 1e-9) {
+        all_within = false;
+      }
+      small_rows.push_back({gen, bench::frac(delta), fmt(sc.mean), fmt(sc.max),
+                            fmt(c_bound.to_double()), fmt(sm.mean), fmt(sm.max),
+                            fmt(m_bound.to_double())});
+    }
+  }
+  std::cout << markdown_table({"generator", "Delta", "Cmax/C* mean",
+                               "Cmax/C* max", "bound", "Mmax/M* mean",
+                               "Mmax/M* max", "bound"},
+                              small_rows);
+
+  // --- Large instances: ratios against the Graham lower bounds. ---
+  std::cout << "\nLarge instances (n = 500, m = 16, 10 seeds each), ratios vs "
+               "Graham lower bounds:\n";
+  std::vector<std::vector<std::string>> large_rows;
+  for (const std::string& gen : generators) {
+    for (const Fraction& delta : deltas) {
+      Accumulator rc;
+      Accumulator rm;
+      Rng rng(0xB0 + static_cast<std::uint64_t>(delta.num()) * 17 +
+              static_cast<std::uint64_t>(gen.size()));
+      for (int seed = 0; seed < 10; ++seed) {
+        GenParams gp;
+        gp.n = 500;
+        gp.m = 16;
+        gp.p_max = 1000;
+        gp.s_max = 1000;
+        const Instance inst = generate_by_name(gen, gp, rng);
+        const SboResult r = sbo_schedule(inst, delta, lpt);
+        const ObjectivePoint pt = objectives(inst, r.schedule);
+        rc.add(static_cast<double>(pt.cmax) /
+               inst.time_lower_bound_fraction().to_double());
+        rm.add(static_cast<double>(pt.mmax) /
+               inst.storage_lower_bound_fraction().to_double());
+      }
+      large_rows.push_back({gen, bench::frac(delta), fmt(rc.summary().mean),
+                            fmt(rc.summary().max), fmt(rm.summary().mean),
+                            fmt(rm.summary().max)});
+    }
+  }
+  std::cout << markdown_table({"generator", "Delta", "Cmax/LB mean",
+                               "Cmax/LB max", "Mmax/LB mean", "Mmax/LB max"},
+                              large_rows);
+
+  // --- Ingredient-scheduler ablation at Delta = 1. ---
+  std::cout << "\nIngredient ablation (Delta = 1, uniform, n = 200, m = 8, 10 "
+               "seeds): which rho1/rho2 pair to plug in:\n";
+  std::vector<std::vector<std::string>> abl_rows;
+  for (const char* alg_name : {"ls", "lpt", "multifit", "kopt8"}) {
+    const auto alg = make_scheduler(alg_name);
+    Accumulator rc;
+    Accumulator rm;
+    Rng rng(0xC0);
+    for (int seed = 0; seed < 10; ++seed) {
+      GenParams gp;
+      gp.n = 200;
+      gp.m = 8;
+      gp.p_max = 500;
+      gp.s_max = 500;
+      const Instance inst = generate_uniform(gp, rng);
+      const SboResult r = sbo_schedule(inst, Fraction(1), *alg);
+      const ObjectivePoint pt = objectives(inst, r.schedule);
+      rc.add(static_cast<double>(pt.cmax) /
+             inst.time_lower_bound_fraction().to_double());
+      rm.add(static_cast<double>(pt.mmax) /
+             inst.storage_lower_bound_fraction().to_double());
+    }
+    abl_rows.push_back({alg->name(),
+                        bench::frac(sbo_cmax_ratio(Fraction(1), alg->ratio(8))),
+                        fmt(rc.summary().mean), fmt(rm.summary().mean)});
+  }
+  std::cout << markdown_table(
+      {"ingredient", "guaranteed Cmax ratio", "Cmax/LB mean", "Mmax/LB mean"},
+      abl_rows);
+
+  std::cout << "\nall measured points within their guarantees: "
+            << (all_within ? "YES" : "NO (bug!)") << "\n";
+  return all_within ? 0 : 1;
+}

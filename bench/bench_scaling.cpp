@@ -1,0 +1,160 @@
+// EXT-E -- wall-clock scaling of the library's algorithms (google-benchmark).
+//
+// Covers the complexity claims that matter for adoption: SBO is dominated
+// by its ingredient schedulers (near-linear for LS/LPT), RLS is the paper's
+// O(n^2 m), the dual-approximation PTAS pays for its guarantee, and exact
+// Pareto enumeration is exponential (hence small-n only).
+#include <benchmark/benchmark.h>
+
+#include "algorithms/partition.hpp"
+#include "algorithms/scheduler.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "core/pareto_enum.hpp"
+#include "core/rls.hpp"
+#include "core/sbo.hpp"
+#include "core/triobjective.hpp"
+#include "sim/event_sim.hpp"
+
+namespace {
+
+using namespace storesched;
+
+Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  GenParams gp;
+  gp.n = n;
+  gp.m = m;
+  gp.p_max = 1000;
+  gp.s_max = 1000;
+  return generate_uniform(gp, rng);
+}
+
+void BM_SboLpt(benchmark::State& state) {
+  const Instance inst =
+      uniform_instance(static_cast<std::size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)), 1);
+  const LptSchedulerAlg lpt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sbo_schedule(inst, Fraction(1), lpt));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SboLpt)
+    ->Args({100, 8})
+    ->Args({1000, 8})
+    ->Args({10000, 8})
+    ->Args({10000, 64})
+    ->Complexity(benchmark::oNLogN);
+
+void BM_RlsIndependent(benchmark::State& state) {
+  const Instance inst =
+      uniform_instance(static_cast<std::size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rls_schedule(inst, Fraction(3)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RlsIndependent)
+    ->Args({50, 8})
+    ->Args({100, 8})
+    ->Args({200, 8})
+    ->Args({400, 8})
+    ->Complexity(benchmark::oNSquared);
+
+void BM_RlsDag(benchmark::State& state) {
+  Rng rng(3);
+  const Instance inst = generate_dag_by_name(
+      "layered", static_cast<std::size_t>(state.range(0)), 8, {}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rls_schedule(inst, Fraction(3), PriorityPolicy::kBottomLevel));
+  }
+}
+BENCHMARK(BM_RlsDag)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_TriObjective(benchmark::State& state) {
+  const Instance inst =
+      uniform_instance(static_cast<std::size_t>(state.range(0)), 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tri_objective_schedule(inst, Fraction(3)));
+  }
+}
+BENCHMARK(BM_TriObjective)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_PartitionLpt(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = rng.uniform_int(1, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpt_assign(w, 16));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PartitionLpt)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_PartitionMultifit(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = rng.uniform_int(1, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multifit_assign(w, 16));
+  }
+}
+BENCHMARK(BM_PartitionMultifit)->Arg(1000)->Arg(10000);
+
+void BM_DualPtas(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = rng.uniform_int(1, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dual_ptas_assign(w, 8, static_cast<int>(state.range(1))));
+  }
+}
+BENCHMARK(BM_DualPtas)->Args({50, 2})->Args({50, 3})->Args({200, 2})->Args({200, 3});
+
+void BM_ExactBnb(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = rng.uniform_int(1, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_bnb_assign(w, 4));
+  }
+}
+BENCHMARK(BM_ExactBnb)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ParetoEnumeration(benchmark::State& state) {
+  const Instance inst =
+      uniform_instance(static_cast<std::size_t>(state.range(0)), 3, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_pareto(inst));
+  }
+}
+BENCHMARK(BM_ParetoEnumeration)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_Simulator(benchmark::State& state) {
+  const Instance inst =
+      uniform_instance(static_cast<std::size_t>(state.range(0)), 16, 10);
+  const Schedule sched = graham_list_schedule(inst, PriorityPolicy::kLpt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_schedule(inst, sched, {.keep_trace = false}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Simulator)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

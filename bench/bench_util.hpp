@@ -1,0 +1,32 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/fraction.hpp"
+#include "common/io.hpp"
+
+namespace storesched::bench {
+
+/// Prints a section banner so the tee'd bench_output.txt is navigable.
+inline void banner(const std::string& experiment_id, const std::string& title) {
+  std::cout << "\n==============================================================\n"
+            << experiment_id << " -- " << title << "\n"
+            << "==============================================================\n";
+}
+
+/// Formats an exact fraction together with its decimal value, e.g. "3/2 (1.500)".
+inline std::string frac(const Fraction& f, int decimals = 3) {
+  if (f.den() == 1) return f.to_string();
+  return f.to_string() + " (" + fmt(f.to_double(), decimals) + ")";
+}
+
+/// Ratio of two non-negative integers as a decimal string.
+inline std::string ratio_str(std::int64_t num, std::int64_t den,
+                             int decimals = 3) {
+  if (den == 0) return "n/a";
+  return fmt(static_cast<double>(num) / static_cast<double>(den), decimals);
+}
+
+}  // namespace storesched::bench

@@ -1,0 +1,81 @@
+// Scenario: exploring the exact (Cmax, Mmax) trade-off of a small instance
+// -- the decision-maker's view of Section 4's Pareto analysis.
+//
+// Enumerates the full Pareto front of a user-editable instance, prints each
+// Pareto-optimal schedule as a Gantt chart (Figures 1-2 style), overlays
+// the points SBO actually reaches across a Delta sweep, and reports how far
+// each achievable point is from the front and from the Section 4
+// impossibility bounds.
+//
+//   $ ./examples/pareto_explorer                # built-in instance
+//   $ ./examples/pareto_explorer < instance.txt # "n m" header + "p s" lines
+#include <iostream>
+#include <sstream>
+#include <unistd.h>
+
+#include "algorithms/scheduler.hpp"
+#include "common/gantt.hpp"
+#include "common/io.hpp"
+#include "core/impossibility.hpp"
+#include "core/pareto_enum.hpp"
+#include "core/sbo.hpp"
+
+int main(int argc, char**) {
+  using namespace storesched;
+
+  Instance inst({{7, 2}, {5, 4}, {4, 5}, {3, 6}, {6, 3}, {2, 8}, {8, 1}},
+                /*m=*/2);
+  if (argc == 1 && !isatty(0)) {
+    // Read the to_text format from stdin when piped.
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    if (!buffer.str().empty()) inst = from_text(buffer.str());
+  }
+  std::cout << "instance: " << inst.summary() << "\n\n";
+
+  const ParetoEnumResult front = enumerate_pareto(inst);
+  std::cout << "exact Pareto front (" << front.front.size() << " points, "
+            << front.enumerated << " assignments enumerated):\n\n";
+  for (const auto& pt : front.front) {
+    const Schedule timed = serialize_assignment(
+        inst, front.schedules[static_cast<std::size_t>(pt.tag)]);
+    std::cout << "(Cmax, Mmax) = (" << pt.value.cmax << ", " << pt.value.mmax
+              << ")\n"
+              << render_gantt(inst, timed, {.show_summary = false}) << "\n";
+  }
+
+  // Overlay: what SBO reaches, per Delta.
+  const Time c_star = front.optimal_cmax();
+  const Mem m_star = front.optimal_mmax();
+  const LptSchedulerAlg lpt;
+  std::cout << "SBO sweep vs the front (C* = " << c_star << ", M* = " << m_star
+            << "):\n";
+  std::vector<std::vector<std::string>> rows;
+  for (int num = 1; num <= 16; num *= 2) {
+    for (const Fraction delta : {Fraction(num, 4)}) {
+      const SboResult r = sbo_schedule(inst, delta, lpt);
+      const ObjectivePoint pt = objectives(inst, r.schedule);
+      const Fraction rx(pt.cmax, c_star);
+      const Fraction ry(pt.mmax, m_star);
+      // Note: the Section 4 domain constrains what can be *guaranteed on
+      // every instance*; on a friendly single instance the measured ratio
+      // pair may well fall inside it -- that is expected, not a bug.
+      rows.push_back({delta.to_string(),
+                      "(" + std::to_string(pt.cmax) + ", " +
+                          std::to_string(pt.mmax) + ")",
+                      rx.to_string() + ", " + ry.to_string(),
+                      covered_by_front(pt, front.front) ? "on/above front"
+                                                        : "IMPOSSIBLE?!",
+                      is_impossible(rx, ry, 6)
+                          ? "yes (fine: domain bounds worst cases)"
+                          : "no"});
+    }
+  }
+  std::cout << markdown_table({"Delta", "(Cmax, Mmax)", "ratios (x, y)",
+                               "vs exact front", "inside worst-case domain?"},
+                              rows);
+  std::cout << "\n(the Section 4 domain constrains guarantees over *all* "
+               "instances; beating it on one\n instance is expected -- no "
+               "algorithm can do so on every instance)\n";
+  return 0;
+}

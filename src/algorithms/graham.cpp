@@ -1,0 +1,131 @@
+#include "algorithms/graham.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace storesched {
+
+std::string to_string(PriorityPolicy policy) {
+  switch (policy) {
+    case PriorityPolicy::kInputOrder: return "input";
+    case PriorityPolicy::kSpt: return "spt";
+    case PriorityPolicy::kLpt: return "lpt";
+    case PriorityPolicy::kBottomLevel: return "bottom-level";
+    case PriorityPolicy::kSmallestStorage: return "min-storage";
+    case PriorityPolicy::kLargestStorage: return "max-storage";
+  }
+  return "unknown";
+}
+
+std::vector<TaskId> priority_order(const Instance& inst,
+                                   PriorityPolicy policy) {
+  std::vector<TaskId> order(inst.n());
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto by_key = [&](auto key) {
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return key(a) < key(b);
+    });
+  };
+
+  switch (policy) {
+    case PriorityPolicy::kInputOrder:
+      break;
+    case PriorityPolicy::kSpt:
+      by_key([&](TaskId i) { return inst.task(i).p; });
+      break;
+    case PriorityPolicy::kLpt:
+      by_key([&](TaskId i) { return -inst.task(i).p; });
+      break;
+    case PriorityPolicy::kBottomLevel: {
+      if (inst.has_precedence()) {
+        const auto bl = inst.dag().bottom_levels(inst.tasks());
+        by_key([&](TaskId i) { return -bl[static_cast<std::size_t>(i)]; });
+      } else {
+        by_key([&](TaskId i) { return -inst.task(i).p; });
+      }
+      break;
+    }
+    case PriorityPolicy::kSmallestStorage:
+      by_key([&](TaskId i) { return inst.task(i).s; });
+      break;
+    case PriorityPolicy::kLargestStorage:
+      by_key([&](TaskId i) { return -inst.task(i).s; });
+      break;
+  }
+  return order;
+}
+
+Schedule graham_list_schedule(const Instance& inst, PriorityPolicy policy) {
+  const std::vector<TaskId> order = priority_order(inst, policy);
+  std::vector<std::size_t> rank(inst.n());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rank[static_cast<std::size_t>(order[pos])] = pos;
+  }
+
+  // Ready tasks keyed by priority rank (lower = sooner).
+  using ReadyEntry = std::pair<std::size_t, TaskId>;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>>
+      ready;
+  std::vector<std::size_t> pending(inst.n(), 0);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    pending[static_cast<std::size_t>(i)] =
+        inst.has_precedence() ? inst.dag().in_degree(i) : 0;
+    if (pending[static_cast<std::size_t>(i)] == 0) {
+      ready.push({rank[static_cast<std::size_t>(i)], i});
+    }
+  }
+
+  // Idle processors (lowest id first) and in-flight completions.
+  std::priority_queue<ProcId, std::vector<ProcId>, std::greater<>> idle;
+  for (ProcId q = 0; q < inst.m(); ++q) idle.push(q);
+  using Completion = std::pair<Time, TaskId>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+
+  Schedule sched(inst);
+  Time now = 0;
+  std::size_t scheduled = 0;
+  while (scheduled < inst.n()) {
+    while (!idle.empty() && !ready.empty()) {
+      const TaskId i = ready.top().second;
+      ready.pop();
+      const ProcId q = idle.top();
+      idle.pop();
+      sched.assign(i, q, now);
+      running.push({now + inst.task(i).p, i});
+      ++scheduled;
+    }
+    if (running.empty()) break;  // defensive; cannot happen on valid DAGs
+    // Advance to the next completion and release everything finishing then.
+    now = running.top().first;
+    while (!running.empty() && running.top().first == now) {
+      const TaskId done = running.top().second;
+      running.pop();
+      idle.push(sched.proc(done));
+      if (inst.has_precedence()) {
+        for (const TaskId v : inst.dag().succs(done)) {
+          if (--pending[static_cast<std::size_t>(v)] == 0) {
+            ready.push({rank[static_cast<std::size_t>(v)], v});
+          }
+        }
+      }
+    }
+  }
+  return sched;
+}
+
+Schedule spt_schedule(const Instance& inst) {
+  if (inst.has_precedence()) {
+    throw std::logic_error("spt_schedule: independent tasks only");
+  }
+  return graham_list_schedule(inst, PriorityPolicy::kSpt);
+}
+
+Time optimal_sum_completion(const Instance& inst) {
+  return sum_completion_times(inst, spt_schedule(inst));
+}
+
+}  // namespace storesched

@@ -1,0 +1,28 @@
+#include "algorithms/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace storesched {
+
+std::unique_ptr<MakespanScheduler> make_scheduler(const std::string& name) {
+  if (name == "ls") return std::make_unique<ListSchedulerAlg>();
+  if (name == "lpt") return std::make_unique<LptSchedulerAlg>();
+  if (name == "multifit") return std::make_unique<MultifitSchedulerAlg>();
+  if (name == "ptas2") return std::make_unique<DualPtasSchedulerAlg>(2);
+  if (name == "ptas3") return std::make_unique<DualPtasSchedulerAlg>(3);
+  if (name == "exact") return std::make_unique<ExactSchedulerAlg>();
+  if (name.rfind("kopt", 0) == 0) {
+    const std::string arg = name.substr(4);
+    if (!arg.empty()) {
+      try {
+        const int k = std::stoi(arg);
+        if (k >= 0 && k <= 16) return std::make_unique<KOptSchedulerAlg>(k);
+      } catch (const std::exception&) {
+        // fall through to the error below
+      }
+    }
+  }
+  throw std::invalid_argument("make_scheduler: unknown scheduler " + name);
+}
+
+}  // namespace storesched

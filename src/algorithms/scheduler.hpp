@@ -1,0 +1,120 @@
+// Polymorphic makespan-scheduler interface.
+//
+// SBO (paper Algorithm 1) is parameterized by two approximation algorithms:
+// a rho1-approximation producing pi_1 on the processing times and a
+// rho2-approximation producing pi_2 on the storage sizes. This interface
+// captures exactly that contract -- an assignment algorithm over anonymous
+// weights together with its proven ratio -- so SBO's guarantee
+// ((1+Delta)rho1, (1+1/Delta)rho2) can be computed and asserted per
+// configuration.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algorithms/partition.hpp"
+#include "common/fraction.hpp"
+#include "common/types.hpp"
+
+namespace storesched {
+
+class MakespanScheduler {
+ public:
+  virtual ~MakespanScheduler() = default;
+
+  /// Identifier used in reports ("LS", "LPT", "MULTIFIT", "KOPT8", ...).
+  virtual std::string name() const = 0;
+
+  /// Assigns each weight to a processor, heuristically minimizing the
+  /// maximum per-processor sum.
+  virtual std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                                     int m) const = 0;
+
+  /// The algorithm's proven approximation ratio on m processors.
+  virtual Fraction ratio(int m) const = 0;
+};
+
+/// Graham List Scheduling in input order; ratio 2 - 1/m.
+class ListSchedulerAlg final : public MakespanScheduler {
+ public:
+  std::string name() const override { return "LS"; }
+  std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                             int m) const override {
+    return list_assign(weights, m);
+  }
+  Fraction ratio(int m) const override { return Fraction(2 * m - 1, m); }
+};
+
+/// Longest Processing Time; ratio 4/3 - 1/(3m).
+class LptSchedulerAlg final : public MakespanScheduler {
+ public:
+  std::string name() const override { return "LPT"; }
+  std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                             int m) const override {
+    return lpt_assign(weights, m);
+  }
+  Fraction ratio(int m) const override { return Fraction(4 * m - 1, 3 * m); }
+};
+
+/// MULTIFIT with FFD packing; ratio 13/11.
+class MultifitSchedulerAlg final : public MakespanScheduler {
+ public:
+  std::string name() const override { return "MULTIFIT"; }
+  std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                             int m) const override {
+    return multifit_assign(weights, m);
+  }
+  Fraction ratio(int) const override { return Fraction(13, 11); }
+};
+
+/// Graham hybrid (k largest optimal + LS); ratio 1 + (1-1/m)/(1+floor(k/m)).
+class KOptSchedulerAlg final : public MakespanScheduler {
+ public:
+  explicit KOptSchedulerAlg(int k) : k_(k) {}
+  std::string name() const override { return "KOPT" + std::to_string(k_); }
+  std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                             int m) const override {
+    return kopt_assign(weights, m, k_);
+  }
+  Fraction ratio(int m) const override {
+    const std::int64_t q = 1 + k_ / m;
+    return Fraction(1) + Fraction(m - 1, m * q);
+  }
+
+ private:
+  int k_;
+};
+
+/// Hochbaum-Shmoys dual approximation; ratio 1 + 1/k, k in {2, 3}.
+class DualPtasSchedulerAlg final : public MakespanScheduler {
+ public:
+  explicit DualPtasSchedulerAlg(int k) : k_(k) {}
+  std::string name() const override { return "PTAS1/" + std::to_string(k_); }
+  std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                             int m) const override {
+    return dual_ptas_assign(weights, m, k_);
+  }
+  Fraction ratio(int) const override { return Fraction(k_ + 1, k_); }
+
+ private:
+  int k_;
+};
+
+/// Exact branch and bound; ratio 1 (exponential time, small n only).
+class ExactSchedulerAlg final : public MakespanScheduler {
+ public:
+  std::string name() const override { return "EXACT"; }
+  std::vector<ProcId> assign(std::span<const std::int64_t> weights,
+                             int m) const override {
+    return exact_bnb_assign(weights, m);
+  }
+  Fraction ratio(int) const override { return Fraction(1); }
+};
+
+/// Factory by name: "ls", "lpt", "multifit", "kopt<k>", "ptas2", "ptas3",
+/// "exact". Throws std::invalid_argument on unknown names.
+std::unique_ptr<MakespanScheduler> make_scheduler(const std::string& name);
+
+}  // namespace storesched

@@ -1,0 +1,144 @@
+#include "common/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace storesched {
+
+std::size_t Dag::check(TaskId v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= preds_.size()) {
+    throw std::invalid_argument("Dag: task id out of range");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+void Dag::add_edge(TaskId u, TaskId v) {
+  check(u);
+  check(v);
+  if (u == v) throw std::invalid_argument("Dag: self-loop edge");
+  if (has_edge(u, v)) return;
+  succs_[static_cast<std::size_t>(u)].push_back(v);
+  preds_[static_cast<std::size_t>(v)].push_back(u);
+  ++edge_count_;
+}
+
+bool Dag::has_edge(TaskId u, TaskId v) const {
+  check(u);
+  check(v);
+  const auto& s = succs_[static_cast<std::size_t>(u)];
+  return std::find(s.begin(), s.end(), v) != s.end();
+}
+
+std::optional<std::vector<TaskId>> Dag::topological_order() const {
+  const std::size_t n = this->n();
+  std::vector<std::size_t> indeg(n);
+  for (std::size_t v = 0; v < n; ++v) indeg[v] = preds_[v].size();
+
+  // Min-heap on task id for deterministic output.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push(static_cast<TaskId>(v));
+  }
+
+  std::vector<TaskId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const TaskId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (const TaskId v : succs_[static_cast<std::size_t>(u)]) {
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+Time Dag::critical_path_length(std::span<const Task> tasks) const {
+  const auto bl = bottom_levels(tasks);
+  Time best = 0;
+  for (const Time t : bl) best = std::max(best, t);
+  return best;
+}
+
+std::vector<Time> Dag::top_levels(std::span<const Task> tasks) const {
+  if (tasks.size() != n()) throw std::invalid_argument("Dag: size mismatch");
+  const auto order = topological_order();
+  if (!order) throw std::logic_error("Dag: top_levels on cyclic graph");
+  std::vector<Time> tl(n(), 0);
+  for (const TaskId u : *order) {
+    for (const TaskId v : succs(u)) {
+      tl[static_cast<std::size_t>(v)] =
+          std::max(tl[static_cast<std::size_t>(v)],
+                   tl[static_cast<std::size_t>(u)] +
+                       tasks[static_cast<std::size_t>(u)].p);
+    }
+  }
+  return tl;
+}
+
+std::vector<Time> Dag::bottom_levels(std::span<const Task> tasks) const {
+  if (tasks.size() != n()) throw std::invalid_argument("Dag: size mismatch");
+  const auto order = topological_order();
+  if (!order) throw std::logic_error("Dag: bottom_levels on cyclic graph");
+  std::vector<Time> bl(n());
+  for (std::size_t k = order->size(); k-- > 0;) {
+    const TaskId u = (*order)[k];
+    Time best = 0;
+    for (const TaskId v : succs(u)) {
+      best = std::max(best, bl[static_cast<std::size_t>(v)]);
+    }
+    bl[static_cast<std::size_t>(u)] = best + tasks[static_cast<std::size_t>(u)].p;
+  }
+  return bl;
+}
+
+bool Dag::reachable(TaskId u, TaskId v) const {
+  check(u);
+  check(v);
+  if (u == v) return false;
+  std::vector<bool> seen(n(), false);
+  std::vector<TaskId> stack{u};
+  seen[static_cast<std::size_t>(u)] = true;
+  while (!stack.empty()) {
+    const TaskId x = stack.back();
+    stack.pop_back();
+    for (const TaskId y : succs(x)) {
+      if (y == v) return true;
+      if (!seen[static_cast<std::size_t>(y)]) {
+        seen[static_cast<std::size_t>(y)] = true;
+        stack.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t Dag::source_count() const {
+  std::size_t c = 0;
+  for (std::size_t v = 0; v < n(); ++v) {
+    if (preds_[v].empty()) ++c;
+  }
+  return c;
+}
+
+std::size_t Dag::sink_count() const {
+  std::size_t c = 0;
+  for (std::size_t v = 0; v < n(); ++v) {
+    if (succs_[v].empty()) ++c;
+  }
+  return c;
+}
+
+Dag Dag::reversed() const {
+  Dag r(n());
+  for (std::size_t u = 0; u < n(); ++u) {
+    for (const TaskId v : succs_[u]) {
+      r.add_edge(v, static_cast<TaskId>(u));
+    }
+  }
+  return r;
+}
+
+}  // namespace storesched

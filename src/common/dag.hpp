@@ -1,0 +1,82 @@
+// Directed-acyclic-graph precedence structure for P | prec | * problems.
+//
+// Stores forward (successor) and backward (predecessor) adjacency, provides
+// topological ordering, reachability, level and critical-path computations.
+// The critical path is one of the two Graham lower bounds used in the
+// analysis of RLS (paper Lemma 5: |CP| <= C*_max).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace storesched {
+
+/// Precedence DAG over tasks 0..n-1. Edge (u, v) means u must complete
+/// before v starts.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// A DAG over n tasks with no edges (yet).
+  explicit Dag(std::size_t n) : preds_(n), succs_(n) {}
+
+  std::size_t n() const { return preds_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the precedence edge u -> v. Duplicate edges are ignored.
+  /// Throws std::invalid_argument on out-of-range or self-loop edges.
+  void add_edge(TaskId u, TaskId v);
+
+  bool has_edge(TaskId u, TaskId v) const;
+
+  std::span<const TaskId> preds(TaskId v) const { return preds_[check(v)]; }
+  std::span<const TaskId> succs(TaskId u) const { return succs_[check(u)]; }
+
+  std::size_t in_degree(TaskId v) const { return preds_[check(v)].size(); }
+  std::size_t out_degree(TaskId u) const { return succs_[check(u)].size(); }
+
+  /// Kahn topological order, or nullopt if the graph contains a cycle.
+  /// Ties are broken by ascending task id, so the order is deterministic.
+  std::optional<std::vector<TaskId>> topological_order() const;
+
+  bool is_acyclic() const { return topological_order().has_value(); }
+
+  /// Length of the longest weighted path (sum of p over a chain), i.e. the
+  /// critical-path lower bound on the makespan. Requires an acyclic graph.
+  Time critical_path_length(std::span<const Task> tasks) const;
+
+  /// top_level[i]: longest weighted path ending at i, *excluding* p_i
+  /// (earliest possible start of i on infinitely many processors).
+  std::vector<Time> top_levels(std::span<const Task> tasks) const;
+
+  /// bottom_level[i]: longest weighted path starting at i, *including* p_i.
+  /// Commonly used as a list-scheduling priority.
+  std::vector<Time> bottom_levels(std::span<const Task> tasks) const;
+
+  /// True iff v is reachable from u through one or more edges.
+  bool reachable(TaskId u, TaskId v) const;
+
+  /// Number of tasks with no predecessor.
+  std::size_t source_count() const;
+  /// Number of tasks with no successor.
+  std::size_t sink_count() const;
+
+  /// The reverse DAG (every edge flipped).
+  Dag reversed() const;
+
+  friend bool operator==(const Dag&, const Dag&) = default;
+
+ private:
+  /// Bounds-checks v and returns it as a vector index.
+  std::size_t check(TaskId v) const;
+
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace storesched

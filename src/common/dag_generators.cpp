@@ -1,0 +1,345 @@
+#include "common/dag_generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace storesched {
+
+namespace {
+
+Task draw_task(const DagWeightParams& w, Rng& rng) {
+  return {rng.uniform_int(w.p_min, w.p_max), rng.uniform_int(w.s_min, w.s_max)};
+}
+
+void check_weights(const DagWeightParams& w) {
+  if (w.p_min <= 0 || w.p_min > w.p_max || w.s_min <= 0 || w.s_min > w.s_max) {
+    throw std::invalid_argument("DagWeightParams: bad ranges");
+  }
+}
+
+}  // namespace
+
+Instance generate_layered_dag(int layers, int width, double density, int m,
+                              const DagWeightParams& w, Rng& rng) {
+  check_weights(w);
+  if (layers <= 0 || width <= 0 || m <= 0) {
+    throw std::invalid_argument("generate_layered_dag: bad shape");
+  }
+  if (density < 0 || density > 1) {
+    throw std::invalid_argument("generate_layered_dag: density in [0,1]");
+  }
+  const std::size_t n =
+      static_cast<std::size_t>(layers) * static_cast<std::size_t>(width);
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) tasks.push_back(draw_task(w, rng));
+
+  Dag dag(n);
+  const auto id = [width](int layer, int slot) {
+    return static_cast<TaskId>(layer * width + slot);
+  };
+  for (int layer = 1; layer < layers; ++layer) {
+    for (int slot = 0; slot < width; ++slot) {
+      bool any = false;
+      for (int prev = 0; prev < width; ++prev) {
+        if (rng.bernoulli(density)) {
+          dag.add_edge(id(layer - 1, prev), id(layer, slot));
+          any = true;
+        }
+      }
+      if (!any) {  // keep the layering tight
+        const int prev = static_cast<int>(rng.uniform_int(0, width - 1));
+        dag.add_edge(id(layer - 1, prev), id(layer, slot));
+      }
+    }
+  }
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+Instance generate_random_dag(std::size_t n, double density, int m,
+                             const DagWeightParams& w, Rng& rng) {
+  check_weights(w);
+  if (n == 0 || m <= 0) throw std::invalid_argument("generate_random_dag: bad n/m");
+  if (density < 0 || density > 1) {
+    throw std::invalid_argument("generate_random_dag: density in [0,1]");
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) tasks.push_back(draw_task(w, rng));
+
+  // Random topological permutation, then i<j edges with probability density.
+  std::vector<TaskId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  Dag dag(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(density)) dag.add_edge(perm[i], perm[j]);
+    }
+  }
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+Instance generate_fork_join(int width, int depth, int m,
+                            const DagWeightParams& w, Rng& rng) {
+  check_weights(w);
+  if (width <= 0 || depth <= 0 || m <= 0) {
+    throw std::invalid_argument("generate_fork_join: bad shape");
+  }
+  const std::size_t n = 2 + static_cast<std::size_t>(width) *
+                                static_cast<std::size_t>(depth);
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) tasks.push_back(draw_task(w, rng));
+
+  Dag dag(n);
+  const TaskId source = 0;
+  const TaskId sink = static_cast<TaskId>(n - 1);
+  const auto id = [depth](int branch, int step) {
+    return static_cast<TaskId>(1 + branch * depth + step);
+  };
+  for (int b = 0; b < width; ++b) {
+    dag.add_edge(source, id(b, 0));
+    for (int d = 1; d < depth; ++d) dag.add_edge(id(b, d - 1), id(b, d));
+    dag.add_edge(id(b, depth - 1), sink);
+  }
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+namespace {
+
+Instance generate_tree(int arity, int height, int m, const DagWeightParams& w,
+                       Rng& rng, bool out_tree) {
+  check_weights(w);
+  if (arity <= 0 || height < 0 || m <= 0) {
+    throw std::invalid_argument("generate_tree: bad shape");
+  }
+  // Node count of a complete arity-ary tree of the given height.
+  std::size_t n = 0;
+  std::size_t level_size = 1;
+  for (int h = 0; h <= height; ++h) {
+    n += level_size;
+    level_size *= static_cast<std::size_t>(arity);
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) tasks.push_back(draw_task(w, rng));
+
+  Dag dag(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    const auto parent = static_cast<TaskId>((v - 1) / static_cast<std::size_t>(arity));
+    if (out_tree) {
+      dag.add_edge(parent, static_cast<TaskId>(v));
+    } else {
+      dag.add_edge(static_cast<TaskId>(v), parent);
+    }
+  }
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+}  // namespace
+
+Instance generate_out_tree(int arity, int height, int m,
+                           const DagWeightParams& w, Rng& rng) {
+  return generate_tree(arity, height, m, w, rng, /*out_tree=*/true);
+}
+
+Instance generate_in_tree(int arity, int height, int m,
+                          const DagWeightParams& w, Rng& rng) {
+  return generate_tree(arity, height, m, w, rng, /*out_tree=*/false);
+}
+
+Instance generate_cholesky_dag(int tiles, int m, const DagWeightParams& w,
+                               Rng& rng) {
+  check_weights(w);
+  if (tiles <= 0 || m <= 0) {
+    throw std::invalid_argument("generate_cholesky_dag: bad shape");
+  }
+  const int T = tiles;
+  // Node roles of right-looking tiled Cholesky on the lower triangle:
+  //   POTRF(k)      for k in [0,T)
+  //   TRSM(k, i)    for k < i < T
+  //   SYRK(k, i)    for k < i < T
+  //   GEMM(k, i, j) for k < j < i < T
+  std::vector<Task> tasks;
+  std::vector<std::array<int, 4>> meta;  // {role, k, i, j}
+  enum Role { kPotrf = 0, kTrsm = 1, kSyrk = 2, kGemm = 3 };
+  const auto push = [&](int role, int k, int i, int j) -> TaskId {
+    // Role-dependent cost multipliers mirror flop ratios (GEMM heaviest).
+    static constexpr int p_mult[4] = {1, 2, 2, 3};
+    static constexpr int s_mult[4] = {1, 2, 1, 2};
+    Task t = draw_task(w, rng);
+    t.p *= p_mult[role];
+    t.s *= s_mult[role];
+    tasks.push_back(t);
+    meta.push_back({role, k, i, j});
+    return static_cast<TaskId>(tasks.size() - 1);
+  };
+
+  std::vector<TaskId> potrf_id(static_cast<std::size_t>(T), -1);
+  std::vector<std::vector<TaskId>> trsm_id(
+      static_cast<std::size_t>(T),
+      std::vector<TaskId>(static_cast<std::size_t>(T), -1));
+
+  std::vector<std::pair<TaskId, TaskId>> edges;
+
+  // Track the latest writer of each tile (i, j) to thread dependencies.
+  std::vector<std::vector<TaskId>> tile_writer(
+      static_cast<std::size_t>(T),
+      std::vector<TaskId>(static_cast<std::size_t>(T), -1));
+  const auto dep_on_tile = [&](TaskId reader, int i, int j) {
+    const TaskId writer = tile_writer[static_cast<std::size_t>(i)]
+                                     [static_cast<std::size_t>(j)];
+    if (writer >= 0 && writer != reader) edges.emplace_back(writer, reader);
+  };
+
+  for (int k = 0; k < T; ++k) {
+    const TaskId pk = push(kPotrf, k, k, k);
+    dep_on_tile(pk, k, k);
+    tile_writer[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = pk;
+    potrf_id[static_cast<std::size_t>(k)] = pk;
+
+    for (int i = k + 1; i < T; ++i) {
+      const TaskId tr = push(kTrsm, k, i, k);
+      edges.emplace_back(pk, tr);
+      dep_on_tile(tr, i, k);
+      tile_writer[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = tr;
+      trsm_id[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = tr;
+    }
+    for (int i = k + 1; i < T; ++i) {
+      const TaskId syrk = push(kSyrk, k, i, i);
+      edges.emplace_back(
+          trsm_id[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)], syrk);
+      dep_on_tile(syrk, i, i);
+      tile_writer[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = syrk;
+      for (int j = k + 1; j < i; ++j) {
+        const TaskId gemm = push(kGemm, k, i, j);
+        edges.emplace_back(
+            trsm_id[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)],
+            gemm);
+        edges.emplace_back(
+            trsm_id[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)],
+            gemm);
+        dep_on_tile(gemm, i, j);
+        tile_writer[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            gemm;
+      }
+    }
+  }
+
+  Dag dag(tasks.size());
+  for (const auto& [u, v] : edges) dag.add_edge(u, v);
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+Instance generate_fft_dag(int log2n, int m, const DagWeightParams& w,
+                          Rng& rng) {
+  check_weights(w);
+  if (log2n <= 0 || log2n > 16 || m <= 0) {
+    throw std::invalid_argument("generate_fft_dag: log2n in [1,16]");
+  }
+  const std::size_t points = std::size_t{1} << log2n;
+  const std::size_t stages = static_cast<std::size_t>(log2n);
+  const std::size_t n = points * (stages + 1);
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) tasks.push_back(draw_task(w, rng));
+
+  Dag dag(n);
+  const auto id = [points](std::size_t stage, std::size_t slot) {
+    return static_cast<TaskId>(stage * points + slot);
+  };
+  for (std::size_t st = 1; st <= stages; ++st) {
+    const std::size_t stride = points >> st;
+    for (std::size_t slot = 0; slot < points; ++slot) {
+      const std::size_t partner = slot ^ stride;
+      dag.add_edge(id(st - 1, slot), id(st, slot));
+      dag.add_edge(id(st - 1, partner), id(st, slot));
+    }
+  }
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+Instance generate_soc_pipeline(int stages, int replication, int m,
+                               const DagWeightParams& w, Rng& rng) {
+  check_weights(w);
+  if (stages <= 0 || replication <= 0 || m <= 0) {
+    throw std::invalid_argument("generate_soc_pipeline: bad shape");
+  }
+  const std::size_t n = static_cast<std::size_t>(stages) *
+                        static_cast<std::size_t>(replication);
+  std::vector<Task> tasks(n);
+  // One code size per stage, shared by all its replicas: replicated
+  // instruction code occupies the same footprint wherever it is placed.
+  for (int st = 0; st < stages; ++st) {
+    const Mem code = rng.uniform_int(w.s_min, w.s_max);
+    for (int r = 0; r < replication; ++r) {
+      const std::size_t v = static_cast<std::size_t>(st) *
+                                static_cast<std::size_t>(replication) +
+                            static_cast<std::size_t>(r);
+      tasks[v] = {rng.uniform_int(w.p_min, w.p_max), code};
+    }
+  }
+
+  Dag dag(n);
+  const auto id = [replication](int stage, int rep) {
+    return static_cast<TaskId>(stage * replication + rep);
+  };
+  for (int st = 1; st < stages; ++st) {
+    for (int r = 0; r < replication; ++r) {
+      // Each replica consumes from its aligned upstream replica plus one
+      // random shuffle input (data re-distribution between stages).
+      dag.add_edge(id(st - 1, r), id(st, r));
+      const int other =
+          static_cast<int>(rng.uniform_int(0, replication - 1));
+      if (other != r) dag.add_edge(id(st - 1, other), id(st, r));
+    }
+  }
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+Instance generate_dag_by_name(const std::string& name, std::size_t size_hint,
+                              int m, const DagWeightParams& w, Rng& rng) {
+  const auto hint = std::max<std::size_t>(4, size_hint);
+  if (name == "layered") {
+    const int width = std::max(2, static_cast<int>(std::sqrt(static_cast<double>(hint))));
+    const int layers = std::max(2, static_cast<int>(hint) / width);
+    return generate_layered_dag(layers, width, 0.4, m, w, rng);
+  }
+  if (name == "random") return generate_random_dag(hint, 0.1, m, w, rng);
+  if (name == "forkjoin") {
+    const int width = std::max(2, static_cast<int>(std::sqrt(static_cast<double>(hint))));
+    const int depth = std::max(1, (static_cast<int>(hint) - 2) / width);
+    return generate_fork_join(width, depth, m, w, rng);
+  }
+  if (name == "cholesky") {
+    int tiles = 2;
+    const auto nodes = [](std::size_t t) { return (t + 1) * (t + 1) * (t + 1) / 3; };
+    while (nodes(static_cast<std::size_t>(tiles)) <= hint) ++tiles;
+    return generate_cholesky_dag(tiles, m, w, rng);
+  }
+  if (name == "fft") {
+    int log2n = 1;
+    while ((std::size_t{1} << (log2n + 1)) * static_cast<std::size_t>(log2n + 2) <= hint &&
+           log2n < 10) {
+      ++log2n;
+    }
+    return generate_fft_dag(log2n, m, w, rng);
+  }
+  if (name == "soc") {
+    const int repl = std::max(2, m);
+    const int stages = std::max(2, static_cast<int>(hint) / repl);
+    return generate_soc_pipeline(stages, repl, m, w, rng);
+  }
+  throw std::invalid_argument("generate_dag_by_name: unknown generator " + name);
+}
+
+}  // namespace storesched

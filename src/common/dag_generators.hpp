@@ -1,0 +1,74 @@
+// Synthetic DAG workload generators for the precedence-constrained case.
+//
+// RLS (paper Section 5) targets embedded-system task graphs; following the
+// substitution rule, the multi-SoC instruction-code application of [5] is
+// modelled by `generate_soc_pipeline` (pipelined media-processing stages
+// with per-stage code sizes). Classic structured graphs (fork-join, trees,
+// Cholesky- and FFT-shaped) plus layered and Erdos-Renyi random DAGs cover
+// the standard DAG-scheduling evaluation space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/instance.hpp"
+#include "common/rng.hpp"
+
+namespace storesched {
+
+/// Weight ranges applied to generated DAG nodes.
+struct DagWeightParams {
+  Time p_min = 1;
+  Time p_max = 50;
+  Mem s_min = 1;
+  Mem s_max = 50;
+};
+
+/// Layer-by-layer random DAG: `layers` layers of `width` tasks; each task
+/// depends on each task of the previous layer with probability `density`,
+/// and on at least one of them (so layering is tight).
+Instance generate_layered_dag(int layers, int width, double density, int m,
+                              const DagWeightParams& w, Rng& rng);
+
+/// Erdos-Renyi-style random DAG: edge (i, j), i < j, present with
+/// probability `density` under a random topological permutation.
+Instance generate_random_dag(std::size_t n, double density, int m,
+                             const DagWeightParams& w, Rng& rng);
+
+/// Fork-join: source -> `width` parallel branches of length `depth` -> sink.
+Instance generate_fork_join(int width, int depth, int m,
+                            const DagWeightParams& w, Rng& rng);
+
+/// Complete out-tree (root spawns children) of the given arity and height.
+Instance generate_out_tree(int arity, int height, int m,
+                           const DagWeightParams& w, Rng& rng);
+
+/// Complete in-tree (reduction) of the given arity and height.
+Instance generate_in_tree(int arity, int height, int m,
+                          const DagWeightParams& w, Rng& rng);
+
+/// Task graph with the dependency shape of a tiled right-looking Cholesky
+/// factorization on a `tiles x tiles` matrix: POTRF/TRSM/SYRK/GEMM-role
+/// nodes with role-dependent weight multipliers.
+Instance generate_cholesky_dag(int tiles, int m, const DagWeightParams& w,
+                               Rng& rng);
+
+/// Butterfly (FFT) task graph over 2^log2n points: log2n stages of
+/// pairwise-exchange dependencies.
+Instance generate_fft_dag(int log2n, int m, const DagWeightParams& w, Rng& rng);
+
+/// Multi-SoC streaming pipeline (substitute for the paper's reference [5]):
+/// `stages` sequential processing stages, each replicated `replication`
+/// times for data parallelism; stage k+1 instances depend on a random subset
+/// of stage k instances. Code size (s) is drawn per *stage* and shared by
+/// its replicas -- replicated instruction code is exactly what the SoC
+/// motivation stores per processor.
+Instance generate_soc_pipeline(int stages, int replication, int m,
+                               const DagWeightParams& w, Rng& rng);
+
+/// Identifier -> generator dispatch used by benches; throws on unknown name.
+/// Known names: "layered", "random", "forkjoin", "cholesky", "fft", "soc".
+Instance generate_dag_by_name(const std::string& name, std::size_t size_hint,
+                              int m, const DagWeightParams& w, Rng& rng);
+
+}  // namespace storesched

@@ -1,0 +1,176 @@
+// Exact rational arithmetic for algorithmic decisions.
+//
+// Two places in the paper require comparing rational quantities:
+//   * the SBO threshold test  p_i / C  <  Delta * s_i / M      (Algorithm 1)
+//   * the RLS memory cap      memsize[j] + s_i  <=  Delta * LB (Algorithm 2)
+// where Delta is a rational parameter and LB = max(max_i s_i, sum_i s_i / m)
+// has denominator m. Both are evaluated here by 128-bit cross multiplication
+// so no decision ever suffers floating-point rounding.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace storesched {
+
+/// 128-bit signed intermediate for overflow-free cross multiplication.
+/// __extension__ keeps -Wpedantic quiet about the GCC/Clang builtin type.
+__extension__ typedef __int128 Int128;
+
+/// An exact rational number num/den with den > 0, always stored reduced.
+///
+/// Arithmetic uses Int128 intermediates; inputs in the library stay within
+/// ~2^40, far below the range where the reduced representation could
+/// overflow int64.
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+
+  /// Construct num/den. Throws std::invalid_argument on zero denominator.
+  constexpr Fraction(std::int64_t num, std::int64_t den = 1) : num_(num), den_(den) {
+    if (den_ == 0) throw std::invalid_argument("Fraction: zero denominator");
+    normalize();
+  }
+
+  constexpr std::int64_t num() const { return num_; }
+  constexpr std::int64_t den() const { return den_; }
+
+  constexpr double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Exact three-way comparison via 128-bit cross multiplication.
+  friend constexpr std::strong_ordering operator<=>(const Fraction& a,
+                                                    const Fraction& b) {
+    const Int128 lhs = static_cast<Int128>(a.num_) * b.den_;
+    const Int128 rhs = static_cast<Int128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  friend constexpr bool operator==(const Fraction& a, const Fraction& b) {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+
+  friend constexpr Fraction operator+(const Fraction& a, const Fraction& b) {
+    return from128(static_cast<Int128>(a.num_) * b.den_ +
+                       static_cast<Int128>(b.num_) * a.den_,
+                   static_cast<Int128>(a.den_) * b.den_);
+  }
+  friend constexpr Fraction operator-(const Fraction& a, const Fraction& b) {
+    return from128(static_cast<Int128>(a.num_) * b.den_ -
+                       static_cast<Int128>(b.num_) * a.den_,
+                   static_cast<Int128>(a.den_) * b.den_);
+  }
+  friend constexpr Fraction operator*(const Fraction& a, const Fraction& b) {
+    return from128(static_cast<Int128>(a.num_) * b.num_,
+                   static_cast<Int128>(a.den_) * b.den_);
+  }
+  friend constexpr Fraction operator/(const Fraction& a, const Fraction& b) {
+    if (b.num_ == 0) throw std::domain_error("Fraction: division by zero");
+    return from128(static_cast<Int128>(a.num_) * b.den_,
+                   static_cast<Int128>(a.den_) * b.num_);
+  }
+  constexpr Fraction operator-() const {
+    Fraction r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+
+  /// max(a, b) by exact comparison.
+  static constexpr Fraction max(const Fraction& a, const Fraction& b) {
+    return a < b ? b : a;
+  }
+  static constexpr Fraction min(const Fraction& a, const Fraction& b) {
+    return b < a ? b : a;
+  }
+
+  /// Smallest integer >= this fraction.
+  constexpr std::int64_t ceil() const {
+    const std::int64_t q = num_ / den_;
+    return (num_ % den_ != 0 && num_ > 0) ? q + 1 : q;
+  }
+  /// Largest integer <= this fraction.
+  constexpr std::int64_t floor() const {
+    const std::int64_t q = num_ / den_;
+    return (num_ % den_ != 0 && num_ < 0) ? q - 1 : q;
+  }
+
+  std::string to_string() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+    return os << f.to_string();
+  }
+
+ private:
+  static constexpr Fraction from128(Int128 num, Int128 den) {
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const Int128 g = gcd128(num < 0 ? -num : num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+    Fraction r;
+    if (num > std::numeric_limits<std::int64_t>::max() ||
+        num < std::numeric_limits<std::int64_t>::min() ||
+        den > std::numeric_limits<std::int64_t>::max()) {
+      throw std::overflow_error("Fraction: reduced value exceeds 64 bits");
+    }
+    r.num_ = static_cast<std::int64_t>(num);
+    r.den_ = static_cast<std::int64_t>(den);
+    return r;
+  }
+
+  static constexpr Int128 gcd128(Int128 a, Int128 b) {
+    while (b != 0) {
+      const Int128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a == 0 ? 1 : a;
+  }
+
+  constexpr void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// True iff a/b < c/d exactly, for non-negative 64-bit operands with b,d > 0.
+/// Convenience used on hot paths to avoid constructing Fractions.
+constexpr bool ratio_less(std::int64_t a, std::int64_t b, std::int64_t c,
+                          std::int64_t d) {
+  assert(b > 0 && d > 0);
+  return static_cast<Int128>(a) * d < static_cast<Int128>(c) * b;
+}
+
+/// True iff a/b <= c/d exactly.
+constexpr bool ratio_less_equal(std::int64_t a, std::int64_t b, std::int64_t c,
+                                std::int64_t d) {
+  assert(b > 0 && d > 0);
+  return static_cast<Int128>(a) * d <= static_cast<Int128>(c) * b;
+}
+
+}  // namespace storesched

@@ -1,0 +1,66 @@
+#include "common/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace storesched {
+
+std::string render_gantt(const Instance& inst, const Schedule& sched,
+                         const GanttOptions& opts) {
+  if (!sched.timed()) {
+    throw std::logic_error("render_gantt: schedule has no start times");
+  }
+  const Time horizon = cmax(inst, sched);
+  const double scale =
+      horizon > 0 ? static_cast<double>(std::max(8, opts.width)) /
+                        static_cast<double>(horizon)
+                  : 1.0;
+  const auto col = [scale](Time t) {
+    return static_cast<std::size_t>(static_cast<double>(t) * scale);
+  };
+
+  std::vector<std::vector<TaskId>> by_proc(static_cast<std::size_t>(inst.m()));
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    by_proc[static_cast<std::size_t>(sched.proc(i))].push_back(i);
+  }
+
+  std::ostringstream os;
+  for (std::size_t q = 0; q < by_proc.size(); ++q) {
+    auto& tasks_on_q = by_proc[q];
+    std::sort(tasks_on_q.begin(), tasks_on_q.end(), [&](TaskId a, TaskId b) {
+      return sched.start(a) < sched.start(b);
+    });
+
+    std::string row;
+    for (const TaskId i : tasks_on_q) {
+      const std::size_t begin = col(sched.start(i));
+      std::size_t end = col(sched.start(i) + inst.task(i).p);
+      if (end <= begin) end = begin + 1;
+      if (row.size() < begin) row.append(begin - row.size(), '.');
+
+      std::string label = "t" + std::to_string(i);
+      if (opts.show_storage) label += ":s=" + std::to_string(inst.task(i).s);
+      std::string box = "[" + label;
+      const std::size_t box_width = end - begin;
+      if (box.size() + 1 > box_width) {
+        box = box.substr(0, box_width > 1 ? box_width - 1 : 0);
+      }
+      box.append(box_width > box.size() + 1 ? box_width - box.size() - 1 : 0,
+                 '=');
+      box += "]";
+      // Clip/pad to exactly box_width characters.
+      if (box.size() > box_width) box = box.substr(0, box_width);
+      row += box;
+    }
+    os << "P" << q << " |" << row << "\n";
+  }
+
+  if (opts.show_summary) {
+    os << "Cmax=" << horizon << " Mmax=" << mmax(inst, sched) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace storesched

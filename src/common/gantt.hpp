@@ -1,0 +1,28 @@
+// ASCII Gantt-chart rendering of timed schedules.
+//
+// Mirrors the paper's Figures 1-2 presentation: one row per processor, task
+// boxes sized by duration, with the storage consumption of each task shown
+// as a label -- "sizes are according to durations" with memory "as labels on
+// the tasks" (paper, Figure 1 caption).
+#pragma once
+
+#include <string>
+
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+struct GanttOptions {
+  int width = 72;           ///< target character width of the time axis
+  bool show_storage = true; ///< append ":s=<s_i>" inside each box
+  bool show_summary = true; ///< append Cmax/Mmax footer
+};
+
+/// Renders a timed schedule as ASCII art. For assignment-only schedules of
+/// independent instances, serialize first (see serialize_assignment).
+/// Throws std::logic_error on untimed schedules.
+std::string render_gantt(const Instance& inst, const Schedule& sched,
+                         const GanttOptions& opts = {});
+
+}  // namespace storesched

@@ -1,0 +1,160 @@
+#include "common/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace storesched {
+
+namespace {
+
+Time clamp_time(double v, Time lo, Time hi) {
+  const auto t = static_cast<Time>(std::llround(v));
+  return std::clamp(t, lo, hi);
+}
+
+void check(const GenParams& p) {
+  if (p.n == 0) throw std::invalid_argument("GenParams: n == 0");
+  if (p.m <= 0) throw std::invalid_argument("GenParams: m <= 0");
+  if (p.p_min <= 0 || p.p_min > p.p_max) {
+    throw std::invalid_argument("GenParams: bad p range");
+  }
+  if (p.s_min <= 0 || p.s_min > p.s_max) {
+    throw std::invalid_argument("GenParams: bad s range");
+  }
+}
+
+}  // namespace
+
+Instance generate_uniform(const GenParams& params, Rng& rng) {
+  check(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    tasks.push_back({rng.uniform_int(params.p_min, params.p_max),
+                     rng.uniform_int(params.s_min, params.s_max)});
+  }
+  return Instance(std::move(tasks), params.m);
+}
+
+Instance generate_correlated(const GenParams& params, double jitter, Rng& rng) {
+  check(params);
+  if (jitter < 0 || jitter >= 1) {
+    throw std::invalid_argument("generate_correlated: jitter in [0,1)");
+  }
+  const double scale = static_cast<double>(params.s_max - params.s_min) /
+                       static_cast<double>(params.p_max - params.p_min + 1);
+  std::vector<Task> tasks;
+  tasks.reserve(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const Time p = rng.uniform_int(params.p_min, params.p_max);
+    const double noise = 1.0 + jitter * (2.0 * rng.uniform01() - 1.0);
+    const double s_raw =
+        static_cast<double>(params.s_min) +
+        scale * static_cast<double>(p - params.p_min) * noise;
+    tasks.push_back({p, clamp_time(s_raw, params.s_min, params.s_max)});
+  }
+  return Instance(std::move(tasks), params.m);
+}
+
+Instance generate_anticorrelated(const GenParams& params, double jitter,
+                                 Rng& rng) {
+  check(params);
+  if (jitter < 0 || jitter >= 1) {
+    throw std::invalid_argument("generate_anticorrelated: jitter in [0,1)");
+  }
+  const double scale = static_cast<double>(params.s_max - params.s_min) /
+                       static_cast<double>(params.p_max - params.p_min + 1);
+  std::vector<Task> tasks;
+  tasks.reserve(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const Time p = rng.uniform_int(params.p_min, params.p_max);
+    const double noise = 1.0 + jitter * (2.0 * rng.uniform01() - 1.0);
+    const double s_raw =
+        static_cast<double>(params.s_min) +
+        scale * static_cast<double>(params.p_max - p) * noise;
+    tasks.push_back({p, clamp_time(s_raw, params.s_min, params.s_max)});
+  }
+  return Instance(std::move(tasks), params.m);
+}
+
+Instance generate_bimodal(const GenParams& params, double heavy_fraction,
+                          Rng& rng) {
+  check(params);
+  if (heavy_fraction < 0 || heavy_fraction > 1) {
+    throw std::invalid_argument("generate_bimodal: heavy_fraction in [0,1]");
+  }
+  // Heavy mode: top decile of each range. Light mode: bottom half.
+  const Time p_heavy_lo = params.p_max - (params.p_max - params.p_min) / 10;
+  const Mem s_heavy_lo = params.s_max - (params.s_max - params.s_min) / 10;
+  const Time p_light_hi = std::max(params.p_min, params.p_min + (params.p_max - params.p_min) / 2);
+  const Mem s_light_hi = std::max(params.s_min, params.s_min + (params.s_max - params.s_min) / 2);
+
+  std::vector<Task> tasks;
+  tasks.reserve(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    if (rng.bernoulli(heavy_fraction)) {
+      tasks.push_back({rng.uniform_int(p_heavy_lo, params.p_max),
+                       rng.uniform_int(s_heavy_lo, params.s_max)});
+    } else {
+      tasks.push_back({rng.uniform_int(params.p_min, p_light_hi),
+                       rng.uniform_int(params.s_min, s_light_hi)});
+    }
+  }
+  return Instance(std::move(tasks), params.m);
+}
+
+Instance generate_physics_batch(std::size_t n, int m, double alpha, Rng& rng) {
+  if (n == 0 || m <= 0) {
+    throw std::invalid_argument("generate_physics_batch: bad n or m");
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Runtime: bounded Pareto in [5, 5000] (minutes-scale event batches).
+    const Time p = rng.pareto_int(5, 5000, alpha);
+    // Result size: proportional output plus a calibration baseline, with
+    // 25% multiplicative noise.
+    const double noise = 0.75 + 0.5 * rng.uniform01();
+    const Mem s =
+        10 + static_cast<Mem>(std::llround(0.2 * static_cast<double>(p) * noise));
+    tasks.push_back({p, s});
+  }
+  return Instance(std::move(tasks), m);
+}
+
+Instance generate_memory_tight(const GenParams& params, double capacity_factor,
+                               Rng& rng) {
+  check(params);
+  if (capacity_factor < 1.0) {
+    throw std::invalid_argument("generate_memory_tight: factor >= 1 required");
+  }
+  // Draw storage sizes so that sum_s ~= m * capacity_factor * s_max: few
+  // large items per processor, tight packing.
+  std::vector<Task> tasks;
+  tasks.reserve(params.n);
+  const double target_total = static_cast<double>(params.m) * capacity_factor *
+                              static_cast<double>(params.s_max);
+  const Mem mean_s = std::max<Mem>(
+      params.s_min,
+      static_cast<Mem>(target_total / static_cast<double>(params.n)));
+  const Mem spread = std::max<Mem>(1, mean_s / 2);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const Mem lo = std::max(params.s_min, mean_s - spread);
+    const Mem hi = std::min(params.s_max, mean_s + spread);
+    tasks.push_back({rng.uniform_int(params.p_min, params.p_max),
+                     rng.uniform_int(lo, std::max(lo, hi))});
+  }
+  return Instance(std::move(tasks), params.m);
+}
+
+Instance generate_by_name(const std::string& name, const GenParams& params,
+                          Rng& rng) {
+  if (name == "uniform") return generate_uniform(params, rng);
+  if (name == "correlated") return generate_correlated(params, 0.2, rng);
+  if (name == "anticorrelated") return generate_anticorrelated(params, 0.2, rng);
+  if (name == "bimodal") return generate_bimodal(params, 0.25, rng);
+  throw std::invalid_argument("generate_by_name: unknown generator " + name);
+}
+
+}  // namespace storesched

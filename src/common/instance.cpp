@@ -1,0 +1,85 @@
+#include "common/instance.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace storesched {
+
+Instance::Instance(std::vector<Task> tasks, int m)
+    : tasks_(std::move(tasks)), m_(m) {
+  if (m_ <= 0) throw std::invalid_argument("Instance: m must be positive");
+  compute_aggregates();
+}
+
+Instance::Instance(std::vector<Task> tasks, int m, Dag dag)
+    : tasks_(std::move(tasks)), m_(m), dag_(std::move(dag)) {
+  if (m_ <= 0) throw std::invalid_argument("Instance: m must be positive");
+  if (dag_->n() != tasks_.size()) {
+    throw std::invalid_argument("Instance: DAG size != task count");
+  }
+  if (!dag_->is_acyclic()) {
+    throw std::invalid_argument("Instance: precedence graph has a cycle");
+  }
+  compute_aggregates();
+}
+
+void Instance::compute_aggregates() {
+  total_p_ = 0;
+  total_s_ = 0;
+  max_p_ = 0;
+  max_s_ = 0;
+  for (const Task& t : tasks_) {
+    if (t.p < 0 || t.s < 0) {
+      throw std::invalid_argument("Instance: negative task weight");
+    }
+    total_p_ += t.p;
+    total_s_ += t.s;
+    max_p_ = std::max(max_p_, t.p);
+    max_s_ = std::max(max_s_, t.s);
+  }
+}
+
+Fraction Instance::time_lower_bound_fraction() const {
+  return Fraction::max(Fraction(max_p_), Fraction(total_p_, m_));
+}
+
+Time Instance::time_lower_bound() const {
+  const Time avg = Fraction(total_p_, m_).ceil();
+  return std::max({max_p_, avg, critical_path()});
+}
+
+Fraction Instance::storage_lower_bound_fraction() const {
+  return Fraction::max(Fraction(max_s_), Fraction(total_s_, m_));
+}
+
+Mem Instance::storage_lower_bound() const {
+  return std::max(max_s_, Fraction(total_s_, m_).ceil());
+}
+
+Time Instance::critical_path() const {
+  if (!dag_) return max_p_;
+  return dag_->critical_path_length(tasks_);
+}
+
+Instance Instance::swapped() const {
+  if (dag_) {
+    throw std::logic_error("Instance::swapped: undefined with precedences");
+  }
+  std::vector<Task> sw;
+  sw.reserve(tasks_.size());
+  for (const Task& t : tasks_) sw.push_back({/*p=*/t.s, /*s=*/t.p});
+  return Instance(std::move(sw), m_);
+}
+
+std::string Instance::summary() const {
+  std::ostringstream os;
+  os << "Instance{n=" << n() << ", m=" << m_
+     << (dag_ ? ", prec(" + std::to_string(dag_->edge_count()) + " edges)"
+              : ", independent")
+     << ", sum_p=" << total_p_ << ", sum_s=" << total_s_
+     << ", max_p=" << max_p_ << ", max_s=" << max_s_ << "}";
+  return os.str();
+}
+
+}  // namespace storesched

@@ -1,0 +1,87 @@
+// Problem instance: a task set, a processor count, and optional precedences.
+//
+// Exposes the standard lower bounds used throughout the paper:
+//   time:    max(max_i p_i, sum_i p_i / m)           (Graham)
+//   storage: max(max_i s_i, sum_i s_i / m)           (Algorithm 2's LB)
+//   DAG:     critical path length                    (Lemma 5's |CP|)
+// The /m bounds are exposed both as exact Fractions (as the paper uses them
+// inside RLS) and as integer ceilings (valid bounds for integral schedules).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/dag.hpp"
+#include "common/fraction.hpp"
+#include "common/types.hpp"
+
+namespace storesched {
+
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Independent-task instance (P | p_j, s_j | Cmax, Mmax).
+  /// Throws std::invalid_argument for m <= 0 or negative task weights.
+  Instance(std::vector<Task> tasks, int m);
+
+  /// Precedence-constrained instance (P | p_j, s_j, prec | Cmax, Mmax).
+  /// The DAG must be over exactly tasks.size() nodes and acyclic.
+  Instance(std::vector<Task> tasks, int m, Dag dag);
+
+  std::size_t n() const { return tasks_.size(); }
+  int m() const { return m_; }
+
+  const Task& task(TaskId i) const { return tasks_[static_cast<std::size_t>(i)]; }
+  std::span<const Task> tasks() const { return tasks_; }
+
+  bool has_precedence() const { return dag_.has_value(); }
+  /// Precondition: has_precedence().
+  const Dag& dag() const { return *dag_; }
+
+  Time total_work() const { return total_p_; }
+  Mem total_storage() const { return total_s_; }
+  Time max_p() const { return max_p_; }
+  Mem max_s() const { return max_s_; }
+
+  /// Exact Graham bound on the makespan: max(max p_i, sum p_i / m).
+  Fraction time_lower_bound_fraction() const;
+  /// Integer-valued makespan lower bound: max(max p_i, ceil(sum p_i / m),
+  /// critical path if precedences are present).
+  Time time_lower_bound() const;
+
+  /// Exact Graham bound on memory: max(max s_i, sum s_i / m).
+  /// This is the LB computed at the top of Algorithm 2 (RLS).
+  Fraction storage_lower_bound_fraction() const;
+  /// Integer-valued memory lower bound: max(max s_i, ceil(sum s_i / m)).
+  Mem storage_lower_bound() const;
+
+  /// Critical-path lower bound; equals 0-work path max for independent
+  /// instances (i.e. max p_i).
+  Time critical_path() const;
+
+  /// The symmetric instance with p and s exchanged. Only meaningful for
+  /// independent tasks, where the paper notes Cmax and Mmax are
+  /// interchangeable; throws if precedences are present.
+  Instance swapped() const;
+
+  /// Human-readable one-line summary for logs.
+  std::string summary() const;
+
+ private:
+  void compute_aggregates();
+
+  std::vector<Task> tasks_;
+  int m_ = 1;
+  std::optional<Dag> dag_;
+
+  Time total_p_ = 0;
+  Mem total_s_ = 0;
+  Time max_p_ = 0;
+  Mem max_s_ = 0;
+};
+
+}  // namespace storesched

@@ -1,0 +1,155 @@
+#include "common/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace storesched {
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path);
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) impl_->out << ',';
+    impl_->out << csv_escape(fields[i]);
+  }
+  impl_->out << '\n';
+}
+
+std::string markdown_table(const std::vector<std::string>& header,
+                           const std::vector<std::vector<std::string>>& rows) {
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      throw std::invalid_argument("markdown_table: ragged rows");
+    }
+  }
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  emit_row(header);
+  os << '|';
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    os << ' ' << std::string(width[c], '-') << " |";
+  }
+  os << '\n';
+  for (const auto& row : rows) emit_row(row);
+  return os.str();
+}
+
+std::string to_dot(const Instance& inst, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=TB;\n";
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    os << "  t" << i << " [label=\"t" << i << "\\np=" << inst.task(i).p
+       << ",s=" << inst.task(i).s << "\"];\n";
+  }
+  if (inst.has_precedence()) {
+    const Dag& dag = inst.dag();
+    for (TaskId u = 0; u < static_cast<TaskId>(inst.n()); ++u) {
+      for (const TaskId v : dag.succs(u)) {
+        os << "  t" << u << " -> t" << v << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_text(const Instance& inst) {
+  std::ostringstream os;
+  os << inst.n() << ' ' << inst.m();
+  if (inst.has_precedence()) os << " prec";
+  os << '\n';
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    os << inst.task(i).p << ' ' << inst.task(i).s << '\n';
+  }
+  if (inst.has_precedence()) {
+    const Dag& dag = inst.dag();
+    for (TaskId u = 0; u < static_cast<TaskId>(inst.n()); ++u) {
+      for (const TaskId v : dag.succs(u)) {
+        os << u << ' ' << v << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+Instance from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string first_line;
+  if (!std::getline(is, first_line)) {
+    throw std::runtime_error("from_text: empty input");
+  }
+  std::istringstream head(first_line);
+  std::size_t n = 0;
+  int m = 0;
+  std::string prec_flag;
+  if (!(head >> n >> m)) throw std::runtime_error("from_text: bad header");
+  const bool has_prec = static_cast<bool>(head >> prec_flag) && prec_flag == "prec";
+
+  std::vector<Task> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> tasks[i].p >> tasks[i].s)) {
+      throw std::runtime_error("from_text: bad task line");
+    }
+  }
+  if (!has_prec) return Instance(std::move(tasks), m);
+
+  Dag dag(n);
+  TaskId u = 0;
+  TaskId v = 0;
+  while (is >> u >> v) dag.add_edge(u, v);
+  return Instance(std::move(tasks), m, std::move(dag));
+}
+
+std::string fmt(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace storesched

@@ -1,0 +1,53 @@
+// Reporting helpers: CSV tables, Markdown tables, Graphviz DOT export.
+//
+// The bench harness prints every regenerated figure as (a) a human-readable
+// Markdown table on stdout and (b) optionally a CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+/// Minimal CSV writer: quotes fields containing separators/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Renders rows as a GitHub-flavoured Markdown table. `header` supplies the
+/// column names; all rows must have header.size() fields.
+std::string markdown_table(const std::vector<std::string>& header,
+                           const std::vector<std::vector<std::string>>& rows);
+
+/// Graphviz DOT of a precedence instance: node label "id\np=..,s=..".
+std::string to_dot(const Instance& inst, const std::string& graph_name = "dag");
+
+/// Serializes an instance to a simple text format:
+///   line 1: n m [prec]
+///   next n lines: p_i s_i
+///   if prec: remaining lines "u v" edges
+std::string to_text(const Instance& inst);
+
+/// Parses the to_text format back. Throws std::runtime_error on malformed
+/// input. Round-trips exactly with to_text.
+Instance from_text(const std::string& text);
+
+/// Formats a double with the given number of decimals (fixed notation).
+std::string fmt(double v, int decimals = 3);
+
+}  // namespace storesched

@@ -1,0 +1,66 @@
+#include "common/paper_instances.hpp"
+
+#include <stdexcept>
+
+namespace storesched {
+
+Instance fig1_instance(Time eps_inv) {
+  if (eps_inv < 2) throw std::invalid_argument("fig1_instance: eps_inv >= 2");
+  // p = {1, 1/2, 1/2} x (2*eps_inv); s = {eps, 1, 1} x eps_inv.
+  std::vector<Task> tasks{
+      {2 * eps_inv, 1},
+      {eps_inv, eps_inv},
+      {eps_inv, eps_inv},
+  };
+  return Instance(std::move(tasks), /*m=*/2);
+}
+
+GadgetScale fig1_scale(Time eps_inv) { return {2 * eps_inv, eps_inv}; }
+
+Instance fig2_instance(Time eps_inv) {
+  if (eps_inv < 2) throw std::invalid_argument("fig2_instance: eps_inv >= 2");
+  // p = {1, eps, 1-eps} x eps_inv; s = {eps, 1, 1-eps} x eps_inv.
+  std::vector<Task> tasks{
+      {eps_inv, 1},
+      {1, eps_inv},
+      {eps_inv - 1, eps_inv - 1},
+  };
+  return Instance(std::move(tasks), /*m=*/2);
+}
+
+GadgetScale fig2_scale(Time eps_inv) { return {eps_inv, eps_inv}; }
+
+Instance lemma2_instance(int m, int k, Time eps_inv) {
+  if (m < 2 || k < 2 || eps_inv < 2) {
+    throw std::invalid_argument("lemma2_instance: need m,k >= 2, eps_inv >= 2");
+  }
+  // First m-1 tasks: p = 1 (scaled: km), s = eps (scaled: 1).
+  // Next k*m tasks:  p = 1/(km) (scaled: 1), s = 1 (scaled: eps_inv).
+  std::vector<Task> tasks;
+  const Time km = static_cast<Time>(k) * m;
+  tasks.reserve(static_cast<std::size_t>(km + m - 1));
+  for (int i = 0; i < m - 1; ++i) tasks.push_back({km, 1});
+  for (Time i = 0; i < km; ++i) tasks.push_back({1, eps_inv});
+  return Instance(std::move(tasks), m);
+}
+
+GadgetScale lemma2_scale(int m, int k, Time eps_inv) {
+  return {static_cast<Time>(k) * m, eps_inv};
+}
+
+Lemma2Point lemma2_point(int m, int k, int i, Time eps_inv) {
+  if (m < 2 || k < 2 || i < 0 || i > k || eps_inv < 2) {
+    throw std::invalid_argument("lemma2_point: bad parameters");
+  }
+  const std::int64_t km = static_cast<std::int64_t>(k) * m;
+  const Fraction cmax_ratio(km + i, km);
+  // Scaled M* = k*eps_inv + 1 (k type-2 codes plus one type-1 code).
+  const std::int64_t mstar = static_cast<std::int64_t>(k) * eps_inv + 1;
+  if (i == k) return {cmax_ratio, Fraction(1)};
+  const std::int64_t mem =
+      (static_cast<std::int64_t>(k) + static_cast<std::int64_t>(k - i) * (m - 1)) *
+      eps_inv;
+  return {cmax_ratio, Fraction(mem, mstar)};
+}
+
+}  // namespace storesched

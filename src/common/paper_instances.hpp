@@ -1,0 +1,59 @@
+// The exact gadget instances from the paper, in scaled-integer form.
+//
+// The paper uses fractional weights (1/2, epsilon, 1 - epsilon, 1/(km)).
+// Our model keeps integer weights, so each gadget is scaled by an explicit
+// factor; every objective value scales with it and all Pareto/dominance
+// structure is preserved (both objectives are homogeneous of degree 1 in
+// the weights). Each builder documents its scaling so tests and benches can
+// translate measured integer points back to the paper's fractional ones.
+#pragma once
+
+#include "common/instance.hpp"
+
+namespace storesched {
+
+/// Section 4.1 instance (Figure 1): m = 2 and
+///   p = {1, 1/2, 1/2},  s = {eps, 1, 1}  with eps = 1/eps_inv.
+/// Scaling: times x 2*eps_inv, storage x eps_inv. In scaled units:
+///   p = {2*eps_inv, eps_inv, eps_inv},  s = {1, eps_inv, eps_inv},
+/// so the paper's Pareto points (1, 2) and (3/2, 1+eps) become
+/// (2*eps_inv, 2*eps_inv) and (3*eps_inv, eps_inv + 1).
+/// Requires eps_inv >= 2.
+Instance fig1_instance(Time eps_inv);
+
+/// Scale factors of fig1_instance: {time_scale, storage_scale}.
+struct GadgetScale {
+  Time time_scale = 1;
+  Mem storage_scale = 1;
+};
+GadgetScale fig1_scale(Time eps_inv);
+
+/// Section 4.3 instance (Figure 2): m = 2 and
+///   p = {1, eps, 1-eps},  s = {eps, 1, 1-eps}  with eps = 1/eps_inv.
+/// Scaling: both axes x eps_inv:
+///   p = {eps_inv, 1, eps_inv-1},  s = {1, eps_inv, eps_inv-1}.
+/// The paper's Pareto points (1, 2-eps), (1+eps, 1+eps), (2-eps, 1) become
+/// (eps_inv, 2*eps_inv-1), (eps_inv+1, eps_inv+1), (2*eps_inv-1, eps_inv).
+/// Requires eps_inv >= 2.
+Instance fig2_instance(Time eps_inv);
+GadgetScale fig2_scale(Time eps_inv);
+
+/// Section 4.2 family (Lemma 2): m processors, k*m + m - 1 tasks,
+///   m-1 tasks with p = 1, s = eps;  k*m tasks with p = 1/(km), s = 1,
+/// eps = 1/eps_inv. Scaling: times x km, storage x eps_inv:
+///   first m-1 tasks: p = k*m, s = 1;  k*m tasks: p = 1, s = eps_inv.
+/// Optimal scaled values: C* = km, M* = k*eps_inv + 1.
+/// Requires m >= 2, k >= 2, eps_inv >= 2.
+Instance lemma2_instance(int m, int k, Time eps_inv);
+GadgetScale lemma2_scale(int m, int k, Time eps_inv);
+
+/// Pareto point i of the Lemma 2 family, in *paper* (unscaled) coordinates:
+/// makespan 1 + i/(km) and memory k + (k-i)(m-1) for i < k, memory k + eps
+/// for i = k. Returned as exact fractions of the scaled-integer values.
+struct Lemma2Point {
+  Fraction cmax_ratio;  ///< Cmax / C*  = 1 + i/(km)
+  Fraction mmax_ratio;  ///< Mmax / M*  (with M* = k + eps)
+};
+Lemma2Point lemma2_point(int m, int k, int i, Time eps_inv);
+
+}  // namespace storesched

@@ -1,0 +1,62 @@
+#include "common/pareto.hpp"
+
+#include <algorithm>
+
+namespace storesched {
+
+std::vector<LabelledPoint> pareto_front(std::span<const LabelledPoint> points) {
+  std::vector<LabelledPoint> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LabelledPoint& a, const LabelledPoint& b) {
+              if (a.value.cmax != b.value.cmax) {
+                return a.value.cmax < b.value.cmax;
+              }
+              if (a.value.mmax != b.value.mmax) {
+                return a.value.mmax < b.value.mmax;
+              }
+              return a.tag < b.tag;
+            });
+
+  std::vector<LabelledPoint> front;
+  for (const LabelledPoint& pt : sorted) {
+    if (!front.empty() && front.back().value.mmax <= pt.value.mmax) {
+      continue;  // dominated (or duplicate) given the cmax sort
+    }
+    front.push_back(pt);
+  }
+  return front;
+}
+
+std::vector<LabelledPoint> pareto_front(std::span<const ObjectivePoint> points) {
+  std::vector<LabelledPoint> labelled;
+  labelled.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    labelled.push_back({points[i], static_cast<std::int64_t>(i)});
+  }
+  return pareto_front(labelled);
+}
+
+bool covered_by_front(const ObjectivePoint& point,
+                      std::span<const LabelledPoint> front) {
+  return std::any_of(front.begin(), front.end(), [&](const LabelledPoint& f) {
+    return dominates(f.value, point);
+  });
+}
+
+std::vector<LabelledPoint> merge_fronts(std::span<const LabelledPoint> a,
+                                        std::span<const LabelledPoint> b) {
+  std::vector<LabelledPoint> all(a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  return pareto_front(all);
+}
+
+bool is_valid_front(std::span<const LabelledPoint> front) {
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    const bool cmax_increasing = front[i - 1].value.cmax < front[i].value.cmax;
+    const bool mmax_decreasing = front[i - 1].value.mmax > front[i].value.mmax;
+    if (!cmax_increasing || !mmax_decreasing) return false;
+  }
+  return true;
+}
+
+}  // namespace storesched

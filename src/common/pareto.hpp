@@ -1,0 +1,45 @@
+// Pareto-front utilities over bi-objective (Cmax, Mmax) points.
+//
+// Used for ground-truth enumeration (Figures 1-2), for checking dominance
+// claims of Section 4, and for reporting measured algorithm points against
+// exact fronts in the benchmark harness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace storesched {
+
+/// A labelled objective point; `tag` identifies the producing schedule or
+/// algorithm configuration in reports.
+struct LabelledPoint {
+  ObjectivePoint value;
+  std::int64_t tag = -1;
+
+  friend bool operator==(const LabelledPoint&, const LabelledPoint&) = default;
+};
+
+/// Returns the Pareto-minimal subset (strictly dominated points removed;
+/// among duplicates, one representative kept), sorted by ascending cmax and,
+/// within equal cmax, ascending mmax.
+std::vector<LabelledPoint> pareto_front(std::span<const LabelledPoint> points);
+
+/// Convenience overload on bare points; tags are the input indices.
+std::vector<LabelledPoint> pareto_front(std::span<const ObjectivePoint> points);
+
+/// True iff `point` is dominated by some member of `front` (weakly, i.e. an
+/// equal point counts as dominated-or-equal and returns true).
+bool covered_by_front(const ObjectivePoint& point,
+                      std::span<const LabelledPoint> front);
+
+/// Merges two fronts into the Pareto front of their union.
+std::vector<LabelledPoint> merge_fronts(std::span<const LabelledPoint> a,
+                                        std::span<const LabelledPoint> b);
+
+/// Checks that `front` is internally consistent: sorted by cmax, strictly
+/// decreasing mmax, no point dominating another.
+bool is_valid_front(std::span<const LabelledPoint> front);
+
+}  // namespace storesched

@@ -1,0 +1,100 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Self-contained xoshiro256** implementation (no dependence on libstdc++'s
+// unspecified distribution algorithms) so every generated workload is
+// bit-reproducible across platforms -- a requirement for the benchmark
+// harness, whose EXPERIMENTS.md numbers must be regenerable.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace storesched {
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm), seeded
+/// through splitmix64 as its authors recommend.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive, by unbiased rejection sampling.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>((*this)());
+    }
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return lo + static_cast<std::int64_t>(v % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability prob (clamped to [0,1]).
+  bool bernoulli(double prob) { return uniform01() < prob; }
+
+  /// Pareto-tailed positive integer in [lo, hi]: heavy-tailed runtimes for
+  /// the ATLAS-like physics workload (shape alpha > 0; smaller = heavier).
+  std::int64_t pareto_int(std::int64_t lo, std::int64_t hi, double alpha) {
+    if (lo <= 0 || lo > hi) {
+      throw std::invalid_argument("Rng::pareto_int: need 0 < lo <= hi");
+    }
+    if (alpha <= 0) throw std::invalid_argument("Rng::pareto_int: alpha <= 0");
+    // Inverse-CDF sample of a bounded Pareto distribution.
+    const double l = static_cast<double>(lo);
+    const double h = static_cast<double>(hi);
+    const double u = uniform01();
+    const double la = std::pow(l, alpha);
+    const double ha = std::pow(h, alpha);
+    const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+    const auto v = static_cast<std::int64_t>(x);
+    return v < lo ? lo : (v > hi ? hi : v);
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace storesched

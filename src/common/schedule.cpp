@@ -1,0 +1,216 @@
+#include "common/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace storesched {
+
+Schedule::Schedule(std::size_t n, int m)
+    : proc_(n, kNoProc), start_(n, kNoTime), m_(m) {
+  if (m <= 0) throw std::invalid_argument("Schedule: m must be positive");
+}
+
+void Schedule::assign(TaskId i, ProcId q) {
+  if (q < 0 || q >= m_) throw std::invalid_argument("Schedule: proc out of range");
+  proc_.at(static_cast<std::size_t>(i)) = q;
+}
+
+void Schedule::assign(TaskId i, ProcId q, Time t) {
+  if (t < 0) throw std::invalid_argument("Schedule: negative start time");
+  assign(i, q);
+  start_.at(static_cast<std::size_t>(i)) = t;
+}
+
+bool Schedule::fully_assigned() const {
+  return std::all_of(proc_.begin(), proc_.end(),
+                     [](ProcId q) { return q != kNoProc; });
+}
+
+bool Schedule::timed() const {
+  if (!fully_assigned()) return false;
+  return std::all_of(start_.begin(), start_.end(),
+                     [](Time t) { return t != kNoTime; });
+}
+
+namespace {
+
+void require_sized(const Instance& inst, const Schedule& sched) {
+  if (inst.n() != sched.n() || inst.m() != sched.m()) {
+    throw std::invalid_argument("schedule/instance size mismatch");
+  }
+}
+
+}  // namespace
+
+std::vector<Time> processor_loads(const Instance& inst, const Schedule& sched) {
+  require_sized(inst, sched);
+  std::vector<Time> load(static_cast<std::size_t>(inst.m()), 0);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    const ProcId q = sched.proc(i);
+    if (q != kNoProc) load[static_cast<std::size_t>(q)] += inst.task(i).p;
+  }
+  return load;
+}
+
+std::vector<Mem> processor_storage(const Instance& inst, const Schedule& sched) {
+  require_sized(inst, sched);
+  std::vector<Mem> mem(static_cast<std::size_t>(inst.m()), 0);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    const ProcId q = sched.proc(i);
+    if (q != kNoProc) mem[static_cast<std::size_t>(q)] += inst.task(i).s;
+  }
+  return mem;
+}
+
+Time cmax(const Instance& inst, const Schedule& sched) {
+  require_sized(inst, sched);
+  if (sched.timed()) {
+    Time best = 0;
+    for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+      best = std::max(best, sched.start(i) + inst.task(i).p);
+    }
+    return best;
+  }
+  const auto loads = processor_loads(inst, sched);
+  return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+}
+
+Mem mmax(const Instance& inst, const Schedule& sched) {
+  const auto mem = processor_storage(inst, sched);
+  return mem.empty() ? 0 : *std::max_element(mem.begin(), mem.end());
+}
+
+Time sum_completion_times(const Instance& inst, const Schedule& sched) {
+  require_sized(inst, sched);
+  if (!sched.timed()) {
+    throw std::logic_error("sum_completion_times: schedule has no start times");
+  }
+  Time sum = 0;
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    sum += sched.start(i) + inst.task(i).p;
+  }
+  return sum;
+}
+
+ObjectivePoint objectives(const Instance& inst, const Schedule& sched) {
+  return {cmax(inst, sched), mmax(inst, sched)};
+}
+
+TriObjectivePoint tri_objectives(const Instance& inst, const Schedule& sched) {
+  return {cmax(inst, sched), mmax(inst, sched),
+          sum_completion_times(inst, sched)};
+}
+
+Schedule serialize_assignment(const Instance& inst, const Schedule& sched,
+                              std::span<const TaskId> priority) {
+  require_sized(inst, sched);
+  if (inst.has_precedence()) {
+    throw std::logic_error("serialize_assignment: instance has precedences");
+  }
+  if (!sched.fully_assigned()) {
+    throw std::logic_error("serialize_assignment: unassigned tasks");
+  }
+  std::vector<TaskId> order(priority.begin(), priority.end());
+  if (order.empty()) {
+    order.resize(inst.n());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  if (order.size() != inst.n()) {
+    throw std::invalid_argument("serialize_assignment: priority size mismatch");
+  }
+
+  Schedule timed(inst.n(), inst.m());
+  std::vector<Time> front(static_cast<std::size_t>(inst.m()), 0);
+  for (const TaskId i : order) {
+    const ProcId q = sched.proc(i);
+    timed.assign(i, q, front[static_cast<std::size_t>(q)]);
+    front[static_cast<std::size_t>(q)] += inst.task(i).p;
+  }
+  return timed;
+}
+
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   const ValidationOptions& opts) {
+  require_sized(inst, sched);
+  const auto fail = [](std::string msg) {
+    return ValidationResult{false, std::move(msg)};
+  };
+
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    const ProcId q = sched.proc(i);
+    if (q == kNoProc) return fail("task " + std::to_string(i) + " unassigned");
+    if (q < 0 || q >= inst.m()) {
+      return fail("task " + std::to_string(i) + " on invalid processor");
+    }
+  }
+
+  if (opts.memory_cap >= 0) {
+    const auto mem = processor_storage(inst, sched);
+    for (std::size_t q = 0; q < mem.size(); ++q) {
+      if (mem[q] > opts.memory_cap) {
+        std::ostringstream os;
+        os << "processor " << q << " storage " << mem[q] << " exceeds cap "
+           << opts.memory_cap;
+        return fail(os.str());
+      }
+    }
+  }
+
+  const bool timed = sched.timed();
+  if (opts.require_timed && !timed) return fail("schedule has no start times");
+  if (!timed) {
+    if (inst.has_precedence()) {
+      return fail("precedence instance requires a timed schedule");
+    }
+    return {};
+  }
+
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    if (sched.start(i) < 0) {
+      return fail("task " + std::to_string(i) + " has negative start");
+    }
+  }
+
+  // No-overlap per processor: sort tasks of each processor by start time and
+  // check consecutive intervals.
+  std::vector<std::vector<TaskId>> by_proc(static_cast<std::size_t>(inst.m()));
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    by_proc[static_cast<std::size_t>(sched.proc(i))].push_back(i);
+  }
+  for (auto& tasks_on_q : by_proc) {
+    std::sort(tasks_on_q.begin(), tasks_on_q.end(), [&](TaskId a, TaskId b) {
+      return sched.start(a) < sched.start(b);
+    });
+    for (std::size_t k = 1; k < tasks_on_q.size(); ++k) {
+      const TaskId prev = tasks_on_q[k - 1];
+      const TaskId cur = tasks_on_q[k];
+      if (sched.start(prev) + inst.task(prev).p > sched.start(cur)) {
+        std::ostringstream os;
+        os << "tasks " << prev << " and " << cur << " overlap on processor "
+           << sched.proc(cur);
+        return fail(os.str());
+      }
+    }
+  }
+
+  if (inst.has_precedence()) {
+    const Dag& dag = inst.dag();
+    for (TaskId u = 0; u < static_cast<TaskId>(inst.n()); ++u) {
+      for (const TaskId v : dag.succs(u)) {
+        if (sched.start(u) + inst.task(u).p > sched.start(v)) {
+          std::ostringstream os;
+          os << "precedence violated: task " << u << " completes at "
+             << sched.start(u) + inst.task(u).p << " but successor " << v
+             << " starts at " << sched.start(v);
+          return fail(os.str());
+        }
+      }
+    }
+  }
+
+  return {};
+}
+
+}  // namespace storesched

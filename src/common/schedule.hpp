@@ -1,0 +1,111 @@
+// Schedule representation and objective metrics.
+//
+// A Schedule is an assignment pi : tasks -> processors plus, optionally,
+// start times sigma. Independent-task algorithms (SBO, Algorithm 1) only
+// decide the assignment -- Cmax and Mmax depend on the assignment alone.
+// List-scheduling algorithms (RLS, Algorithm 2) also fix sigma, which the
+// sum-of-completion-times objective of Section 5.2 requires.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/instance.hpp"
+#include "common/types.hpp"
+
+namespace storesched {
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// An empty (fully unassigned) schedule for n tasks on m processors.
+  Schedule(std::size_t n, int m);
+
+  /// Convenience: sized from an instance.
+  explicit Schedule(const Instance& inst) : Schedule(inst.n(), inst.m()) {}
+
+  std::size_t n() const { return proc_.size(); }
+  int m() const { return m_; }
+
+  ProcId proc(TaskId i) const { return proc_[static_cast<std::size_t>(i)]; }
+  Time start(TaskId i) const { return start_[static_cast<std::size_t>(i)]; }
+
+  /// Assign task i to processor q (without a start time).
+  void assign(TaskId i, ProcId q);
+  /// Assign task i to processor q starting at time t >= 0.
+  void assign(TaskId i, ProcId q, Time t);
+
+  /// True iff every task has a processor.
+  bool fully_assigned() const;
+  /// True iff every task has both a processor and a start time.
+  bool timed() const;
+
+  std::span<const ProcId> assignment() const { return proc_; }
+  std::span<const Time> starts() const { return start_; }
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<ProcId> proc_;
+  std::vector<Time> start_;
+  int m_ = 0;
+};
+
+/// Per-processor total processing time (the "load" of Algorithm 2).
+std::vector<Time> processor_loads(const Instance& inst, const Schedule& sched);
+
+/// Per-processor cumulative storage (the "memsize" of Algorithm 2).
+std::vector<Mem> processor_storage(const Instance& inst, const Schedule& sched);
+
+/// Makespan. For timed schedules this is max_i (sigma_i + p_i); for
+/// assignment-only schedules it is the maximum processor load (the two
+/// coincide for any no-idle serialization of an independent-task assignment).
+Time cmax(const Instance& inst, const Schedule& sched);
+
+/// Maximum cumulative storage over processors (paper's Mmax).
+Mem mmax(const Instance& inst, const Schedule& sched);
+
+/// Sum of completion times (Section 5.2's third objective).
+/// Requires a timed schedule.
+Time sum_completion_times(const Instance& inst, const Schedule& sched);
+
+/// Both bi-objective values at once.
+ObjectivePoint objectives(const Instance& inst, const Schedule& sched);
+
+/// All three objectives; requires a timed schedule.
+TriObjectivePoint tri_objectives(const Instance& inst, const Schedule& sched);
+
+/// Serializes an assignment-only schedule into a timed one: on each
+/// processor, tasks run back-to-back from time 0 in the relative order given
+/// by `priority` (a permutation of all task ids; defaults to ascending id
+/// when empty). Only valid for independent instances.
+Schedule serialize_assignment(const Instance& inst, const Schedule& sched,
+                              std::span<const TaskId> priority = {});
+
+/// Result of schedule validation.
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Options controlling which invariants validate_schedule() enforces.
+struct ValidationOptions {
+  bool require_timed = false;  ///< demand start times + overlap/precedence checks
+  Mem memory_cap = -1;         ///< if >= 0, enforce Mmax <= memory_cap per processor
+};
+
+/// Checks structural validity of a schedule against its instance:
+///   * every task assigned to a processor in [0, m)
+///   * if timed (or required): sigma_i >= 0, no two tasks overlap on a
+///     processor, and every precedence edge (u, v) satisfies
+///     sigma_u + p_u <= sigma_v
+///   * optional per-processor memory cap
+/// Returns the first violation found, with a diagnostic message.
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   const ValidationOptions& opts = {});
+
+}  // namespace storesched

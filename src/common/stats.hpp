@@ -1,0 +1,49 @@
+// Summary statistics for the benchmark harness.
+//
+// Ratio studies (EXT-A..EXT-D in DESIGN.md) aggregate measured/optimal
+// ratios over many seeds; this module provides the usual descriptive
+// statistics plus a streaming accumulator so benches never store per-seed
+// vectors unless percentiles are requested.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace storesched {
+
+/// Descriptive statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1); 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// "mean=... sd=... min=... p50=... p95=... max=... (n=...)"
+  std::string to_string() const;
+};
+
+/// Computes all Summary fields from a sample (copied and sorted internally).
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile (q in [0, 1]) of a *sorted* sample.
+double percentile_sorted(std::span<const double> sorted_values, double q);
+
+/// Streaming accumulator (Welford) that also retains values for percentiles.
+class Accumulator {
+ public:
+  void add(double v);
+  std::size_t count() const { return values_.size(); }
+  Summary summary() const;
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace storesched

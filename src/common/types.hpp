@@ -1,0 +1,77 @@
+// Core value types of the storesched library.
+//
+// The paper's model (Saule, Dutot, Mounie, IPDPS 2008, Section 2.1) uses
+// integer processing times p_i and integer storage sizes s_i. We keep every
+// algorithmic quantity in exact 64-bit integer arithmetic so that the
+// approximation-guarantee inequalities proved in the paper can be asserted
+// exactly in tests, with no floating-point tolerance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace storesched {
+
+/// Integer processing-time unit (p_i, start times, loads, makespans).
+using Time = std::int64_t;
+
+/// Integer storage unit (s_i, per-processor cumulative memory).
+using Mem = std::int64_t;
+
+/// Index of a task in an Instance (0-based; the paper is 1-based).
+using TaskId = std::int32_t;
+
+/// Index of a processor (0-based).
+using ProcId = std::int32_t;
+
+/// Sentinel meaning "no processor assigned yet".
+inline constexpr ProcId kNoProc = -1;
+
+/// Sentinel meaning "no start time assigned yet".
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// A task with a processing time and a storage (code/result size) footprint.
+///
+/// The two weights are deliberately independent: the paper stresses that
+/// "the processing time of every task is not related to the memory it uses".
+struct Task {
+  Time p = 0;  ///< processing time p_i  (>= 0; > 0 for schedulable work)
+  Mem s = 0;   ///< storage footprint s_i (>= 0)
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// A bi-objective value point (Cmax, Mmax). Used for Pareto reasoning.
+struct ObjectivePoint {
+  Time cmax = 0;
+  Mem mmax = 0;
+
+  friend bool operator==(const ObjectivePoint&, const ObjectivePoint&) = default;
+};
+
+/// Weak Pareto dominance: a dominates b iff a is no worse on both
+/// objectives. (Both objectives are minimized.)
+constexpr bool dominates(const ObjectivePoint& a, const ObjectivePoint& b) {
+  return a.cmax <= b.cmax && a.mmax <= b.mmax;
+}
+
+/// Strict Pareto dominance: no worse on both and strictly better on one.
+constexpr bool strictly_dominates(const ObjectivePoint& a,
+                                  const ObjectivePoint& b) {
+  return dominates(a, b) && (a.cmax < b.cmax || a.mmax < b.mmax);
+}
+
+/// A tri-objective value point (Cmax, Mmax, sum of completion times),
+/// for the Section 5.2 extension.
+struct TriObjectivePoint {
+  Time cmax = 0;
+  Mem mmax = 0;
+  Time sum_ci = 0;
+
+  friend bool operator==(const TriObjectivePoint&,
+                         const TriObjectivePoint&) = default;
+};
+
+}  // namespace storesched

@@ -1,0 +1,140 @@
+#include "core/conditional.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/dag_generators.hpp"
+
+namespace storesched {
+
+void ConditionalInstance::validate() const {
+  std::vector<bool> used(base.n(), false);
+  for (const Branch& br : branches) {
+    if (br.prob_a < 0.0 || br.prob_a > 1.0) {
+      throw std::invalid_argument("Branch: prob_a outside [0, 1]");
+    }
+    for (const auto* arm : {&br.arm_a, &br.arm_b}) {
+      for (const TaskId t : *arm) {
+        if (t < 0 || static_cast<std::size_t>(t) >= base.n()) {
+          throw std::invalid_argument("Branch: task id out of range");
+        }
+        if (used[static_cast<std::size_t>(t)]) {
+          throw std::invalid_argument(
+              "Branch: task appears in more than one arm");
+        }
+        used[static_cast<std::size_t>(t)] = true;
+      }
+    }
+  }
+}
+
+Instance expand_scenario(const ConditionalInstance& cond,
+                         const std::vector<bool>& choices) {
+  cond.validate();
+  if (choices.size() != cond.branches.size()) {
+    throw std::invalid_argument("expand_scenario: one choice per branch");
+  }
+  std::vector<Task> tasks(cond.base.tasks().begin(), cond.base.tasks().end());
+  for (std::size_t b = 0; b < cond.branches.size(); ++b) {
+    const Branch& br = cond.branches[b];
+    // The *unselected* arm's tasks never run: p -> 0, code stays resident.
+    const std::vector<TaskId>& skipped = choices[b] ? br.arm_b : br.arm_a;
+    for (const TaskId t : skipped) {
+      tasks[static_cast<std::size_t>(t)].p = 0;
+    }
+  }
+  if (cond.base.has_precedence()) {
+    return Instance(std::move(tasks), cond.base.m(), cond.base.dag());
+  }
+  return Instance(std::move(tasks), cond.base.m());
+}
+
+ConditionalEvaluation evaluate_conditional(const ConditionalInstance& cond,
+                                           const Schedule& sched, int samples,
+                                           Rng& rng) {
+  cond.validate();
+  if (samples <= 0) {
+    throw std::invalid_argument("evaluate_conditional: samples > 0");
+  }
+  if (!sched.timed()) {
+    throw std::invalid_argument("evaluate_conditional: schedule must be timed");
+  }
+
+  ConditionalEvaluation eval;
+  eval.mmax = mmax(cond.base, sched);
+  eval.worst_case = cmax(cond.base, sched);
+
+  // Which branch arm (if any) owns each task.
+  struct Membership {
+    int branch = -1;
+    bool in_arm_a = false;
+  };
+  std::vector<Membership> member(cond.base.n());
+  for (std::size_t b = 0; b < cond.branches.size(); ++b) {
+    for (const TaskId t : cond.branches[b].arm_a) {
+      member[static_cast<std::size_t>(t)] = {static_cast<int>(b), true};
+    }
+    for (const TaskId t : cond.branches[b].arm_b) {
+      member[static_cast<std::size_t>(t)] = {static_cast<int>(b), false};
+    }
+  }
+
+  Accumulator makespans;
+  std::vector<bool> choices(cond.branches.size());
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t b = 0; b < choices.size(); ++b) {
+      choices[b] = rng.bernoulli(cond.branches[b].prob_a);
+    }
+    Time span = 0;
+    for (TaskId i = 0; i < static_cast<TaskId>(cond.base.n()); ++i) {
+      const Membership& mb = member[static_cast<std::size_t>(i)];
+      const bool executes =
+          mb.branch < 0 ||
+          choices[static_cast<std::size_t>(mb.branch)] == mb.in_arm_a;
+      if (executes) {
+        span = std::max(span, sched.start(i) + cond.base.task(i).p);
+      }
+    }
+    makespans.add(static_cast<double>(span));
+  }
+  eval.makespan = makespans.summary();
+  return eval;
+}
+
+RlsResult schedule_conditional(const ConditionalInstance& cond,
+                               const Fraction& delta,
+                               PriorityPolicy tie_break) {
+  cond.validate();
+  return rls_schedule(cond.base, delta, tie_break);
+}
+
+ConditionalInstance generate_conditional(std::size_t size_hint,
+                                         int branch_count, int m, Rng& rng) {
+  if (branch_count < 0 || m <= 0) {
+    throw std::invalid_argument("generate_conditional: bad parameters");
+  }
+  ConditionalInstance cond;
+  cond.base = generate_dag_by_name("layered", size_hint, m, {}, rng);
+
+  // Carve disjoint branches out of distinct tasks: each branch takes two
+  // disjoint runs of consecutive task ids as its arms.
+  const std::size_t n = cond.base.n();
+  const std::size_t arm_len =
+      std::max<std::size_t>(
+          1, n / (4 * static_cast<std::size_t>(std::max(branch_count, 1))));
+  std::size_t cursor = 0;
+  for (int b = 0; b < branch_count && cursor + 2 * arm_len <= n; ++b) {
+    Branch br;
+    for (std::size_t k = 0; k < arm_len; ++k) {
+      br.arm_a.push_back(static_cast<TaskId>(cursor + k));
+      br.arm_b.push_back(static_cast<TaskId>(cursor + arm_len + k));
+    }
+    br.prob_a = 0.25 + 0.5 * rng.uniform01();
+    cond.branches.push_back(std::move(br));
+    cursor += 2 * arm_len;
+  }
+  cond.validate();
+  return cond;
+}
+
+}  // namespace storesched

@@ -1,0 +1,81 @@
+// Conditional task graphs -- the paper's second future-work model
+// extension (Section 7: "more realistic model extensions should be
+// investigated such as conditional task graphs").
+//
+// Model: a precedence instance plus a set of two-armed *branches*. At run
+// time each branch resolves independently to arm A (probability p_a) or
+// arm B; the tasks of the unselected arm do not execute. Crucially for the
+// storage objective, their *code is still resident* -- an embedded image
+// ships both arms (the paper's SoC motivation stores instruction code for
+// whatever might run). A static schedule therefore has one Mmax but a
+// distribution of makespans.
+//
+// This module provides scenario expansion, Monte-Carlo evaluation of a
+// fixed schedule's makespan distribution, and conservative scheduling
+// (RLS over the full graph, which upper-bounds every scenario's makespan).
+#pragma once
+
+#include <vector>
+
+#include "common/instance.hpp"
+#include "common/rng.hpp"
+#include "common/schedule.hpp"
+#include "common/stats.hpp"
+#include "core/rls.hpp"
+
+namespace storesched {
+
+/// A two-armed branch: exactly one of arm_a / arm_b executes.
+struct Branch {
+  std::vector<TaskId> arm_a;
+  std::vector<TaskId> arm_b;
+  double prob_a = 0.5;  ///< probability that arm_a executes
+};
+
+/// A precedence instance with conditional branches. Tasks in no arm always
+/// execute. A task may appear in at most one arm of at most one branch.
+struct ConditionalInstance {
+  Instance base;
+  std::vector<Branch> branches;
+
+  /// Validates arm membership (disjointness, id ranges, probabilities).
+  /// Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// The scenario instance for a fixed branch resolution: unselected-arm
+/// tasks keep their storage footprint (code stays resident) but their
+/// processing time drops to 0 (they never run).
+/// `choices[b]` true selects arm_a of branch b.
+Instance expand_scenario(const ConditionalInstance& cond,
+                         const std::vector<bool>& choices);
+
+/// Makespan distribution of a fixed timed schedule under `samples`
+/// Monte-Carlo branch resolutions. The schedule's start times are kept
+/// (static schedule); each scenario's makespan is the latest completion of
+/// an *executed* task. Mmax is scenario-independent by the code-resident
+/// model. Returns summary statistics of the makespan plus the worst case.
+struct ConditionalEvaluation {
+  Summary makespan;     ///< distribution over sampled scenarios
+  Time worst_case = 0;  ///< makespan with every task executed
+  Mem mmax = 0;         ///< scenario-independent storage peak
+};
+ConditionalEvaluation evaluate_conditional(const ConditionalInstance& cond,
+                                           const Schedule& sched, int samples,
+                                           Rng& rng);
+
+/// Conservative scheduling: run RLS_Delta on the full graph (all arms).
+/// The returned schedule is feasible for every scenario, its Mmax carries
+/// the Corollary 2 guarantee, and its full-graph Cmax upper-bounds every
+/// scenario's makespan.
+RlsResult schedule_conditional(const ConditionalInstance& cond,
+                               const Fraction& delta,
+                               PriorityPolicy tie_break =
+                                   PriorityPolicy::kBottomLevel);
+
+/// Random conditional workload: a layered DAG of ~`size_hint` tasks with
+/// `branch_count` disjoint two-armed branches carved out of it.
+ConditionalInstance generate_conditional(std::size_t size_hint,
+                                         int branch_count, int m, Rng& rng);
+
+}  // namespace storesched

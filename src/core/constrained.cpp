@@ -1,0 +1,111 @@
+#include "core/constrained.hpp"
+
+#include <stdexcept>
+
+#include "core/theory.hpp"
+
+namespace storesched {
+
+ConstrainedResult solve_constrained_rls(const Instance& inst, Mem capacity,
+                                        PriorityPolicy tie_break) {
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_constrained_rls: negative capacity");
+  }
+  ConstrainedResult result;
+
+  const Fraction lb = inst.storage_lower_bound_fraction();
+  if (capacity < inst.max_s()) {
+    // Some single task exceeds the budget: definitively infeasible.
+    result.delta_used = Fraction(0);
+    return result;
+  }
+  if (lb == Fraction(0)) {
+    // No storage demand at all: plain list scheduling satisfies any budget.
+    Schedule sched = graham_list_schedule(inst, tie_break);
+    result.feasible = true;
+    result.objectives = objectives(inst, sched);
+    result.schedule = std::move(sched);
+    result.delta_used = Fraction(1);
+    result.cmax_ratio = Fraction(2 * inst.m() - 1, inst.m());
+    return result;
+  }
+
+  // Delta = capacity / LB, so the RLS budget Delta * LB == capacity exactly.
+  const Fraction delta = Fraction(capacity) / lb;
+  result.delta_used = delta;
+  RlsResult rls = rls_schedule(inst, delta, tie_break);
+  if (!rls.feasible) return result;
+
+  result.feasible = true;
+  result.objectives = objectives(inst, rls.schedule);
+  result.schedule = std::move(rls.schedule);
+  if (Fraction(2) < delta) {
+    result.cmax_ratio = rls_cmax_ratio(delta, inst.m());
+  }
+  return result;
+}
+
+ConstrainedResult solve_constrained_sbo(const Instance& inst, Mem capacity,
+                                        const MakespanScheduler& alg1,
+                                        const MakespanScheduler& alg2,
+                                        int refinements) {
+  if (inst.has_precedence()) {
+    throw std::logic_error("solve_constrained_sbo: independent tasks only");
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument("solve_constrained_sbo: negative capacity");
+  }
+  if (refinements < 0) {
+    throw std::invalid_argument("solve_constrained_sbo: refinements >= 0");
+  }
+
+  ConstrainedResult result;
+
+  // Probe one SBO run; keep it if it is capacity-feasible and improves.
+  const auto probe = [&](const Fraction& delta) {
+    const SboResult run = sbo_schedule(inst, delta, alg1, alg2);
+    const ObjectivePoint point = objectives(inst, run.schedule);
+    if (point.mmax > capacity) return;
+    if (!result.feasible || point.cmax < result.objectives.cmax) {
+      result.feasible = true;
+      result.objectives = point;
+      result.schedule = run.schedule;
+      result.delta_used = delta;
+      result.cmax_ratio = (Fraction(1) + delta) * alg1.ratio(inst.m());
+    }
+  };
+
+  // The memory-oriented ingredient alone is the most capacity-friendly
+  // schedule we can produce; if even it busts the budget, give up (tiny
+  // Delta routes everything to pi_2 anyway).
+  std::vector<std::int64_t> s_weights;
+  s_weights.reserve(inst.n());
+  for (const Task& t : inst.tasks()) s_weights.push_back(t.s);
+  const auto pi2_assign = alg2.assign(s_weights, inst.m());
+  const std::int64_t pi2_mmax =
+      partition_value(s_weights, pi2_assign, inst.m());
+  if (pi2_mmax > capacity) {
+    result.delta_used = Fraction(0);
+    return result;
+  }
+
+  // Guaranteed parameter: (1 + 1/Delta) M <= capacity, i.e.
+  // Delta >= M / (capacity - M); only available when capacity > M.
+  if (pi2_mmax > 0 && capacity > pi2_mmax) {
+    probe(Fraction(pi2_mmax, capacity - pi2_mmax));
+  }
+  // Paper's refinement: walk the parameter geometrically in both
+  // directions from the guaranteed point, keeping the best feasible run.
+  Fraction delta = result.feasible ? result.delta_used : Fraction(1);
+  Fraction up = delta;
+  Fraction down = delta;
+  for (int step = 0; step < refinements; ++step) {
+    up = up * Fraction(2);
+    down = down * Fraction(1, 2);
+    probe(up);
+    probe(down);
+  }
+  return result;
+}
+
+}  // namespace storesched

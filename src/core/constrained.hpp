@@ -1,0 +1,58 @@
+// Solving the original *constrained* problem (paper Sections 2.2 and 7):
+// minimize Cmax subject to a hard per-processor memory capacity
+// Mmax <= M_cap.
+//
+// The constrained problem admits no approximation algorithm (deciding
+// feasibility is the strongly NP-complete decision version of P||Cmax), so
+// the paper's recipe is to drive the bi-objective algorithms by capacity:
+//
+//  * DAG case: compute the Graham storage bound LB and run RLS with
+//    Delta = M_cap / LB -- the cap then equals M_cap exactly, and "using
+//    another value of the parameter can not lead to better feasible
+//    solution as the algorithm uses a thresholding approach". If
+//    Delta > 2 the run is guaranteed feasible with the Lemma 5 makespan
+//    ratio; for Delta <= 2 it may legitimately fail.
+//
+//  * Independent case: a parameter that always yields a feasible solution
+//    can be computed from SBO's memory guarantee ((1 + 1/Delta) M <= M_cap
+//    gives Delta >= M / (M_cap - M)), "but then the solution can be
+//    tentatively improved by doing a binary search on the parameter".
+#pragma once
+
+#include <optional>
+
+#include "core/rls.hpp"
+#include "core/sbo.hpp"
+
+namespace storesched {
+
+/// Outcome of a constrained solve.
+struct ConstrainedResult {
+  bool feasible = false;
+  Schedule schedule;            ///< satisfies Mmax <= capacity when feasible
+  ObjectivePoint objectives;    ///< measured (Cmax, Mmax)
+  Fraction delta_used;          ///< parameter that produced the schedule
+  /// Makespan guarantee implied by the parameter (set when delta > 2 for
+  /// RLS, or always for SBO-feasible runs).
+  std::optional<Fraction> cmax_ratio;
+};
+
+/// DAG (or independent) constrained solve via RLS with Delta = capacity/LB.
+/// Returns infeasible if capacity < LB (no schedule can exist below the
+/// Graham bound... except that LB <= M*max, so capacity < max_i s_i is a
+/// definite no) or if the RLS run gets stuck.
+ConstrainedResult solve_constrained_rls(const Instance& inst, Mem capacity,
+                                        PriorityPolicy tie_break =
+                                            PriorityPolicy::kInputOrder);
+
+/// Independent-task constrained solve via SBO: starts from the guaranteed
+/// parameter Delta* = M/(capacity - M) and probes `refinements` geometric
+/// steps of the parameter on both sides, keeping the feasible schedule with
+/// the best measured makespan (the paper's binary-search improvement).
+/// `alg1`/`alg2` are the SBO ingredient schedulers.
+ConstrainedResult solve_constrained_sbo(const Instance& inst, Mem capacity,
+                                        const MakespanScheduler& alg1,
+                                        const MakespanScheduler& alg2,
+                                        int refinements = 16);
+
+}  // namespace storesched

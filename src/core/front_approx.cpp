@@ -1,0 +1,118 @@
+#include "core/front_approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/rls.hpp"
+#include "core/sbo.hpp"
+
+namespace storesched {
+
+std::vector<Fraction> delta_grid(const Fraction& lo, const Fraction& hi,
+                                 int steps) {
+  if (!(Fraction(0) < lo) || hi < lo) {
+    throw std::invalid_argument("delta_grid: need 0 < lo <= hi");
+  }
+  if (steps < 1) throw std::invalid_argument("delta_grid: steps >= 1");
+  if (steps == 1) return {lo};
+
+  // Geometric interpolation, rationalized to a fixed denominator so the
+  // grid stays exact and reproducible.
+  constexpr std::int64_t kDen = 1 << 16;
+  std::vector<Fraction> grid;
+  grid.reserve(static_cast<std::size_t>(steps));
+  const double llo = std::log(lo.to_double());
+  const double lhi = std::log(hi.to_double());
+  for (int i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+    const double v = std::exp(llo + t * (lhi - llo));
+    const auto num = static_cast<std::int64_t>(std::llround(v * kDen));
+    grid.emplace_back(std::max<std::int64_t>(num, 1), kDen);
+  }
+  grid.front() = lo;
+  grid.back() = hi;
+  return grid;
+}
+
+namespace {
+
+/// Pareto-filters raw (delta, schedule, value) runs, keeping ascending cmax.
+std::vector<FrontPoint> filter_points(std::vector<FrontPoint> raw) {
+  std::sort(raw.begin(), raw.end(), [](const FrontPoint& a, const FrontPoint& b) {
+    if (a.value.cmax != b.value.cmax) return a.value.cmax < b.value.cmax;
+    return a.value.mmax < b.value.mmax;
+  });
+  std::vector<FrontPoint> front;
+  for (FrontPoint& pt : raw) {
+    if (!front.empty() && front.back().value.mmax <= pt.value.mmax) continue;
+    front.push_back(std::move(pt));
+  }
+  return front;
+}
+
+}  // namespace
+
+ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
+                      int steps) {
+  const auto grid = delta_grid(Fraction(1, 8), Fraction(8), steps);
+  ApproxFront result;
+  std::vector<FrontPoint> raw;
+  for (const Fraction& delta : grid) {
+    SboResult run = sbo_schedule(inst, delta, alg);
+    const ObjectivePoint value = objectives(inst, run.schedule);
+    raw.push_back({delta, std::move(run.schedule), value});
+    ++result.runs;
+  }
+  result.points = filter_points(std::move(raw));
+  return result;
+}
+
+ApproxFront rls_front(const Instance& inst, int steps, const Fraction& hi) {
+  if (!(Fraction(2) < hi)) {
+    throw std::invalid_argument("rls_front: hi must exceed 2");
+  }
+  // Grid over (2, hi]: Delta = 2 + g with g geometric in [hi/64 - ish, hi-2].
+  const auto gaps = delta_grid((hi - Fraction(2)) / Fraction(64),
+                               hi - Fraction(2), steps);
+  ApproxFront result;
+  std::vector<FrontPoint> raw;
+  for (const Fraction& gap : gaps) {
+    const Fraction delta = Fraction(2) + gap;
+    RlsResult run = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+    ++result.runs;
+    if (!run.feasible) continue;  // only possible at Delta <= 2
+    const ObjectivePoint value = objectives(inst, run.schedule);
+    raw.push_back({delta, std::move(run.schedule), value});
+  }
+  result.points = filter_points(std::move(raw));
+  return result;
+}
+
+double coverage_epsilon(const std::vector<FrontPoint>& front,
+                        std::span<const LabelledPoint> reference) {
+  if (front.empty() || reference.empty()) {
+    throw std::invalid_argument("coverage_epsilon: empty front");
+  }
+  double worst = 1.0;
+  for (const LabelledPoint& ref : reference) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const FrontPoint& pt : front) {
+      // Scale factor needed for pt to dominate ref on both axes.
+      const double fc = ref.value.cmax > 0
+                            ? static_cast<double>(pt.value.cmax) /
+                                  static_cast<double>(ref.value.cmax)
+                            : (pt.value.cmax > 0 ? std::numeric_limits<double>::infinity() : 1.0);
+      const double fm = ref.value.mmax > 0
+                            ? static_cast<double>(pt.value.mmax) /
+                                  static_cast<double>(ref.value.mmax)
+                            : (pt.value.mmax > 0 ? std::numeric_limits<double>::infinity() : 1.0);
+      best = std::min(best, std::max({fc, fm, 1.0}));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace storesched

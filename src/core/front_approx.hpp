@@ -1,0 +1,66 @@
+// Approximate Pareto-front generation by sweeping the Delta parameter.
+//
+// Section 6 of the paper contrasts absolute approximation (one tunable
+// solution -- what SBO/RLS provide) with Pareto-set approximation (a whole
+// menu of trade-offs). The paper observes that all of its algorithms "can
+// be tuned using the Delta parameter"; this module turns that remark into
+// an operational front generator: run the chosen algorithm across a Delta
+// grid, collect the measured (Cmax, Mmax) points, and Pareto-filter them.
+//
+// The resulting front is *achievable by construction* (each point carries
+// its schedule) and, by Corollary 1, epsilon-covers the true front within
+// the guarantee envelope: for any feasible point (c, m') the grid point
+// with the nearest Delta dominates ((1+Delta)rho1 c, (1+1/Delta)rho2 m').
+#pragma once
+
+#include <vector>
+
+#include "algorithms/scheduler.hpp"
+#include "common/instance.hpp"
+#include "common/pareto.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+/// One achievable trade-off point: the Delta that produced it, its
+/// schedule, and its objective values.
+struct FrontPoint {
+  Fraction delta;
+  Schedule schedule;
+  ObjectivePoint value;
+};
+
+struct ApproxFront {
+  /// Pareto-filtered achievable points, ascending Cmax.
+  std::vector<FrontPoint> points;
+  /// Number of algorithm runs (grid size; some runs collapse to the same
+  /// point or are dominated).
+  int runs = 0;
+};
+
+/// Geometric Delta grid from lo to hi (inclusive-ish) with `steps` points.
+/// Exposed for benches that want the raw grid.
+std::vector<Fraction> delta_grid(const Fraction& lo, const Fraction& hi,
+                                 int steps);
+
+/// Approximate front via SBO_Delta (independent tasks only).
+/// The grid defaults to [1/8, 8] with `steps` geometric points.
+ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
+                      int steps = 17);
+
+/// Approximate front via RLS_Delta (independent or DAG instances).
+/// The grid spans (2, hi]; infeasible runs (possible only outside the
+/// guarantee zone) are skipped.
+ApproxFront rls_front(const Instance& inst, int steps = 17,
+                      const Fraction& hi = Fraction(16));
+
+/// Multiplicative epsilon-coverage of `reference` by `front`: the smallest
+/// eps such that every reference point (c, m') is dominated by some front
+/// point scaled down by (1+eps) on both axes, i.e.
+///   exists p in front: p.cmax <= (1+eps) c AND p.mmax <= (1+eps) m'.
+/// Returns the exact max-min ratio as a double (1.0 = front dominates the
+/// reference outright). Both fronts must be non-empty.
+double coverage_epsilon(const std::vector<FrontPoint>& front,
+                        std::span<const LabelledPoint> reference);
+
+}  // namespace storesched

@@ -1,0 +1,96 @@
+#include "core/impossibility.hpp"
+
+#include <stdexcept>
+
+namespace storesched {
+
+namespace {
+
+void check_mk(int m, int k) {
+  if (m < 2 || k < 2) {
+    throw std::invalid_argument("lemma2: m and k must be >= 2");
+  }
+}
+
+}  // namespace
+
+RatioPoint lemma2_bound(int m, int k, int i) {
+  check_mk(m, k);
+  if (i < 0 || i > k) throw std::invalid_argument("lemma2: i in {0..k}");
+  const Fraction x = Fraction(1) + Fraction(i, static_cast<std::int64_t>(k) * m);
+  const Fraction y =
+      Fraction(1) + Fraction(m - 1) * (Fraction(1) - Fraction(i, k));
+  return {x, y};
+}
+
+RatioPoint lemma2_bound_continuous(int m, const Fraction& u) {
+  if (m < 2) throw std::invalid_argument("lemma2: m >= 2");
+  if (u < Fraction(0) || Fraction(1) < u) {
+    throw std::invalid_argument("lemma2: u in [0, 1]");
+  }
+  return {Fraction(1) + u / Fraction(m),
+          Fraction(1) + Fraction(m - 1) * (Fraction(1) - u)};
+}
+
+RatioPoint lemma3_bound() { return {Fraction(3, 2), Fraction(3, 2)}; }
+
+std::vector<RatioPoint> lemma1_bounds() {
+  return {{Fraction(1), Fraction(2)}, {Fraction(2), Fraction(1)}};
+}
+
+namespace {
+
+/// Largest y such that every y' < y is impossible together with x, using
+/// the *direct* Lemma 2 segment for this m: witnesses
+/// (1 + u/m, 1 + (m-1)(1-u)), u in [0, 1]. (Rationals are dense, so the
+/// open conditions collapse to strict comparisons at the boundary value.)
+Fraction lemma2_frontier_direct(int m, const Fraction& x) {
+  const Fraction u_min = Fraction(m) * (x - Fraction(1));
+  if (u_min < Fraction(0)) {
+    // Even u = 0 witnesses: frontier is 1 + (m-1) = m.
+    return Fraction(m);
+  }
+  if (!(u_min < Fraction(1))) return Fraction(1);  // no valid u
+  return Fraction(1) + Fraction(m - 1) * (Fraction(1) - u_min);
+}
+
+/// Same with the symmetric (x/y swapped) Lemma 2 segment for this m:
+/// witnesses (1 + (m-1)(1-u), 1 + u/m), u in [0, 1].
+Fraction lemma2_frontier_symmetric(int m, const Fraction& x) {
+  // Need u < u_max with x < 1 + (m-1)(1-u), i.e. u_max = 1 - (x-1)/(m-1).
+  const Fraction u_max = Fraction(1) - (x - Fraction(1)) / Fraction(m - 1);
+  if (!(Fraction(0) < u_max)) return Fraction(1);
+  const Fraction reach = Fraction::min(u_max, Fraction(1));
+  return Fraction(1) + reach / Fraction(m);
+}
+
+}  // namespace
+
+Fraction impossibility_frontier(const Fraction& x, int max_m) {
+  if (max_m < 2) throw std::invalid_argument("impossibility_frontier: max_m >= 2");
+  Fraction best(1);
+  // Lemma 1 (and its symmetric twin).
+  if (x < Fraction(1)) best = Fraction::max(best, Fraction(2));
+  if (x < Fraction(2)) best = Fraction::max(best, Fraction(1));
+  // Lemma 3.
+  if (x < Fraction(3, 2)) best = Fraction::max(best, Fraction(3, 2));
+  // Lemma 2, both orientations, every m.
+  for (int m = 2; m <= max_m; ++m) {
+    best = Fraction::max(best, lemma2_frontier_direct(m, x));
+    best = Fraction::max(best, lemma2_frontier_symmetric(m, x));
+  }
+  return best;
+}
+
+bool is_impossible(const Fraction& x, const Fraction& y, int max_m) {
+  return y < impossibility_frontier(x, max_m);
+}
+
+RatioPoint sbo_curve_point(const Fraction& delta) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("sbo_curve_point: Delta > 0");
+  }
+  return {Fraction(1) + delta, Fraction(1) + Fraction(1) / delta};
+}
+
+}  // namespace storesched

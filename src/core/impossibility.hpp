@@ -1,0 +1,60 @@
+// The paper's negative results (Section 4): ratio pairs no algorithm can
+// guarantee, and the impossibility-domain geometry behind Figure 3.
+//
+// Lemma 1:  nothing better than (1, 2) or (2, 1).
+// Lemma 2:  for all m, k >= 2 and i in {0..k}, nothing better than
+//           (1 + i/(km), 1 + (m-1)(1 - i/k)); as i/k is dense in [0, 1]
+//           this traces, per m, the segment x = 1 + u/m,
+//           y = 1 + (m-1)(1-u), u in [0, 1].
+// Lemma 3:  nothing better than (3/2, 3/2).
+//
+// "Nothing better than (a, b)" means: no algorithm can guarantee BOTH
+// Cmax < a * C*max AND Mmax < b * M*max on every instance. A pair (x, y)
+// is *impossible* iff some witness (a, b) has x < a and y < b.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/fraction.hpp"
+
+namespace storesched {
+
+/// A ratio pair (cmax ratio, mmax ratio), exact.
+struct RatioPoint {
+  Fraction x;  ///< makespan ratio
+  Fraction y;  ///< memory ratio
+
+  friend bool operator==(const RatioPoint&, const RatioPoint&) = default;
+};
+
+/// Lemma 2 witness point for integer parameters (m, k >= 2, 0 <= i <= k):
+/// (1 + i/(km), 1 + (m-1)(1 - i/k)).
+RatioPoint lemma2_bound(int m, int k, int i);
+
+/// Continuous Lemma 2 segment point for rational u = i/k in [0, 1]:
+/// (1 + u/m, 1 + (m-1)(1-u)).
+RatioPoint lemma2_bound_continuous(int m, const Fraction& u);
+
+/// The Lemma 3 witness (3/2, 3/2).
+RatioPoint lemma3_bound();
+
+/// The Lemma 1 witnesses (1, 2) and (2, 1).
+std::vector<RatioPoint> lemma1_bounds();
+
+/// True iff the ratio pair (x, y) is proven impossible by Lemma 1, Lemma 3,
+/// or a Lemma 2 segment with 2 <= m <= max_m (using the continuous form,
+/// plus the symmetric segments with x and y swapped).
+bool is_impossible(const Fraction& x, const Fraction& y, int max_m = 6);
+
+/// For a makespan ratio x > 1, the largest memory ratio y such that every
+/// y' < y makes (x, y') impossible -- i.e. the upper envelope of the
+/// impossibility domain at abscissa x, over Lemmas 1-3 with m <= max_m.
+/// Returns 1 when x is large enough that no bound bites.
+Fraction impossibility_frontier(const Fraction& x, int max_m = 6);
+
+/// Parametric SBO guarantee curve of Section 3 (Corollary 1, epsilon -> 0):
+/// Delta -> (1 + Delta, 1 + 1/Delta). This is Figure 3's dashed curve.
+RatioPoint sbo_curve_point(const Fraction& delta);
+
+}  // namespace storesched

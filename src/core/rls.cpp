@@ -1,0 +1,130 @@
+#include "core/rls.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace storesched {
+
+std::int64_t rls_marked_bound(const Fraction& delta, int m) {
+  if (!(Fraction(1) < delta)) {
+    throw std::invalid_argument("rls_marked_bound: Delta > 1 required");
+  }
+  return (Fraction(m) / (delta - Fraction(1))).floor();
+}
+
+RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
+                       PriorityPolicy tie_break) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("rls_schedule: Delta must be > 0");
+  }
+
+  RlsResult result;
+  result.lb = inst.storage_lower_bound_fraction();
+  result.cap = delta * result.lb;
+  result.marked.assign(static_cast<std::size_t>(inst.m()), false);
+  result.schedule = Schedule(inst);
+
+  const std::vector<TaskId> order = priority_order(inst, tie_break);
+  std::vector<std::size_t> rank(inst.n());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rank[static_cast<std::size_t>(order[pos])] = pos;
+  }
+
+  std::vector<Time> load(static_cast<std::size_t>(inst.m()), 0);
+  std::vector<Mem> memsize(static_cast<std::size_t>(inst.m()), 0);
+  std::vector<bool> scheduled(inst.n(), false);
+  // Number of not-yet-scheduled predecessors; a task is "ready" once every
+  // predecessor has been placed (its sigma is then known).
+  std::vector<std::size_t> missing_preds(inst.n(), 0);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    missing_preds[static_cast<std::size_t>(i)] =
+        inst.has_precedence() ? inst.dag().in_degree(i) : 0;
+  }
+
+  for (std::size_t step = 0; step < inst.n(); ++step) {
+    // Scan every ready task; compute its best processor and earliest start.
+    TaskId best_task = -1;
+    ProcId best_proc = kNoProc;
+    Time best_ready = std::numeric_limits<Time>::max();
+
+    for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+      if (scheduled[static_cast<std::size_t>(i)]) continue;
+      if (missing_preds[static_cast<std::size_t>(i)] != 0) continue;
+
+      // Least-loaded processor within the memory budget (ties: lowest id).
+      ProcId chosen = kNoProc;
+      for (ProcId q = 0; q < inst.m(); ++q) {
+        if (Fraction(memsize[static_cast<std::size_t>(q)] + inst.task(i).s) >
+            result.cap) {
+          continue;
+        }
+        if (chosen == kNoProc ||
+            load[static_cast<std::size_t>(q)] <
+                load[static_cast<std::size_t>(chosen)]) {
+          chosen = q;
+        }
+      }
+      if (chosen == kNoProc) {
+        // Memory budgets only grow, so this task can never be placed.
+        result.feasible = false;
+        result.stuck_task = i;
+        return result;
+      }
+
+      // Analysis channel: every strictly-less-loaded processor was skipped
+      // for memory -- mark it (Lemma 4 counts these).
+      for (ProcId q = 0; q < inst.m(); ++q) {
+        if (load[static_cast<std::size_t>(q)] <
+            load[static_cast<std::size_t>(chosen)]) {
+          if (!result.marked[static_cast<std::size_t>(q)]) {
+            result.marked[static_cast<std::size_t>(q)] = true;
+            ++result.marked_count;
+          }
+        }
+      }
+
+      // Earliest start: after every predecessor completes and after the
+      // processor's current load.
+      Time ready_time = load[static_cast<std::size_t>(chosen)];
+      if (inst.has_precedence()) {
+        for (const TaskId u : inst.dag().preds(i)) {
+          ready_time = std::max(
+              ready_time, result.schedule.start(u) + inst.task(u).p);
+        }
+      }
+
+      const bool improves =
+          ready_time < best_ready ||
+          (ready_time == best_ready && best_task != -1 &&
+           rank[static_cast<std::size_t>(i)] <
+               rank[static_cast<std::size_t>(best_task)]);
+      if (best_task == -1 || improves) {
+        best_task = i;
+        best_proc = chosen;
+        best_ready = ready_time;
+      }
+    }
+
+    if (best_task == -1) {
+      // Cannot happen on an acyclic instance: some unscheduled task always
+      // has all predecessors scheduled.
+      throw std::logic_error("rls_schedule: no ready task on acyclic DAG");
+    }
+
+    result.schedule.assign(best_task, best_proc, best_ready);
+    scheduled[static_cast<std::size_t>(best_task)] = true;
+    load[static_cast<std::size_t>(best_proc)] =
+        best_ready + inst.task(best_task).p;
+    memsize[static_cast<std::size_t>(best_proc)] += inst.task(best_task).s;
+    if (inst.has_precedence()) {
+      for (const TaskId v : inst.dag().succs(best_task)) {
+        --missing_preds[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace storesched

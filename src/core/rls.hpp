@@ -1,0 +1,61 @@
+// RLS_Delta -- Restricted List Scheduling (paper Section 5.1, Algorithm 2).
+//
+// Computes the Graham storage lower bound LB = max(max_i s_i, sum_i s_i / m)
+// and forbids any processor from exceeding the degraded budget Delta * LB.
+// Tasks are then scheduled one at a time: among all ready tasks, the one
+// that can start soonest goes on the least-loaded processor that still has
+// memory budget for it. Ties are broken by a total task order (the paper's
+// "arbitrary total ordering"; SPT yields the Section 5.2 tri-objective
+// guarantee).
+//
+// Guarantees for Delta > 2 (Corollaries 2-3):
+//   Mmax <= Delta * LB <= Delta * M*max
+//   Cmax <= (2 + 1/(Delta-2) - (Delta-1)/(m(Delta-2))) * C*max
+// For Delta <= 2 a task may fit on no processor; the run is then reported
+// infeasible (the paper notes the algorithm "can not take as input values
+// of Delta lower or equal to 2").
+//
+// The analysis channel records which processors were ever "marked" --
+// skipped because their memory budget could not take a candidate task --
+// so Lemma 4 (at most floor(m/(Delta-1)) marked processors) is a checkable
+// runtime property.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algorithms/graham.hpp"
+#include "common/fraction.hpp"
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+struct RlsResult {
+  bool feasible = false;
+  Schedule schedule;  ///< timed schedule (valid only when feasible)
+  Fraction lb;        ///< Graham storage lower bound LB
+  Fraction cap;       ///< Delta * LB, the per-processor memory budget
+
+  /// Analysis channel (Lemma 4): marked[q] iff processor q was at some
+  /// point rejected for memory while a less-loaded choice existed.
+  std::vector<bool> marked;
+  int marked_count = 0;
+
+  /// Id of the first task that fit on no processor (infeasible runs only).
+  std::optional<TaskId> stuck_task;
+};
+
+/// Runs RLS_Delta on an independent or precedence-constrained instance.
+/// Requires Delta > 0 (values <= 2 are permitted but may be infeasible).
+/// Faithful O(n^2 m) implementation of Algorithm 2: the ready set is
+/// re-scanned after every placement. Deterministic for a fixed tie-break
+/// policy.
+RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
+                       PriorityPolicy tie_break = PriorityPolicy::kInputOrder);
+
+/// Lemma 4's bound on the number of marked processors:
+/// floor(m / (Delta - 1)). Requires Delta > 1.
+std::int64_t rls_marked_bound(const Fraction& delta, int m);
+
+}  // namespace storesched

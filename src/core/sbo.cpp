@@ -1,0 +1,84 @@
+#include "core/sbo.hpp"
+
+#include <stdexcept>
+
+#include "core/theory.hpp"
+
+namespace storesched {
+
+namespace {
+
+/// Exact test  p / C < (num/den) * s / M  <=>  p * den * M < num * s * C,
+/// with all quantities non-negative and C, M > 0.
+bool below_threshold(Time p, Time c, Mem s, Mem m, const Fraction& delta) {
+  const Int128 lhs = static_cast<Int128>(p) * delta.den() * m;
+  const Int128 rhs = static_cast<Int128>(delta.num()) * s * c;
+  return lhs < rhs;
+}
+
+}  // namespace
+
+SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
+                       const MakespanScheduler& alg1,
+                       const MakespanScheduler& alg2) {
+  if (inst.has_precedence()) {
+    throw std::logic_error("sbo_schedule: independent tasks only");
+  }
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("sbo_schedule: Delta must be > 0");
+  }
+
+  // Ingredient schedules: alg1 on processing times, alg2 on storage sizes.
+  std::vector<std::int64_t> p_weights;
+  std::vector<std::int64_t> s_weights;
+  p_weights.reserve(inst.n());
+  s_weights.reserve(inst.n());
+  for (const Task& t : inst.tasks()) {
+    p_weights.push_back(t.p);
+    s_weights.push_back(t.s);
+  }
+
+  SboResult result;
+  result.pi1 = Schedule(inst);
+  result.pi2 = Schedule(inst);
+  const auto a1 = alg1.assign(p_weights, inst.m());
+  const auto a2 = alg2.assign(s_weights, inst.m());
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    result.pi1.assign(i, a1[static_cast<std::size_t>(i)]);
+    result.pi2.assign(i, a2[static_cast<std::size_t>(i)]);
+  }
+
+  result.c_ingredient = cmax(inst, result.pi1);
+  result.m_ingredient = mmax(inst, result.pi2);
+
+  // Combine by the Delta threshold. With C = 0 (all p zero) every makespan
+  // is 0, so pi_2 is safe; with M = 0 (all s zero) pi_1 is safe.
+  result.schedule = Schedule(inst);
+  result.routed_to_pi2.assign(inst.n(), false);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    bool use_pi2 = false;
+    if (result.c_ingredient == 0) {
+      use_pi2 = true;
+    } else if (result.m_ingredient == 0) {
+      use_pi2 = false;
+    } else {
+      use_pi2 = below_threshold(inst.task(i).p, result.c_ingredient,
+                                inst.task(i).s, result.m_ingredient, delta);
+    }
+    result.routed_to_pi2[static_cast<std::size_t>(i)] = use_pi2;
+    result.schedule.assign(i, use_pi2 ? result.pi2.proc(i) : result.pi1.proc(i));
+  }
+
+  // Per-run value bounds from Properties 1-2.
+  result.cmax_bound = (Fraction(1) + delta) * Fraction(result.c_ingredient);
+  result.mmax_bound =
+      (Fraction(1) + Fraction(1) / delta) * Fraction(result.m_ingredient);
+  return result;
+}
+
+SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
+                       const MakespanScheduler& alg) {
+  return sbo_schedule(inst, delta, alg, alg);
+}
+
+}  // namespace storesched

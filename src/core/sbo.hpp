@@ -1,0 +1,59 @@
+// SBO_Delta -- the Symmetric Bi-Objective algorithm (paper Section 3,
+// Algorithm 1).
+//
+// Runs a rho1-approximation on the processing times (schedule pi_1, value
+// C = Cmax(pi_1)) and a rho2-approximation on the storage sizes (schedule
+// pi_2, value M = Mmax(pi_2)), then routes each task by the exact threshold
+//
+//     p_i / C  <  Delta * s_i / M   =>  take pi_2's processor,
+//     otherwise                     =>  take pi_1's processor.
+//
+// Guarantees (Properties 1-2): the combined assignment pi_Delta satisfies
+//   Cmax(pi_Delta) <= (1 + Delta) * C  <= (1 + Delta) * rho1 * C*max
+//   Mmax(pi_Delta) <= (1 + 1/Delta) * M <= (1 + 1/Delta) * rho2 * M*max.
+// Only valid for independent tasks (the paper notes it cannot be extended
+// to precedence constraints or to sum-of-completion-times).
+#pragma once
+
+#include <vector>
+
+#include "algorithms/scheduler.hpp"
+#include "common/fraction.hpp"
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+/// Full output of one SBO run, including the two ingredient schedules and
+/// the per-task routing decisions (useful for tests and ablation benches).
+struct SboResult {
+  Schedule schedule;  ///< the combined assignment pi_Delta (untimed)
+  Schedule pi1;       ///< makespan-oriented ingredient schedule
+  Schedule pi2;       ///< memory-oriented ingredient schedule
+  Time c_ingredient = 0;  ///< C = Cmax(pi1), the proof's reference value
+  Mem m_ingredient = 0;   ///< M = Mmax(pi2)
+  std::vector<bool> routed_to_pi2;  ///< per-task: took pi2's allocation
+
+  /// Value bounds implied by Properties 1-2 for *this* run:
+  /// Cmax(schedule) <= cmax_bound and Mmax(schedule) <= mmax_bound.
+  Fraction cmax_bound;
+  Fraction mmax_bound;
+};
+
+/// Runs SBO_Delta with the two given sub-schedulers. Requires an
+/// independent-task instance and Delta > 0; throws std::invalid_argument /
+/// std::logic_error otherwise.
+///
+/// Degenerate inputs: if all p_i = 0 the combined schedule is pi_2; if all
+/// s_i = 0 it is pi_1 (the threshold is vacuous in both directions and the
+/// guarantees hold trivially).
+SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
+                       const MakespanScheduler& alg1,
+                       const MakespanScheduler& alg2);
+
+/// Convenience overload using the same algorithm for both objectives
+/// (the paper's "we can use the same algorithm for both schedules").
+SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
+                       const MakespanScheduler& alg);
+
+}  // namespace storesched

@@ -1,0 +1,60 @@
+#include "core/theory.hpp"
+
+#include <stdexcept>
+
+namespace storesched {
+
+namespace {
+
+void require_positive(const Fraction& delta) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("theory: Delta must be > 0");
+  }
+}
+
+void require_above_two(const Fraction& delta) {
+  if (!(Fraction(2) < delta)) {
+    throw std::invalid_argument("theory: Delta must be > 2");
+  }
+}
+
+}  // namespace
+
+Fraction sbo_cmax_ratio(const Fraction& delta, const Fraction& rho1) {
+  require_positive(delta);
+  return (Fraction(1) + delta) * rho1;
+}
+
+Fraction sbo_mmax_ratio(const Fraction& delta, const Fraction& rho2) {
+  require_positive(delta);
+  return (Fraction(1) + Fraction(1) / delta) * rho2;
+}
+
+Fraction rls_cmax_ratio(const Fraction& delta, int m) {
+  require_above_two(delta);
+  if (m < 1) throw std::invalid_argument("rls_cmax_ratio: m >= 1");
+  const Fraction dm2 = delta - Fraction(2);
+  return Fraction(2) + Fraction(1) / dm2 -
+         (delta - Fraction(1)) / (Fraction(m) * dm2);
+}
+
+Fraction rls_mmax_ratio(const Fraction& delta) {
+  if (delta < Fraction(2)) {
+    throw std::invalid_argument("rls_mmax_ratio: Delta >= 2 required");
+  }
+  return delta;
+}
+
+Fraction rls_sumci_ratio(const Fraction& delta) {
+  require_above_two(delta);
+  return Fraction(2) + Fraction(1) / (delta - Fraction(2));
+}
+
+Fraction spt_restriction_ratio(const Fraction& rho) {
+  if (!(Fraction(0) < rho) || Fraction(1) < rho) {
+    throw std::invalid_argument("spt_restriction_ratio: rho in (0, 1]");
+  }
+  return Fraction(1) / rho + Fraction(1);
+}
+
+}  // namespace storesched

@@ -1,0 +1,35 @@
+// Closed-form approximation-ratio formulas proved in the paper.
+//
+// Centralizing the formulas lets tests and benches assert, per run, that a
+// measured schedule respects the exact guarantee of its configuration:
+//   SBO (Properties 1-2):  ((1 + Delta) rho1,  (1 + 1/Delta) rho2)
+//   RLS (Corollary 3):     (2 + 1/(Delta-2) - (Delta-1)/(m(Delta-2)), Delta)
+//   RLS+SPT (Corollary 4): adds  2 + 1/(Delta-2)  on the sum of completions.
+#pragma once
+
+#include "common/fraction.hpp"
+
+namespace storesched {
+
+/// SBO makespan ratio (Property 1): (1 + Delta) * rho1. Requires Delta > 0.
+Fraction sbo_cmax_ratio(const Fraction& delta, const Fraction& rho1);
+
+/// SBO memory ratio (Property 2): (1 + 1/Delta) * rho2. Requires Delta > 0.
+Fraction sbo_mmax_ratio(const Fraction& delta, const Fraction& rho2);
+
+/// RLS makespan ratio (Lemma 5): 2 + 1/(Delta-2) - (Delta-1)/(m(Delta-2)).
+/// Requires Delta > 2 and m >= 1.
+Fraction rls_cmax_ratio(const Fraction& delta, int m);
+
+/// RLS memory ratio (Corollary 2): Delta. Requires Delta >= 2.
+Fraction rls_mmax_ratio(const Fraction& delta);
+
+/// RLS+SPT sum-of-completion-times ratio (Corollary 4): 2 + 1/(Delta-2).
+/// Requires Delta > 2.
+Fraction rls_sumci_ratio(const Fraction& delta);
+
+/// The degradation factor of Lemma 6: SPT on rho*m processors is at most
+/// (1/rho + 1) times SPT on m processors (0 < rho <= 1).
+Fraction spt_restriction_ratio(const Fraction& rho);
+
+}  // namespace storesched

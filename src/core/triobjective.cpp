@@ -1,0 +1,27 @@
+#include "core/triobjective.hpp"
+
+#include <stdexcept>
+
+namespace storesched {
+
+TriObjectiveResult tri_objective_schedule(const Instance& inst,
+                                          const Fraction& delta) {
+  if (inst.has_precedence()) {
+    throw std::logic_error("tri_objective_schedule: independent tasks only");
+  }
+
+  TriObjectiveResult result;
+  result.rls = rls_schedule(inst, delta, PriorityPolicy::kSpt);
+  if (result.rls.feasible) {
+    result.objectives = tri_objectives(inst, result.rls.schedule);
+  }
+  if (Fraction(2) < delta) {
+    result.cmax_ratio = rls_cmax_ratio(delta, inst.m());
+    result.mmax_ratio = rls_mmax_ratio(delta);
+    result.sumci_ratio = rls_sumci_ratio(delta);
+    result.has_guarantee = true;
+  }
+  return result;
+}
+
+}  // namespace storesched

@@ -1,0 +1,32 @@
+// Tri-objective scheduling of independent tasks (paper Section 5.2).
+//
+// RLS_Delta with the SPT total order simultaneously guarantees, for
+// Delta > 2 on independent tasks (Corollary 4):
+//   Cmax   <= (2 + 1/(Delta-2) - (Delta-1)/(m(Delta-2))) * C*max
+//   Mmax   <=  Delta * M*max
+//   sum Ci <= (2 + 1/(Delta-2)) * (sum Ci)*            (SPT is optimal)
+#pragma once
+
+#include "core/rls.hpp"
+#include "core/theory.hpp"
+
+namespace storesched {
+
+struct TriObjectiveResult {
+  RlsResult rls;                 ///< the underlying RLS run (SPT tie-break)
+  TriObjectivePoint objectives;  ///< measured (Cmax, Mmax, sum Ci)
+
+  /// Guaranteed ratios of Corollary 4 (only set when delta > 2).
+  Fraction cmax_ratio;
+  Fraction mmax_ratio;
+  Fraction sumci_ratio;
+  bool has_guarantee = false;
+};
+
+/// Runs RLS_Delta with SPT ordering on an independent-task instance and
+/// reports all three objectives plus the Corollary 4 guarantees.
+/// Throws std::logic_error on precedence instances.
+TriObjectiveResult tri_objective_schedule(const Instance& inst,
+                                          const Fraction& delta);
+
+}  // namespace storesched

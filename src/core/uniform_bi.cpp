@@ -1,0 +1,138 @@
+#include "core/uniform_bi.hpp"
+
+#include <stdexcept>
+
+namespace storesched {
+
+namespace {
+
+void check_uniform_inputs(const Instance& inst,
+                          std::span<const std::int64_t> speeds,
+                          const Fraction& delta) {
+  if (inst.has_precedence()) {
+    throw std::logic_error("uniform scheduling: independent tasks only");
+  }
+  check_speeds(speeds);
+  if (speeds.size() != static_cast<std::size_t>(inst.m())) {
+    throw std::invalid_argument("uniform scheduling: |speeds| != m");
+  }
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("uniform scheduling: Delta must be > 0");
+  }
+}
+
+}  // namespace
+
+Fraction uniform_cmax(const Instance& inst, const Schedule& sched,
+                      std::span<const std::int64_t> speeds) {
+  check_speeds(speeds);
+  std::vector<std::int64_t> weights;
+  weights.reserve(inst.n());
+  for (const Task& t : inst.tasks()) weights.push_back(t.p);
+  return uniform_partition_value(weights, sched.assignment(), speeds);
+}
+
+UniformSboResult sbo_uniform_schedule(const Instance& inst,
+                                      std::span<const std::int64_t> speeds,
+                                      const Fraction& delta,
+                                      const MakespanScheduler& alg2) {
+  check_uniform_inputs(inst, speeds, delta);
+
+  std::vector<std::int64_t> p_weights;
+  std::vector<std::int64_t> s_weights;
+  p_weights.reserve(inst.n());
+  s_weights.reserve(inst.n());
+  for (const Task& t : inst.tasks()) {
+    p_weights.push_back(t.p);
+    s_weights.push_back(t.s);
+  }
+
+  // pi_1: speed-aware ECT/LPT on processing times.
+  const auto a1 = uniform_lpt_assign(p_weights, speeds);
+  // pi_2: identical-machine schedule on storage (speed-independent).
+  const auto a2 = alg2.assign(s_weights, inst.m());
+
+  UniformSboResult result;
+  result.c_ingredient = uniform_partition_value(p_weights, a1, speeds);
+  result.m_ingredient = partition_value(s_weights, a2, inst.m());
+
+  result.schedule = Schedule(inst);
+  result.routed_to_pi2.assign(inst.n(), false);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    bool use_pi2 = false;
+    if (result.c_ingredient == Fraction(0)) {
+      use_pi2 = true;
+    } else if (result.m_ingredient == 0) {
+      use_pi2 = false;
+    } else {
+      // p_i / C < Delta * s_i / M with C rational: exact Fraction compare.
+      use_pi2 = Fraction(inst.task(i).p) / result.c_ingredient <
+                delta * Fraction(inst.task(i).s, result.m_ingredient);
+    }
+    result.routed_to_pi2[idx] = use_pi2;
+    result.schedule.assign(i, use_pi2 ? a2[idx] : a1[idx]);
+  }
+
+  std::int64_t speed_max = 1;
+  for (const std::int64_t s : speeds) speed_max = std::max(speed_max, s);
+  result.cmax_bound = (Fraction(1) + delta) * result.c_ingredient;
+  result.mmax_bound = (Fraction(1) + Fraction(speed_max) / delta) *
+                      Fraction(result.m_ingredient);
+  return result;
+}
+
+UniformSboResult sbo_uniform_schedule(const Instance& inst,
+                                      std::span<const std::int64_t> speeds,
+                                      const Fraction& delta) {
+  const LptSchedulerAlg lpt;
+  return sbo_uniform_schedule(inst, speeds, delta, lpt);
+}
+
+UniformRlsResult rls_uniform_schedule(const Instance& inst,
+                                      std::span<const std::int64_t> speeds,
+                                      const Fraction& delta,
+                                      PriorityPolicy tie_break) {
+  check_uniform_inputs(inst, speeds, delta);
+
+  UniformRlsResult result;
+  result.lb = inst.storage_lower_bound_fraction();
+  result.cap = delta * result.lb;
+  result.schedule = Schedule(inst);
+
+  std::vector<std::int64_t> work(speeds.size(), 0);
+  std::vector<Mem> memsize(speeds.size(), 0);
+
+  for (const TaskId i : priority_order(inst, tie_break)) {
+    // Earliest-completing processor within the memory budget.
+    ProcId chosen = kNoProc;
+    for (ProcId q = 0; q < inst.m(); ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (Fraction(memsize[qi] + inst.task(i).s) > result.cap) continue;
+      if (chosen == kNoProc ||
+          ratio_less(work[qi] + inst.task(i).p, speeds[qi],
+                     work[static_cast<std::size_t>(chosen)] + inst.task(i).p,
+                     speeds[static_cast<std::size_t>(chosen)])) {
+        chosen = q;
+      }
+    }
+    if (chosen == kNoProc) {
+      result.feasible = false;
+      return result;  // memory budgets only grow; stuck for good
+    }
+    const auto ci = static_cast<std::size_t>(chosen);
+    result.schedule.assign(i, chosen);
+    work[ci] += inst.task(i).p;
+    memsize[ci] += inst.task(i).s;
+  }
+
+  result.feasible = true;
+  Fraction makespan(0);
+  for (std::size_t q = 0; q < work.size(); ++q) {
+    makespan = Fraction::max(makespan, Fraction(work[q], speeds[q]));
+  }
+  result.makespan = makespan;
+  return result;
+}
+
+}  // namespace storesched

@@ -1,0 +1,86 @@
+// Bi-objective scheduling on uniform (related) processors -- our
+// implementation of the paper's "non identical processors" future-work
+// item (Section 7), for Q | p_j, s_j | Cmax, Mmax.
+//
+// SBO extends cleanly once speeds are normalized to min speed 1:
+//   * pi_1: ECT/LPT schedule of the processing times under the speeds,
+//     with exact makespan C = Cmax(pi_1);
+//   * pi_2: identical-machine schedule of the storage sizes (storage is
+//     speed-independent), with M = Mmax(pi_2);
+//   * route task i to pi_2 iff p_i / C < Delta * s_i / M (same threshold).
+// Property-1 analogue: per processor q, the pi_2-routed tasks add at most
+//   sum p_i / speed_q < Delta (C/M) * (sum s_i) / speed_q
+//                     <= Delta * C / speed_q <= Delta * C
+// (speed_q >= 1), so Cmax(pi_Delta) <= (1 + Delta) C -- unchanged.
+//
+// Property 2 does NOT carry over verbatim: a pi_1-routed task on a
+// processor of speed s_q only satisfies work(q) <= C * s_q, so its storage
+// obeys sum_{pi_1, q} s_i <= (M / (Delta C)) * C * s_q = M * s_q / Delta.
+// The memory guarantee therefore weakens by the fastest speed:
+//   Mmax(pi_Delta) <= (1 + speed_max / Delta) * M.
+// (Tuning Delta' = Delta * speed_max recovers the identical-machine shape
+// at the cost of the makespan ratio -- the speed heterogeneity is a real
+// price, not an analysis artifact.) Both bounds are asserted exactly in
+// tests.
+//
+// RLS extends as a heuristic: pick, among memory-feasible processors, the
+// one finishing the task earliest. The Corollary 2 memory guarantee
+// (Mmax <= Delta * LB) holds by construction; no makespan ratio is claimed
+// (the paper leaves that open).
+#pragma once
+
+#include <vector>
+
+#include "algorithms/graham.hpp"
+#include "algorithms/scheduler.hpp"
+#include "algorithms/uniform.hpp"
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+struct UniformSboResult {
+  Schedule schedule;     ///< combined assignment (untimed)
+  Fraction c_ingredient; ///< exact Cmax(pi_1) under the speeds
+  Mem m_ingredient = 0;  ///< Mmax(pi_2)
+  Fraction cmax_bound;   ///< (1 + Delta) * C
+  Fraction mmax_bound;   ///< (1 + speed_max/Delta) * M
+  std::vector<bool> routed_to_pi2;
+};
+
+/// SBO on uniform processors. `speeds[q] >= 1` for all q, |speeds| == m.
+/// `alg2` schedules the storage sizes on identical machines (defaulted to
+/// LPT by the convenience overload). Independent tasks only.
+UniformSboResult sbo_uniform_schedule(const Instance& inst,
+                                      std::span<const std::int64_t> speeds,
+                                      const Fraction& delta,
+                                      const MakespanScheduler& alg2);
+
+UniformSboResult sbo_uniform_schedule(const Instance& inst,
+                                      std::span<const std::int64_t> speeds,
+                                      const Fraction& delta);
+
+/// Exact uniform makespan of an assignment-only schedule.
+Fraction uniform_cmax(const Instance& inst, const Schedule& sched,
+                      std::span<const std::int64_t> speeds);
+
+struct UniformRlsResult {
+  bool feasible = false;
+  Schedule schedule;  ///< assignment-only (independent tasks; serialize per
+                      ///< processor for wall-clock start times)
+  Fraction lb;        ///< Graham storage bound (speed-independent)
+  Fraction cap;       ///< Delta * LB
+  Fraction makespan;  ///< exact wall-clock makespan max_q work_q / speed_q
+};
+
+/// RLS on uniform processors for independent tasks: each step places the
+/// next task (in `tie_break` order) on the memory-feasible processor that
+/// finishes it earliest. Memory guarantee Mmax <= Delta * LB as in the
+/// identical case; feasible whenever Delta > 2.
+UniformRlsResult rls_uniform_schedule(const Instance& inst,
+                                      std::span<const std::int64_t> speeds,
+                                      const Fraction& delta,
+                                      PriorityPolicy tie_break =
+                                          PriorityPolicy::kLpt);
+
+}  // namespace storesched

@@ -1,0 +1,86 @@
+#include "core/worstcase.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algorithms/partition.hpp"
+#include "core/theory.hpp"
+
+namespace storesched {
+
+namespace {
+
+double rls_ratio(const Instance& inst, const Fraction& delta,
+                 std::uint64_t& evaluations) {
+  ++evaluations;
+  const RlsResult r = rls_schedule(inst, delta);
+  if (!r.feasible) return 0.0;  // cannot happen for Delta > 2
+  std::vector<std::int64_t> p;
+  p.reserve(inst.n());
+  for (const Task& t : inst.tasks()) p.push_back(t.p);
+  const std::int64_t opt =
+      partition_value(p, exact_bnb_assign(p, inst.m()), inst.m());
+  if (opt == 0) return 0.0;
+  return static_cast<double>(cmax(inst, r.schedule)) /
+         static_cast<double>(opt);
+}
+
+}  // namespace
+
+WorstCaseResult search_rls_worst_case(int n, int m, const Fraction& delta,
+                                      int restarts, int steps,
+                                      std::int64_t w_max, Rng& rng) {
+  if (n < 1 || n > 16 || m < 2) {
+    throw std::invalid_argument("search_rls_worst_case: need 1 <= n <= 16, m >= 2");
+  }
+  if (!(Fraction(2) < delta)) {
+    throw std::invalid_argument("search_rls_worst_case: Delta > 2");
+  }
+  if (restarts < 1 || steps < 0 || w_max < 1) {
+    throw std::invalid_argument("search_rls_worst_case: bad search budget");
+  }
+
+  WorstCaseResult best;
+  best.bound = rls_cmax_ratio(delta, m).to_double();
+  std::uint64_t evals = 0;
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    std::vector<Task> tasks(static_cast<std::size_t>(n));
+    for (Task& t : tasks) {
+      t.p = rng.uniform_int(1, w_max);
+      t.s = rng.uniform_int(1, w_max);
+    }
+    Instance current(tasks, m);
+    double current_ratio = rls_ratio(current, delta, evals);
+
+    for (int step = 0; step < steps; ++step) {
+      // Mutate one weight of one task multiplicatively.
+      std::vector<Task> mutated(current.tasks().begin(),
+                                current.tasks().end());
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      const bool mutate_p = rng.bernoulli(0.5);
+      std::int64_t& w = mutate_p ? mutated[idx].p : mutated[idx].s;
+      const double factor = 0.5 + 1.5 * rng.uniform01();
+      w = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(static_cast<double>(w) * factor) +
+              rng.uniform_int(-2, 2),
+          1, w_max);
+
+      Instance candidate(std::move(mutated), m);
+      const double ratio = rls_ratio(candidate, delta, evals);
+      if (ratio > current_ratio) {
+        current = std::move(candidate);
+        current_ratio = ratio;
+      }
+    }
+    if (current_ratio > best.measured_ratio) {
+      best.measured_ratio = current_ratio;
+      best.instance = std::move(current);
+    }
+  }
+  best.evaluations = evals;
+  return best;
+}
+
+}  // namespace storesched

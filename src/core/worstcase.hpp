@@ -1,0 +1,37 @@
+// Adversarial instance search for RLS tightness.
+//
+// Section 7 of the paper: "The approximation ratio of the Restricted List
+// Scheduling algorithm does not seem to be tight. Thus, the approximation
+// ratios should be improved or a tight counter example should be
+// presented." This module mechanizes the counter-example hunt: randomized
+// hill climbing over small instances, mutating task weights to maximize
+// the *measured* ratio Cmax(RLS_Delta) / C*max (exact optimum from branch
+// and bound on the processing times -- valid for independent tasks, where
+// C*max of the bi-objective-feasible space is bounded below by the
+// single-objective optimum).
+#pragma once
+
+#include <cstdint>
+
+#include "common/instance.hpp"
+#include "common/rng.hpp"
+#include "core/rls.hpp"
+
+namespace storesched {
+
+struct WorstCaseResult {
+  Instance instance;     ///< worst instance found
+  double measured_ratio = 0.0;  ///< Cmax(RLS) / C*max on it
+  double bound = 0.0;           ///< Lemma 5's guarantee for (Delta, m)
+  std::uint64_t evaluations = 0;
+};
+
+/// Hill-climbs `restarts` random starting instances (n tasks, m
+/// processors, weights in [1, w_max]) for `steps` mutations each, keeping
+/// the instance that maximizes the RLS makespan ratio at the given Delta
+/// (> 2). Exact optima via branch and bound; keep n <= ~16.
+WorstCaseResult search_rls_worst_case(int n, int m, const Fraction& delta,
+                                      int restarts, int steps,
+                                      std::int64_t w_max, Rng& rng);
+
+}  // namespace storesched

@@ -1,0 +1,115 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace storesched {
+
+SimReport simulate_schedule(const Instance& inst, const Schedule& sched,
+                            const SimOptions& opts) {
+  if (inst.n() != sched.n() || inst.m() != sched.m()) {
+    throw std::invalid_argument("simulate_schedule: size mismatch");
+  }
+  SimReport report;
+  report.processors.assign(static_cast<std::size_t>(inst.m()), {});
+  report.memory_profiles.assign(static_cast<std::size_t>(inst.m()), {});
+
+  if (!sched.timed()) {
+    report.violation = "schedule is not timed/fully assigned";
+    return report;
+  }
+
+  // Build the event stream: finish events before start events at equal
+  // times, so back-to-back execution on one processor is legal.
+  std::vector<SimEvent> events;
+  events.reserve(2 * inst.n());
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    events.push_back({sched.start(i), SimEventType::kStart, i, sched.proc(i)});
+    events.push_back({sched.start(i) + inst.task(i).p, SimEventType::kFinish,
+                      i, sched.proc(i)});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SimEvent& a, const SimEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.type != b.type) return a.type == SimEventType::kFinish;
+              return a.task < b.task;
+            });
+
+  const auto fail = [&](std::string msg) {
+    report.ok = false;
+    report.violation = std::move(msg);
+    return report;
+  };
+
+  std::vector<TaskId> running(static_cast<std::size_t>(inst.m()), -1);
+  std::vector<Mem> occupied(static_cast<std::size_t>(inst.m()), 0);
+  std::vector<bool> finished(inst.n(), false);
+
+  for (const SimEvent& ev : events) {
+    const auto q = static_cast<std::size_t>(ev.proc);
+    const auto t = static_cast<std::size_t>(ev.task);
+    if (ev.type == SimEventType::kStart) {
+      const bool zero_length = inst.task(ev.task).p == 0;
+      if (running[q] != -1 && !zero_length) {
+        std::ostringstream os;
+        os << "overlap on processor " << ev.proc << ": task " << ev.task
+           << " starts at " << ev.time << " while task " << running[q]
+           << " is running";
+        return fail(os.str());
+      }
+      if (inst.has_precedence()) {
+        for (const TaskId u : inst.dag().preds(ev.task)) {
+          if (!finished[static_cast<std::size_t>(u)]) {
+            std::ostringstream os;
+            os << "precedence violation: task " << ev.task << " starts at "
+               << ev.time << " before predecessor " << u << " finished";
+            return fail(os.str());
+          }
+        }
+      }
+      if (!zero_length) running[q] = ev.task;  // zero-length: instantaneous
+      occupied[q] += inst.task(ev.task).s;
+      if (opts.memory_cap >= 0 && occupied[q] > opts.memory_cap) {
+        std::ostringstream os;
+        os << "memory cap exceeded on processor " << ev.proc << " at time "
+           << ev.time << ": " << occupied[q] << " > " << opts.memory_cap;
+        return fail(os.str());
+      }
+      report.memory_profiles[q].push_back({ev.time, occupied[q]});
+      ++report.processors[q].tasks;
+    } else {
+      // Zero-length tasks never appear in `running` slots consistently;
+      // handle them by allowing an immediate start+finish pair.
+      if (running[q] == ev.task) {
+        running[q] = -1;
+      } else if (inst.task(ev.task).p != 0) {
+        std::ostringstream os;
+        os << "finish event for task " << ev.task
+           << " which is not running on processor " << ev.proc;
+        return fail(os.str());
+      }
+      finished[t] = true;
+      report.processors[q].busy += inst.task(ev.task).p;
+      report.makespan = std::max(report.makespan, ev.time);
+      report.sum_completion += ev.time;
+    }
+    if (opts.keep_trace) report.trace.push_back(ev);
+  }
+
+  for (std::size_t q = 0; q < occupied.size(); ++q) {
+    report.processors[q].final_memory = occupied[q];
+    report.peak_memory = std::max(report.peak_memory, occupied[q]);
+    report.total_idle += report.makespan - report.processors[q].busy;
+  }
+  report.utilization =
+      report.makespan > 0
+          ? static_cast<double>(inst.total_work()) /
+                (static_cast<double>(inst.m()) *
+                 static_cast<double>(report.makespan))
+          : 1.0;
+  report.ok = true;
+  return report;
+}
+
+}  // namespace storesched

@@ -1,0 +1,116 @@
+#include "sim/online.hpp"
+
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace storesched {
+
+OnlineResult simulate_online_list(const Instance& inst, Mem memory_cap,
+                                  PriorityPolicy policy) {
+  OnlineResult result;
+  result.cap = memory_cap;
+  result.schedule = Schedule(inst);
+
+  const std::vector<TaskId> order = priority_order(inst, policy);
+  std::vector<std::size_t> rank(inst.n());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rank[static_cast<std::size_t>(order[pos])] = pos;
+  }
+
+  // Ready tasks ordered by priority rank; idle processors by id.
+  std::set<std::pair<std::size_t, TaskId>> ready;
+  std::set<ProcId> idle;
+  for (ProcId q = 0; q < inst.m(); ++q) idle.insert(q);
+
+  std::vector<std::size_t> missing_preds(inst.n(), 0);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    missing_preds[static_cast<std::size_t>(i)] =
+        inst.has_precedence() ? inst.dag().in_degree(i) : 0;
+    if (missing_preds[static_cast<std::size_t>(i)] == 0) {
+      ready.insert({rank[static_cast<std::size_t>(i)], i});
+    }
+  }
+
+  std::vector<Mem> occupied(static_cast<std::size_t>(inst.m()), 0);
+  using Completion = std::pair<Time, TaskId>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+
+  Time now = 0;
+  std::size_t scheduled = 0;
+  while (scheduled < inst.n()) {
+    // Dispatch phase: processors grab tasks in ascending id order; each
+    // takes the highest-priority ready task that fits its budget.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto q_it = idle.begin(); q_it != idle.end(); ++q_it) {
+        const ProcId q = *q_it;
+        const auto fits = [&](TaskId i) {
+          return memory_cap < 0 ||
+                 occupied[static_cast<std::size_t>(q)] + inst.task(i).s <=
+                     memory_cap;
+        };
+        auto chosen = ready.end();
+        for (auto it = ready.begin(); it != ready.end(); ++it) {
+          if (fits(it->second)) {
+            chosen = it;
+            break;
+          }
+        }
+        if (chosen == ready.end()) continue;
+        const TaskId i = chosen->second;
+        ready.erase(chosen);
+        idle.erase(q_it);
+        result.schedule.assign(i, q, now);
+        occupied[static_cast<std::size_t>(q)] += inst.task(i).s;
+        running.push({now + inst.task(i).p, i});
+        ++scheduled;
+        progress = true;
+        break;  // idle set mutated; restart the scan
+      }
+    }
+
+    if (scheduled == inst.n()) break;
+    if (running.empty()) {
+      if (!ready.empty()) {
+        // Every processor is idle yet no ready task fits anywhere; since
+        // occupancy only grows, the run is stuck for good.
+        result.stuck_task = ready.begin()->second;
+        return result;
+      }
+      throw std::logic_error(
+          "simulate_online_list: no ready task on acyclic DAG");
+    }
+
+    // Advance to the next completion instant and release its successors.
+    now = running.top().first;
+    while (!running.empty() && running.top().first == now) {
+      const TaskId done = running.top().second;
+      running.pop();
+      idle.insert(result.schedule.proc(done));
+      if (inst.has_precedence()) {
+        for (const TaskId v : inst.dag().succs(done)) {
+          if (--missing_preds[static_cast<std::size_t>(v)] == 0) {
+            ready.insert({rank[static_cast<std::size_t>(v)], v});
+          }
+        }
+      }
+    }
+  }
+
+  result.feasible = true;
+  return result;
+}
+
+OnlineResult simulate_online_rls(const Instance& inst, const Fraction& delta,
+                                 PriorityPolicy policy) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("simulate_online_rls: Delta must be > 0");
+  }
+  const Fraction cap = delta * inst.storage_lower_bound_fraction();
+  return simulate_online_list(inst, cap.floor(), policy);
+}
+
+}  // namespace storesched

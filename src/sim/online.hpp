@@ -1,0 +1,44 @@
+// Online event-driven list scheduler with a hard per-processor memory cap.
+//
+// The offline RLS of the paper fixes task placements one at a time with
+// global knowledge of processor loads. Real runtime systems (the grid
+// brokers and SoC dispatchers of the paper's motivation) instead dispatch
+// at *events*: whenever a processor falls idle, it grabs the
+// highest-priority ready task whose code still fits its memory budget.
+// This module implements that online analogue on top of the discrete-event
+// engine, primarily as a comparison point for the EXT-B bench (offline RLS
+// vs online dispatch under the same budget Delta * LB).
+#pragma once
+
+#include <optional>
+
+#include "algorithms/graham.hpp"
+#include "common/fraction.hpp"
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+
+namespace storesched {
+
+struct OnlineResult {
+  bool feasible = false;
+  Schedule schedule;  ///< timed schedule (valid only when feasible)
+  Mem cap = -1;       ///< the per-processor cap enforced (-1 = none)
+  /// First task that could fit on no processor (infeasible runs only).
+  std::optional<TaskId> stuck_task;
+};
+
+/// Dispatches `inst` online under `memory_cap` (use -1 for uncapped, which
+/// reduces to Graham list scheduling). At every event instant, each idle
+/// processor takes the highest-priority ready task whose storage fits its
+/// remaining budget; a ready task that fits no processor -- now or ever,
+/// since occupancy only grows -- aborts the run as infeasible.
+OnlineResult simulate_online_list(const Instance& inst, Mem memory_cap,
+                                  PriorityPolicy policy =
+                                      PriorityPolicy::kInputOrder);
+
+/// Convenience: cap = Delta * LB rounded down, mirroring RLS's budget.
+OnlineResult simulate_online_rls(const Instance& inst, const Fraction& delta,
+                                 PriorityPolicy policy =
+                                     PriorityPolicy::kInputOrder);
+
+}  // namespace storesched

@@ -1,0 +1,142 @@
+// Tests for the conditional-task-graph extension (paper Section 7 future
+// work): scenario expansion, Monte-Carlo schedule evaluation, conservative
+// RLS scheduling.
+#include "core/conditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+ConditionalInstance small_conditional() {
+  // 6 tasks, one branch: tasks {2,3} vs {4,5}; tasks 0,1 unconditional.
+  ConditionalInstance cond;
+  cond.base = make_instance({5, 4, 6, 6, 2, 2}, {3, 3, 5, 5, 1, 1}, 2);
+  Branch br;
+  br.arm_a = {2, 3};
+  br.arm_b = {4, 5};
+  br.prob_a = 0.5;
+  cond.branches.push_back(br);
+  return cond;
+}
+
+TEST(Conditional, ValidateCatchesBadBranches) {
+  ConditionalInstance cond = small_conditional();
+  EXPECT_NO_THROW(cond.validate());
+
+  ConditionalInstance bad_prob = small_conditional();
+  bad_prob.branches[0].prob_a = 1.5;
+  EXPECT_THROW(bad_prob.validate(), std::invalid_argument);
+
+  ConditionalInstance overlap = small_conditional();
+  overlap.branches[0].arm_b = {2};  // appears in both arms
+  EXPECT_THROW(overlap.validate(), std::invalid_argument);
+
+  ConditionalInstance out_of_range = small_conditional();
+  out_of_range.branches[0].arm_a.push_back(99);
+  EXPECT_THROW(out_of_range.validate(), std::invalid_argument);
+}
+
+TEST(Conditional, ExpandScenarioZeroesSkippedArm) {
+  const ConditionalInstance cond = small_conditional();
+  const Instance arm_a = expand_scenario(cond, std::vector<bool>{true});
+  EXPECT_EQ(arm_a.task(2).p, 6);
+  EXPECT_EQ(arm_a.task(4).p, 0);   // arm_b skipped
+  EXPECT_EQ(arm_a.task(4).s, 1);   // code stays resident
+  const Instance arm_b = expand_scenario(cond, std::vector<bool>{false});
+  EXPECT_EQ(arm_b.task(2).p, 0);
+  EXPECT_EQ(arm_b.task(4).p, 2);
+  EXPECT_EQ(arm_b.total_storage(), cond.base.total_storage());
+  EXPECT_THROW(expand_scenario(cond, std::vector<bool>{}),
+               std::invalid_argument);
+}
+
+TEST(Conditional, EvaluationBracketsTheScenarios) {
+  const ConditionalInstance cond = small_conditional();
+  const RlsResult r = schedule_conditional(cond, Fraction(3));
+  ASSERT_TRUE(r.feasible);
+
+  Rng rng(131);
+  const ConditionalEvaluation eval =
+      evaluate_conditional(cond, r.schedule, 500, rng);
+  // Every sampled makespan is bounded by the all-tasks worst case.
+  EXPECT_LE(eval.makespan.max, static_cast<double>(eval.worst_case));
+  EXPECT_GT(eval.makespan.min, 0.0);
+  // Storage is scenario-independent and equals the schedule's Mmax.
+  EXPECT_EQ(eval.mmax, mmax(cond.base, r.schedule));
+}
+
+TEST(Conditional, DegenerateProbabilitiesPinTheScenario) {
+  ConditionalInstance cond = small_conditional();
+  cond.branches[0].prob_a = 1.0;  // arm_a always runs
+  const RlsResult r = schedule_conditional(cond, Fraction(3));
+  ASSERT_TRUE(r.feasible);
+  Rng rng(132);
+  const ConditionalEvaluation eval =
+      evaluate_conditional(cond, r.schedule, 50, rng);
+  // Deterministic scenario: zero variance.
+  EXPECT_DOUBLE_EQ(eval.makespan.min, eval.makespan.max);
+  // The pinned makespan is the latest completion among tasks 0..3.
+  Time expect = 0;
+  for (const TaskId i : {0, 1, 2, 3}) {
+    expect = std::max(expect, r.schedule.start(i) + cond.base.task(i).p);
+  }
+  EXPECT_DOUBLE_EQ(eval.makespan.max, static_cast<double>(expect));
+}
+
+TEST(Conditional, NoBranchesMeansDeterministicEvaluation) {
+  ConditionalInstance cond;
+  cond.base = make_instance({3, 4, 5}, {1, 1, 1}, 2);
+  const RlsResult r = schedule_conditional(cond, Fraction(3));
+  ASSERT_TRUE(r.feasible);
+  Rng rng(133);
+  const ConditionalEvaluation eval =
+      evaluate_conditional(cond, r.schedule, 20, rng);
+  EXPECT_DOUBLE_EQ(eval.makespan.max,
+                   static_cast<double>(cmax(cond.base, r.schedule)));
+  EXPECT_DOUBLE_EQ(eval.makespan.min, eval.makespan.max);
+}
+
+TEST(Conditional, GeneratorProducesValidBranches) {
+  Rng rng(134);
+  const ConditionalInstance cond = generate_conditional(80, 4, 3, rng);
+  EXPECT_NO_THROW(cond.validate());
+  EXPECT_GE(cond.branches.size(), 1u);
+  EXPECT_LE(cond.branches.size(), 4u);
+  for (const Branch& br : cond.branches) {
+    EXPECT_FALSE(br.arm_a.empty());
+    EXPECT_EQ(br.arm_a.size(), br.arm_b.size());
+    EXPECT_GE(br.prob_a, 0.25);
+    EXPECT_LE(br.prob_a, 0.75);
+  }
+
+  // End to end: schedule conservatively, evaluate, everything consistent.
+  const RlsResult r = schedule_conditional(cond, Fraction(3));
+  ASSERT_TRUE(r.feasible);
+  const auto vr =
+      validate_schedule(cond.base, r.schedule, {.require_timed = true});
+  ASSERT_TRUE(vr.ok) << vr.error;
+  Rng eval_rng(135);
+  const ConditionalEvaluation eval =
+      evaluate_conditional(cond, r.schedule, 200, eval_rng);
+  EXPECT_LE(eval.makespan.mean, static_cast<double>(eval.worst_case));
+  EXPECT_TRUE(Fraction(eval.mmax) <= r.cap);
+}
+
+TEST(Conditional, EvaluationRejectsBadInputs) {
+  const ConditionalInstance cond = small_conditional();
+  Schedule untimed(cond.base);
+  Rng rng(136);
+  EXPECT_THROW(evaluate_conditional(cond, untimed, 10, rng),
+               std::invalid_argument);
+  const RlsResult r = schedule_conditional(cond, Fraction(3));
+  EXPECT_THROW(evaluate_conditional(cond, r.schedule, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace storesched

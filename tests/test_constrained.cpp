@@ -1,0 +1,152 @@
+// Tests for the Section 7 constrained-problem solvers (Mmax <= capacity as
+// a hard constraint, driven through RLS and SBO).
+#include "core/constrained.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/scheduler.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(ConstrainedRls, CapacityBelowLargestTaskIsInfeasible) {
+  const Instance inst = make_instance({1, 1}, {10, 4}, 2);
+  const ConstrainedResult r = solve_constrained_rls(inst, 9);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ConstrainedRls, GenerousCapacityFeasibleWithGuarantee) {
+  Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(5, 30));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_uniform(gp, rng);
+    // capacity = 3 * LB => Delta = 3 > 2: guaranteed feasible.
+    const Mem cap = (inst.storage_lower_bound_fraction() * Fraction(3)).ceil();
+    const ConstrainedResult r = solve_constrained_rls(inst, cap);
+    ASSERT_TRUE(r.feasible) << trial;
+    EXPECT_LE(r.objectives.mmax, cap);
+    EXPECT_TRUE(r.cmax_ratio.has_value());
+    EXPECT_TRUE(
+        validate_schedule(inst, r.schedule, {.memory_cap = cap}).ok);
+  }
+}
+
+TEST(ConstrainedRls, DeltaEqualsCapacityOverLb) {
+  const Instance inst = make_instance({1, 1, 1, 1}, {4, 4, 4, 4}, 2);
+  // LB = max(4, 16/2) = 8; capacity 24 -> Delta = 3.
+  const ConstrainedResult r = solve_constrained_rls(inst, 24);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.delta_used, Fraction(3));
+}
+
+TEST(ConstrainedRls, TightCapacityMayFailWithoutGuarantee) {
+  // Three equal codes on two processors with capacity exactly max_s: every
+  // processor fits one task only; the third cannot be placed.
+  const Instance inst = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const ConstrainedResult r = solve_constrained_rls(inst, 10);
+  EXPECT_FALSE(r.feasible);
+  // Capacity 20 (Delta = 4/3 <= 2, still no guarantee) happens to work:
+  // two tasks fit one processor.
+  const ConstrainedResult r2 = solve_constrained_rls(inst, 20);
+  EXPECT_TRUE(r2.feasible);
+  EXPECT_LE(r2.objectives.mmax, 20);
+  EXPECT_FALSE(r2.cmax_ratio.has_value());
+}
+
+TEST(ConstrainedRls, WorksOnDags) {
+  Rng rng(72);
+  const Instance inst = generate_dag_by_name("soc", 40, 3, {}, rng);
+  const Mem cap = (inst.storage_lower_bound_fraction() * Fraction(5, 2)).ceil();
+  const ConstrainedResult r =
+      solve_constrained_rls(inst, cap, PriorityPolicy::kBottomLevel);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(validate_schedule(inst, r.schedule,
+                                {.require_timed = true, .memory_cap = cap})
+                  .ok);
+}
+
+TEST(ConstrainedRls, ZeroStorageAlwaysFeasible) {
+  const Instance inst = make_instance({5, 3, 2}, {0, 0, 0}, 2);
+  const ConstrainedResult r = solve_constrained_rls(inst, 0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.objectives.mmax, 0);
+}
+
+TEST(ConstrainedSbo, RejectsPrecedenceAndBadArgs) {
+  Dag d(1);
+  const Instance dag_inst({{1, 1}}, 1, d);
+  const ListSchedulerAlg ls;
+  EXPECT_THROW(solve_constrained_sbo(dag_inst, 10, ls, ls), std::logic_error);
+  const Instance inst = make_instance({1}, {1}, 1);
+  EXPECT_THROW(solve_constrained_sbo(inst, -1, ls, ls), std::invalid_argument);
+}
+
+TEST(ConstrainedSbo, InfeasibleWhenPi2Busts) {
+  // Total storage 30 on 2 processors: any assignment has Mmax >= 15.
+  const Instance inst = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const LptSchedulerAlg lpt;
+  const ConstrainedResult r = solve_constrained_sbo(inst, 14, lpt, lpt);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ConstrainedSbo, FeasibleRunsRespectCapacity) {
+  Rng rng(73);
+  const LptSchedulerAlg lpt;
+  for (int trial = 0; trial < 12; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(6, 40));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_uniform(gp, rng);
+    // Capacity 2.2x the storage bound: comfortably above (1 + 1/Delta) M
+    // for some Delta, so a guaranteed parameter exists.
+    const Mem cap =
+        (inst.storage_lower_bound_fraction() * Fraction(11, 5)).ceil();
+    const ConstrainedResult r = solve_constrained_sbo(inst, cap, lpt, lpt);
+    ASSERT_TRUE(r.feasible) << trial;
+    EXPECT_LE(r.objectives.mmax, cap) << trial;
+    EXPECT_TRUE(validate_schedule(inst, r.schedule, {.memory_cap = cap}).ok);
+    EXPECT_TRUE(r.cmax_ratio.has_value());
+  }
+}
+
+TEST(ConstrainedSbo, RefinementNeverHurts) {
+  Rng rng(74);
+  const LptSchedulerAlg lpt;
+  const Instance inst = generate_anticorrelated(
+      {.n = 30, .m = 4, .p_min = 1, .p_max = 100, .s_min = 1, .s_max = 100},
+      0.2, rng);
+  const Mem cap = (inst.storage_lower_bound_fraction() * Fraction(5, 2)).ceil();
+  const ConstrainedResult coarse = solve_constrained_sbo(inst, cap, lpt, lpt, 0);
+  const ConstrainedResult fine = solve_constrained_sbo(inst, cap, lpt, lpt, 20);
+  if (coarse.feasible) {
+    ASSERT_TRUE(fine.feasible);
+    EXPECT_LE(fine.objectives.cmax, coarse.objectives.cmax);
+  }
+}
+
+TEST(ConstrainedSbo, LooseCapacityApproachesPureMakespan) {
+  // With practically infinite capacity the best probed schedule should get
+  // close to the single-objective LPT makespan.
+  Rng rng(75);
+  const LptSchedulerAlg lpt;
+  const Instance inst = generate_uniform(
+      {.n = 24, .m = 3, .p_min = 1, .p_max = 50, .s_min = 1, .s_max = 50}, rng);
+  const ConstrainedResult r =
+      solve_constrained_sbo(inst, inst.total_storage(), lpt, lpt, 24);
+  ASSERT_TRUE(r.feasible);
+  const auto lpt_assignment = lpt.assign(testing::p_weights(inst), inst.m());
+  const std::int64_t lpt_cmax =
+      partition_value(testing::p_weights(inst), lpt_assignment, inst.m());
+  EXPECT_LE(r.objectives.cmax, 2 * lpt_cmax);
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,148 @@
+// Unit tests for the precedence DAG substrate.
+#include "common/dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storesched {
+namespace {
+
+Dag diamond() {
+  // 0 -> {1, 2} -> 3
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  return d;
+}
+
+TEST(Dag, EmptyGraphBasics) {
+  const Dag d(3);
+  EXPECT_EQ(d.n(), 3u);
+  EXPECT_EQ(d.edge_count(), 0u);
+  EXPECT_EQ(d.source_count(), 3u);
+  EXPECT_EQ(d.sink_count(), 3u);
+  EXPECT_TRUE(d.is_acyclic());
+}
+
+TEST(Dag, AddEdgeRejectsBadInput) {
+  Dag d(2);
+  EXPECT_THROW(d.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(d.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(d.add_edge(-1, 1), std::invalid_argument);
+}
+
+TEST(Dag, DuplicateEdgesIgnored) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.edge_count(), 1u);
+  EXPECT_EQ(d.succs(0).size(), 1u);
+}
+
+TEST(Dag, AdjacencyAndDegrees) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.in_degree(0), 0u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+  EXPECT_EQ(d.in_degree(3), 2u);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_FALSE(d.has_edge(1, 0));
+  EXPECT_FALSE(d.has_edge(1, 2));
+}
+
+TEST(Dag, TopologicalOrderDeterministic) {
+  const Dag d = diamond();
+  const auto order = d.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<TaskId>{0, 1, 2, 3}));
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag d(5);
+  d.add_edge(4, 2);
+  d.add_edge(2, 0);
+  d.add_edge(3, 1);
+  const auto order = d.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    pos[static_cast<std::size_t>((*order)[i])] = i;
+  }
+  EXPECT_LT(pos[4], pos[2]);
+  EXPECT_LT(pos[2], pos[0]);
+  EXPECT_LT(pos[3], pos[1]);
+}
+
+TEST(Dag, CycleDetected) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.is_acyclic());
+  EXPECT_EQ(d.topological_order(), std::nullopt);
+}
+
+TEST(Dag, CriticalPathOfChain) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  const std::vector<Task> tasks{{5, 1}, {7, 1}, {2, 1}};
+  EXPECT_EQ(d.critical_path_length(tasks), 14);
+}
+
+TEST(Dag, CriticalPathPicksHeaviestBranch) {
+  const Dag d = diamond();
+  const std::vector<Task> tasks{{1, 0}, {10, 0}, {3, 0}, {2, 0}};
+  // 0 -> 1 -> 3 weighs 1 + 10 + 2 = 13; 0 -> 2 -> 3 weighs 6.
+  EXPECT_EQ(d.critical_path_length(tasks), 13);
+}
+
+TEST(Dag, TopAndBottomLevels) {
+  const Dag d = diamond();
+  const std::vector<Task> tasks{{1, 0}, {10, 0}, {3, 0}, {2, 0}};
+  const auto tl = d.top_levels(tasks);
+  const auto bl = d.bottom_levels(tasks);
+  EXPECT_EQ(tl, (std::vector<Time>{0, 1, 1, 11}));
+  EXPECT_EQ(bl, (std::vector<Time>{13, 12, 5, 2}));
+}
+
+TEST(Dag, LevelsSizeMismatchThrows) {
+  const Dag d = diamond();
+  const std::vector<Task> tasks{{1, 0}};
+  EXPECT_THROW(d.top_levels(tasks), std::invalid_argument);
+  EXPECT_THROW(d.bottom_levels(tasks), std::invalid_argument);
+}
+
+TEST(Dag, Reachability) {
+  const Dag d = diamond();
+  EXPECT_TRUE(d.reachable(0, 3));
+  EXPECT_TRUE(d.reachable(1, 3));
+  EXPECT_FALSE(d.reachable(3, 0));
+  EXPECT_FALSE(d.reachable(1, 2));
+  EXPECT_FALSE(d.reachable(1, 1));  // reachability is irreflexive here
+}
+
+TEST(Dag, Reversed) {
+  const Dag d = diamond();
+  const Dag r = d.reversed();
+  EXPECT_EQ(r.edge_count(), d.edge_count());
+  EXPECT_TRUE(r.has_edge(3, 1));
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_EQ(r.source_count(), d.sink_count());
+}
+
+TEST(Dag, SourceAndSinkCounts) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.source_count(), 1u);
+  EXPECT_EQ(d.sink_count(), 1u);
+}
+
+TEST(Dag, CriticalPathEqualsMaxTaskWhenNoEdges) {
+  const Dag d(3);
+  const std::vector<Task> tasks{{4, 0}, {9, 0}, {1, 0}};
+  EXPECT_EQ(d.critical_path_length(tasks), 9);
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,126 @@
+// Unit tests for the exact rational type underpinning every algorithmic
+// decision (SBO threshold, RLS memory cap).
+#include "common/fraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace storesched {
+namespace {
+
+TEST(Fraction, DefaultIsZero) {
+  const Fraction f;
+  EXPECT_EQ(f.num(), 0);
+  EXPECT_EQ(f.den(), 1);
+  EXPECT_EQ(f, Fraction(0));
+}
+
+TEST(Fraction, NormalizesOnConstruction) {
+  const Fraction f(6, 4);
+  EXPECT_EQ(f.num(), 3);
+  EXPECT_EQ(f.den(), 2);
+}
+
+TEST(Fraction, NormalizesNegativeDenominator) {
+  const Fraction f(3, -6);
+  EXPECT_EQ(f.num(), -1);
+  EXPECT_EQ(f.den(), 2);
+}
+
+TEST(Fraction, ZeroDenominatorThrows) {
+  EXPECT_THROW(Fraction(1, 0), std::invalid_argument);
+}
+
+TEST(Fraction, ComparisonIsExact) {
+  // 1/3 < 0.3333...34 style traps: compare p/q with near-equal fractions.
+  EXPECT_LT(Fraction(333'333'333, 1'000'000'000), Fraction(1, 3));
+  EXPECT_GT(Fraction(333'333'334, 1'000'000'000), Fraction(1, 3));
+  EXPECT_EQ(Fraction(2, 6), Fraction(1, 3));
+}
+
+TEST(Fraction, ComparisonWithLargeOperandsDoesNotOverflow) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  EXPECT_LT(Fraction(big, big + 1), Fraction(big + 1, big + 2));
+  EXPECT_GT(Fraction(big + 1, big), Fraction(big + 2, big + 1));
+}
+
+TEST(Fraction, Arithmetic) {
+  EXPECT_EQ(Fraction(1, 2) + Fraction(1, 3), Fraction(5, 6));
+  EXPECT_EQ(Fraction(1, 2) - Fraction(1, 3), Fraction(1, 6));
+  EXPECT_EQ(Fraction(2, 3) * Fraction(3, 4), Fraction(1, 2));
+  EXPECT_EQ(Fraction(1, 2) / Fraction(1, 4), Fraction(2));
+  EXPECT_EQ(-Fraction(1, 2), Fraction(-1, 2));
+}
+
+TEST(Fraction, DivisionByZeroThrows) {
+  EXPECT_THROW(Fraction(1) / Fraction(0), std::domain_error);
+}
+
+TEST(Fraction, MinMax) {
+  EXPECT_EQ(Fraction::max(Fraction(1, 2), Fraction(2, 3)), Fraction(2, 3));
+  EXPECT_EQ(Fraction::min(Fraction(1, 2), Fraction(2, 3)), Fraction(1, 2));
+  EXPECT_EQ(Fraction::max(Fraction(1, 2), Fraction(1, 2)), Fraction(1, 2));
+}
+
+TEST(Fraction, CeilFloorPositive) {
+  EXPECT_EQ(Fraction(7, 2).ceil(), 4);
+  EXPECT_EQ(Fraction(7, 2).floor(), 3);
+  EXPECT_EQ(Fraction(8, 2).ceil(), 4);
+  EXPECT_EQ(Fraction(8, 2).floor(), 4);
+}
+
+TEST(Fraction, CeilFloorNegative) {
+  EXPECT_EQ(Fraction(-7, 2).ceil(), -3);
+  EXPECT_EQ(Fraction(-7, 2).floor(), -4);
+  EXPECT_EQ(Fraction(-8, 2).ceil(), -4);
+  EXPECT_EQ(Fraction(-8, 2).floor(), -4);
+}
+
+TEST(Fraction, ToDouble) {
+  EXPECT_DOUBLE_EQ(Fraction(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Fraction(-3, 4).to_double(), -0.75);
+}
+
+TEST(Fraction, ToStringAndStream) {
+  EXPECT_EQ(Fraction(5).to_string(), "5");
+  EXPECT_EQ(Fraction(5, 2).to_string(), "5/2");
+  std::ostringstream os;
+  os << Fraction(7, 3);
+  EXPECT_EQ(os.str(), "7/3");
+}
+
+TEST(Fraction, AdditionReducesThroughWideIntermediates) {
+  // (a/b) + (c/d) with b, d ~ 2^30 requires 128-bit cross multiplication;
+  // the reduced result b*d ~ 2^60 still fits in int64.
+  const std::int64_t b = (std::int64_t{1} << 30) + 1;
+  const std::int64_t d = (std::int64_t{1} << 30) + 3;
+  const Fraction sum = Fraction(1, b) + Fraction(1, d);
+  EXPECT_EQ(sum.num(), b + d);
+  EXPECT_EQ(sum.den(), b * d);  // b, d coprime with b + d
+}
+
+TEST(Fraction, OverflowingReductionThrows) {
+  // b * d ~ 2^64 cannot be represented after reduction: explicit error
+  // instead of silent wraparound.
+  const std::int64_t b = (std::int64_t{1} << 32) + 1;
+  const std::int64_t d = (std::int64_t{1} << 32) + 3;
+  EXPECT_THROW(Fraction(1, b) + Fraction(1, d), std::overflow_error);
+}
+
+TEST(RatioLess, MatchesFractionComparison) {
+  EXPECT_TRUE(ratio_less(1, 3, 1, 2));    // 1/3 < 1/2
+  EXPECT_FALSE(ratio_less(1, 2, 1, 3));   // 1/2 < 1/3 is false
+  EXPECT_FALSE(ratio_less(2, 4, 1, 2));   // equal
+  EXPECT_TRUE(ratio_less_equal(2, 4, 1, 2));
+  EXPECT_FALSE(ratio_less_equal(3, 4, 1, 2));
+}
+
+TEST(RatioLess, LargeValuesExact) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  EXPECT_TRUE(ratio_less(big, big + 1, big + 1, big + 2));
+  EXPECT_FALSE(ratio_less(big + 1, big + 2, big, big + 1));
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,119 @@
+// Failure-injection tests: mutate known-good schedules and require the
+// validator and the discrete-event simulator to agree on acceptance, and to
+// reject every corrupted variant they should reject. This guards the two
+// independent verification paths against silently diverging.
+#include <gtest/gtest.h>
+
+#include "algorithms/graham.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "core/rls.hpp"
+#include "sim/event_sim.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+/// Applies one random corruption to a timed schedule. Returns a label for
+/// diagnostics.
+std::string corrupt(Schedule& sched, const Instance& inst, Rng& rng) {
+  const auto victim =
+      static_cast<TaskId>(rng.uniform_int(0, static_cast<std::int64_t>(inst.n()) - 1));
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      // Shift a start time earlier (overlap / precedence hazard).
+      const Time cur = sched.start(victim);
+      const Time shift = rng.uniform_int(1, std::max<Time>(2, cur + 5));
+      sched.assign(victim, sched.proc(victim), std::max<Time>(0, cur - shift));
+      return "start-shift";
+    }
+    case 1: {
+      // Move a task to another processor at the same time (overlap hazard).
+      const ProcId q =
+          static_cast<ProcId>(rng.uniform_int(0, inst.m() - 1));
+      sched.assign(victim, q, sched.start(victim));
+      return "proc-move";
+    }
+    default: {
+      // Pile everything of one processor onto time 0 (gross overlap).
+      for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+        if (sched.proc(i) == sched.proc(victim)) {
+          sched.assign(i, sched.proc(i), 0);
+        }
+      }
+      return "pile-up";
+    }
+  }
+}
+
+TEST(FuzzValidation, ValidatorAndSimulatorAgreeOnMutants) {
+  Rng rng(151);
+  int rejected = 0;
+  int accepted = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const bool dag_case = rng.bernoulli(0.5);
+    const Instance inst =
+        dag_case ? generate_dag_by_name("layered", 30, 3, {}, rng)
+                 : generate_uniform({.n = 20,
+                                     .m = 3,
+                                     .p_min = 1,
+                                     .p_max = 20,
+                                     .s_min = 1,
+                                     .s_max = 20},
+                                    rng);
+    Schedule sched = graham_list_schedule(inst, PriorityPolicy::kBottomLevel);
+    const std::string kind = corrupt(sched, inst, rng);
+
+    const bool validator_ok = validate_schedule(inst, sched,
+                                                {.require_timed = true})
+                                  .ok;
+    const bool simulator_ok = simulate_schedule(inst, sched).ok;
+    EXPECT_EQ(validator_ok, simulator_ok)
+        << "divergence on " << kind << " mutant, trial " << trial;
+    (validator_ok ? accepted : rejected) += 1;
+  }
+  // The corruptions are aggressive: a healthy harness rejects most of them
+  // (a few mutants happen to remain legal, e.g. moving onto an idle slot).
+  EXPECT_GT(rejected, 25);
+}
+
+TEST(FuzzValidation, UncorruptedSchedulesAlwaysAccepted) {
+  Rng rng(152);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Instance inst = generate_dag_by_name(
+        trial % 2 ? "random" : "cholesky", 50, 4, {}, rng);
+    const RlsResult r =
+        rls_schedule(inst, Fraction(3), PriorityPolicy::kBottomLevel);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(validate_schedule(inst, r.schedule, {.require_timed = true}).ok);
+    EXPECT_TRUE(simulate_schedule(inst, r.schedule).ok);
+  }
+}
+
+TEST(FuzzValidation, MetricAgreementUnderRandomValidSchedules) {
+  // Build arbitrary *valid* timed schedules (random assignment, serialized
+  // back-to-back) and require Schedule arithmetic == simulator replay on
+  // every metric.
+  Rng rng(153);
+  for (int trial = 0; trial < 40; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    gp.m = static_cast<int>(rng.uniform_int(1, 6));
+    const Instance inst = generate_uniform(gp, rng);
+    Schedule assignment(inst);
+    for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+      assignment.assign(
+          i, static_cast<ProcId>(rng.uniform_int(0, inst.m() - 1)));
+    }
+    const Schedule timed = serialize_assignment(inst, assignment);
+    const SimReport report = simulate_schedule(inst, timed);
+    ASSERT_TRUE(report.ok) << report.violation;
+    EXPECT_EQ(report.makespan, cmax(inst, timed));
+    EXPECT_EQ(report.peak_memory, mmax(inst, timed));
+    EXPECT_EQ(report.sum_completion, sum_completion_times(inst, timed));
+  }
+}
+
+}  // namespace
+}  // namespace storesched

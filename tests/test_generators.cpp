@@ -1,0 +1,289 @@
+// Tests for the RNG and the synthetic workload generators (independent
+// instances and DAGs), including the paper-motivated substitutes (SoC
+// pipeline, physics batch).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+
+namespace storesched {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformIntRangeAndCoverage) {
+  Rng rng(7);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    ++hits[static_cast<std::size_t>(v - 10)];
+  }
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  EXPECT_THROW(rng.uniform_int(4, 3), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ParetoIntBoundsAndSkew) {
+  Rng rng(11);
+  double sum = 0;
+  int at_low_half = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const std::int64_t v = rng.pareto_int(5, 5000, 1.1);
+    ASSERT_GE(v, 5);
+    ASSERT_LE(v, 5000);
+    sum += static_cast<double>(v);
+    if (v < 50) ++at_low_half;
+  }
+  // Heavy tail: most mass near the minimum, mean well below the midpoint.
+  EXPECT_GT(at_low_half, trials / 2);
+  EXPECT_LT(sum / trials, 2500.0);
+  EXPECT_THROW(rng.pareto_int(0, 10, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto_int(1, 10, 0.0), std::invalid_argument);
+}
+
+TEST(Generators, UniformRespectsRanges) {
+  Rng rng(1);
+  const GenParams params{.n = 200, .m = 4, .p_min = 5, .p_max = 50,
+                         .s_min = 2, .s_max = 30};
+  const Instance inst = generate_uniform(params, rng);
+  EXPECT_EQ(inst.n(), 200u);
+  EXPECT_EQ(inst.m(), 4);
+  for (const Task& t : inst.tasks()) {
+    EXPECT_GE(t.p, 5);
+    EXPECT_LE(t.p, 50);
+    EXPECT_GE(t.s, 2);
+    EXPECT_LE(t.s, 30);
+  }
+}
+
+TEST(Generators, DeterministicAcrossRuns) {
+  const GenParams params{.n = 50, .m = 2, .p_min = 1, .p_max = 9,
+                         .s_min = 1, .s_max = 9};
+  Rng r1(123);
+  Rng r2(123);
+  const Instance a = generate_uniform(params, r1);
+  const Instance b = generate_uniform(params, r2);
+  for (TaskId i = 0; i < static_cast<TaskId>(a.n()); ++i) {
+    EXPECT_EQ(a.task(i), b.task(i));
+  }
+}
+
+double correlation(const Instance& inst) {
+  const double n = static_cast<double>(inst.n());
+  double mp = 0;
+  double ms = 0;
+  for (const Task& t : inst.tasks()) {
+    mp += static_cast<double>(t.p);
+    ms += static_cast<double>(t.s);
+  }
+  mp /= n;
+  ms /= n;
+  double cov = 0;
+  double vp = 0;
+  double vs = 0;
+  for (const Task& t : inst.tasks()) {
+    const double dp = static_cast<double>(t.p) - mp;
+    const double ds = static_cast<double>(t.s) - ms;
+    cov += dp * ds;
+    vp += dp * dp;
+    vs += ds * ds;
+  }
+  return cov / std::sqrt(vp * vs);
+}
+
+TEST(Generators, CorrelationSigns) {
+  Rng rng(5);
+  const GenParams params{.n = 400, .m = 4, .p_min = 1, .p_max = 100,
+                         .s_min = 1, .s_max = 100};
+  EXPECT_GT(correlation(generate_correlated(params, 0.2, rng)), 0.7);
+  EXPECT_LT(correlation(generate_anticorrelated(params, 0.2, rng)), -0.7);
+}
+
+TEST(Generators, BimodalHeavyFraction) {
+  Rng rng(6);
+  const GenParams params{.n = 500, .m = 4, .p_min = 1, .p_max = 100,
+                         .s_min = 1, .s_max = 100};
+  const Instance inst = generate_bimodal(params, 0.3, rng);
+  const auto heavy = static_cast<std::size_t>(std::count_if(
+      inst.tasks().begin(), inst.tasks().end(),
+      [](const Task& t) { return t.p >= 90; }));
+  EXPECT_GT(heavy, 100u);
+  EXPECT_LT(heavy, 200u);
+}
+
+TEST(Generators, PhysicsBatchShape) {
+  Rng rng(8);
+  const Instance inst = generate_physics_batch(300, 8, 1.2, rng);
+  EXPECT_EQ(inst.n(), 300u);
+  for (const Task& t : inst.tasks()) {
+    EXPECT_GE(t.p, 5);
+    EXPECT_LE(t.p, 5000);
+    EXPECT_GE(t.s, 10);  // baseline result size
+  }
+  EXPECT_GT(correlation(inst), 0.5);  // outputs grow with runtime
+}
+
+TEST(Generators, MemoryTightTotals) {
+  Rng rng(13);
+  const GenParams params{.n = 64, .m = 4, .p_min = 1, .p_max = 10,
+                         .s_min = 1, .s_max = 1000};
+  const Instance inst = generate_memory_tight(params, 1.5, rng);
+  const double target = 4 * 1.5 * 1000.0;
+  EXPECT_GT(static_cast<double>(inst.total_storage()), 0.5 * target);
+  EXPECT_LT(static_cast<double>(inst.total_storage()), 2.0 * target);
+}
+
+TEST(Generators, ByNameDispatchAndUnknown) {
+  Rng rng(3);
+  const GenParams params;
+  EXPECT_NO_THROW(generate_by_name("uniform", params, rng));
+  EXPECT_NO_THROW(generate_by_name("correlated", params, rng));
+  EXPECT_NO_THROW(generate_by_name("anticorrelated", params, rng));
+  EXPECT_NO_THROW(generate_by_name("bimodal", params, rng));
+  EXPECT_THROW(generate_by_name("nope", params, rng), std::invalid_argument);
+}
+
+TEST(Generators, InvalidParamsThrow) {
+  Rng rng(1);
+  GenParams bad;
+  bad.n = 0;
+  EXPECT_THROW(generate_uniform(bad, rng), std::invalid_argument);
+  GenParams bad2;
+  bad2.p_min = 0;
+  EXPECT_THROW(generate_uniform(bad2, rng), std::invalid_argument);
+  GenParams ok;
+  EXPECT_THROW(generate_correlated(ok, 1.5, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DAG generators.
+// ---------------------------------------------------------------------------
+
+TEST(DagGenerators, LayeredShapeAndAcyclicity) {
+  Rng rng(2);
+  const Instance inst = generate_layered_dag(5, 4, 0.5, 3, {}, rng);
+  EXPECT_EQ(inst.n(), 20u);
+  ASSERT_TRUE(inst.has_precedence());
+  EXPECT_TRUE(inst.dag().is_acyclic());
+  // Tight layering: every non-first-layer task has a predecessor.
+  for (TaskId i = 4; i < 20; ++i) {
+    EXPECT_GT(inst.dag().in_degree(i), 0u);
+  }
+}
+
+TEST(DagGenerators, RandomDagAcyclic) {
+  Rng rng(4);
+  const Instance inst = generate_random_dag(60, 0.15, 4, {}, rng);
+  EXPECT_EQ(inst.n(), 60u);
+  EXPECT_TRUE(inst.dag().is_acyclic());
+  EXPECT_GT(inst.dag().edge_count(), 0u);
+}
+
+TEST(DagGenerators, ForkJoinStructure) {
+  Rng rng(5);
+  const Instance inst = generate_fork_join(3, 2, 2, {}, rng);
+  EXPECT_EQ(inst.n(), 2u + 3u * 2u);
+  const Dag& d = inst.dag();
+  EXPECT_EQ(d.source_count(), 1u);
+  EXPECT_EQ(d.sink_count(), 1u);
+  EXPECT_EQ(d.out_degree(0), 3u);
+  EXPECT_EQ(d.in_degree(static_cast<TaskId>(inst.n() - 1)), 3u);
+}
+
+TEST(DagGenerators, TreesHaveTreeEdgeCounts) {
+  Rng rng(6);
+  const Instance out = generate_out_tree(2, 3, 2, {}, rng);
+  EXPECT_EQ(out.n(), 15u);  // complete binary tree, height 3
+  EXPECT_EQ(out.dag().edge_count(), 14u);
+  EXPECT_EQ(out.dag().source_count(), 1u);
+
+  const Instance in = generate_in_tree(2, 3, 2, {}, rng);
+  EXPECT_EQ(in.dag().sink_count(), 1u);
+  EXPECT_EQ(in.dag().source_count(), 8u);  // the leaves
+}
+
+TEST(DagGenerators, CholeskyCountsMatchFormula) {
+  Rng rng(7);
+  const int T = 4;
+  const Instance inst = generate_cholesky_dag(T, 4, {}, rng);
+  // POTRF: T, TRSM: T(T-1)/2, SYRK: T(T-1)/2, GEMM: T(T-1)(T-2)/6.
+  const std::size_t expected = 4u + 6u + 6u + 4u;
+  EXPECT_EQ(inst.n(), expected);
+  EXPECT_TRUE(inst.dag().is_acyclic());
+  EXPECT_EQ(inst.dag().source_count(), 1u);  // POTRF(0) roots the graph
+}
+
+TEST(DagGenerators, FftButterflyShape) {
+  Rng rng(8);
+  const Instance inst = generate_fft_dag(3, 2, {}, rng);
+  EXPECT_EQ(inst.n(), 8u * 4u);  // 2^3 points, 3+1 stages
+  EXPECT_TRUE(inst.dag().is_acyclic());
+  // Every non-input node consumes exactly two upstream values.
+  for (TaskId i = 8; i < static_cast<TaskId>(inst.n()); ++i) {
+    EXPECT_EQ(inst.dag().in_degree(i), 2u);
+  }
+}
+
+TEST(DagGenerators, SocPipelineSharesStageCode) {
+  Rng rng(9);
+  const Instance inst = generate_soc_pipeline(4, 3, 2, {}, rng);
+  EXPECT_EQ(inst.n(), 12u);
+  EXPECT_TRUE(inst.dag().is_acyclic());
+  // Replicas of one stage share the stage's code size.
+  for (int st = 0; st < 4; ++st) {
+    const Mem code = inst.task(static_cast<TaskId>(st * 3)).s;
+    for (int r = 1; r < 3; ++r) {
+      EXPECT_EQ(inst.task(static_cast<TaskId>(st * 3 + r)).s, code);
+    }
+  }
+}
+
+TEST(DagGenerators, ByNameDispatch) {
+  Rng rng(10);
+  for (const char* name :
+       {"layered", "random", "forkjoin", "cholesky", "fft", "soc"}) {
+    const Instance inst = generate_dag_by_name(name, 50, 4, {}, rng);
+    EXPECT_TRUE(inst.has_precedence()) << name;
+    EXPECT_TRUE(inst.dag().is_acyclic()) << name;
+    EXPECT_GE(inst.n(), 4u) << name;
+  }
+  EXPECT_THROW(generate_dag_by_name("nope", 50, 4, {}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,160 @@
+// Tests for Graham list scheduling on DAGs, the SPT schedule, priority
+// policies, and the MakespanScheduler factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "algorithms/graham.hpp"
+#include "algorithms/scheduler.hpp"
+#include "common/dag_generators.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(PriorityOrder, PoliciesSortAsDocumented) {
+  const Instance inst = make_instance({3, 1, 2}, {5, 9, 1}, 2);
+  EXPECT_EQ(priority_order(inst, PriorityPolicy::kInputOrder),
+            (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(priority_order(inst, PriorityPolicy::kSpt),
+            (std::vector<TaskId>{1, 2, 0}));
+  EXPECT_EQ(priority_order(inst, PriorityPolicy::kLpt),
+            (std::vector<TaskId>{0, 2, 1}));
+  EXPECT_EQ(priority_order(inst, PriorityPolicy::kSmallestStorage),
+            (std::vector<TaskId>{2, 0, 1}));
+  EXPECT_EQ(priority_order(inst, PriorityPolicy::kLargestStorage),
+            (std::vector<TaskId>{1, 0, 2}));
+}
+
+TEST(PriorityOrder, BottomLevelUsesDag) {
+  Dag d(3);
+  d.add_edge(0, 1);  // 0 -> 1, task 2 free
+  const Instance inst({{1, 1}, {5, 1}, {4, 1}}, 2, d);
+  // Bottom levels: task0 = 6, task1 = 5, task2 = 4.
+  EXPECT_EQ(priority_order(inst, PriorityPolicy::kBottomLevel),
+            (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(GrahamList, IndependentMatchesGreedy) {
+  const Instance inst = make_instance({3, 3, 2, 2}, {1, 1, 1, 1}, 2);
+  const Schedule sched = graham_list_schedule(inst);
+  EXPECT_TRUE(validate_schedule(inst, sched, {.require_timed = true}).ok);
+  EXPECT_EQ(cmax(inst, sched), 5);
+}
+
+TEST(GrahamList, RespectsPrecedences) {
+  Rng rng(31);
+  const Instance inst = generate_random_dag(40, 0.15, 3, {}, rng);
+  const Schedule sched = graham_list_schedule(inst, PriorityPolicy::kBottomLevel);
+  EXPECT_TRUE(validate_schedule(inst, sched, {.require_timed = true}).ok);
+}
+
+TEST(GrahamList, ChainSerializes) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  const Instance inst({{2, 1}, {3, 1}, {4, 1}}, 4, d);
+  const Schedule sched = graham_list_schedule(inst);
+  EXPECT_EQ(cmax(inst, sched), 9);  // pure chain: critical path
+}
+
+TEST(GrahamList, RatioBoundOnRandomDags) {
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_layered_dag(4, 5, 0.3, m, {}, rng);
+    const Schedule sched =
+        graham_list_schedule(inst, PriorityPolicy::kBottomLevel);
+    const Time got = cmax(inst, sched);
+    const Time lb = inst.time_lower_bound();
+    // Graham: Cmax <= (2 - 1/m) C*max, and C*max >= lb.
+    EXPECT_LE(got * m, (2 * m - 1) * std::max<Time>(lb, 1)) << trial;
+  }
+}
+
+TEST(GrahamList, NoUnforcedIdleOnIndependent) {
+  // With independent tasks a processor never idles while work remains:
+  // makespan <= sum of any two... check the no-idle invariant directly.
+  Rng rng(33);
+  const Instance inst = make_instance({7, 3, 5, 1, 2, 6}, {1, 1, 1, 1, 1, 1}, 2);
+  const Schedule sched = graham_list_schedule(inst);
+  const auto loads = processor_loads(inst, sched);
+  const Time span = cmax(inst, sched);
+  // All processors busy until at least span - max_p.
+  for (const Time load : loads) {
+    EXPECT_GE(load, span - inst.max_p());
+  }
+}
+
+TEST(Spt, OptimalSumCompletionOnSmallInstances) {
+  // Cross-check SPT's sum Ci against exhaustive search over assignments and
+  // orders: for identical machines, checking all assignments with SPT order
+  // inside each machine is sufficient (exchange argument).
+  const Instance inst = make_instance({4, 1, 3, 2}, {1, 1, 1, 1}, 2);
+  const Schedule spt = spt_schedule(inst);
+  EXPECT_TRUE(validate_schedule(inst, spt, {.require_timed = true}).ok);
+  const Time spt_val = sum_completion_times(inst, spt);
+
+  Time best = std::numeric_limits<Time>::max();
+  for (int mask = 0; mask < 16; ++mask) {
+    std::vector<std::vector<Time>> per_proc(2);
+    for (int i = 0; i < 4; ++i) {
+      per_proc[static_cast<std::size_t>((mask >> i) & 1)].push_back(
+          inst.task(i).p);
+    }
+    Time total = 0;
+    for (auto& times : per_proc) {
+      std::sort(times.begin(), times.end());
+      Time clock = 0;
+      for (const Time p : times) {
+        clock += p;
+        total += clock;
+      }
+    }
+    best = std::min(best, total);
+  }
+  EXPECT_EQ(spt_val, best);
+  EXPECT_EQ(optimal_sum_completion(inst), best);
+}
+
+TEST(Spt, RejectsPrecedence) {
+  Dag d(1);
+  const Instance inst({{1, 1}}, 1, d);
+  EXPECT_THROW(spt_schedule(inst), std::logic_error);
+}
+
+TEST(SchedulerFactory, KnownNames) {
+  for (const char* name :
+       {"ls", "lpt", "multifit", "ptas2", "ptas3", "exact", "kopt4"}) {
+    const auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_FALSE(sched->name().empty());
+  }
+  EXPECT_THROW(make_scheduler("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("kopt99"), std::invalid_argument);
+}
+
+TEST(SchedulerFactory, RatioFormulas) {
+  EXPECT_EQ(make_scheduler("ls")->ratio(4), Fraction(7, 4));
+  EXPECT_EQ(make_scheduler("lpt")->ratio(3), Fraction(11, 9));
+  EXPECT_EQ(make_scheduler("multifit")->ratio(2), Fraction(13, 11));
+  EXPECT_EQ(make_scheduler("ptas2")->ratio(8), Fraction(3, 2));
+  EXPECT_EQ(make_scheduler("ptas3")->ratio(8), Fraction(4, 3));
+  EXPECT_EQ(make_scheduler("exact")->ratio(5), Fraction(1));
+  // KOPT: 1 + (1 - 1/m)/(1 + floor(k/m)) with k=4, m=2 -> 1 + (1/2)/3 = 7/6.
+  EXPECT_EQ(make_scheduler("kopt4")->ratio(2), Fraction(7, 6));
+}
+
+TEST(SchedulerFactory, AssignGoesThroughUnderlyingAlgorithm) {
+  const std::vector<std::int64_t> w{5, 5, 5, 5};
+  const auto sched = make_scheduler("lpt");
+  const auto assign = sched->assign(w, 2);
+  EXPECT_EQ(partition_value(w, assign, 2), 10);
+}
+
+}  // namespace
+}  // namespace storesched

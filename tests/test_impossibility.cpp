@@ -1,0 +1,175 @@
+// Tests for the Section 4 negative results: lemma witness points, the
+// impossibility-domain frontier behind Figure 3, and cross-validation of
+// the claims against exhaustive enumeration of the gadget instances.
+#include "core/impossibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/paper_instances.hpp"
+#include "core/pareto_enum.hpp"
+
+namespace storesched {
+namespace {
+
+TEST(Lemma1, WitnessPoints) {
+  const auto pts = lemma1_bounds();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (RatioPoint{Fraction(1), Fraction(2)}));
+  EXPECT_EQ(pts[1], (RatioPoint{Fraction(2), Fraction(1)}));
+}
+
+TEST(Lemma2, IntegerWitnessFormula) {
+  // m=2, k=2: i=0 -> (1, 2); i=1 -> (1 + 1/4, 1 + 1/2); i=2 -> (3/2, 1).
+  EXPECT_EQ(lemma2_bound(2, 2, 0), (RatioPoint{Fraction(1), Fraction(2)}));
+  EXPECT_EQ(lemma2_bound(2, 2, 1),
+            (RatioPoint{Fraction(5, 4), Fraction(3, 2)}));
+  EXPECT_EQ(lemma2_bound(2, 2, 2), (RatioPoint{Fraction(3, 2), Fraction(1)}));
+  EXPECT_THROW(lemma2_bound(1, 2, 0), std::invalid_argument);
+  EXPECT_THROW(lemma2_bound(2, 2, 3), std::invalid_argument);
+}
+
+TEST(Lemma2, ContinuousMatchesIntegerAtGridPoints) {
+  for (int m = 2; m <= 5; ++m) {
+    for (int k = 2; k <= 4; ++k) {
+      for (int i = 0; i <= k; ++i) {
+        const RatioPoint a = lemma2_bound(m, k, i);
+        const RatioPoint b = lemma2_bound_continuous(m, Fraction(i, k));
+        // The continuous x uses u/m = i/(km): identical.
+        EXPECT_EQ(a.x, b.x);
+        EXPECT_EQ(a.y, b.y);
+      }
+    }
+  }
+}
+
+TEST(Lemma3, Witness) {
+  EXPECT_EQ(lemma3_bound(), (RatioPoint{Fraction(3, 2), Fraction(3, 2)}));
+}
+
+TEST(Frontier, KeyValues) {
+  // At x = 1 the binding constraint is Lemma 2 with the largest m: y = m.
+  EXPECT_EQ(impossibility_frontier(Fraction(1), 6), Fraction(6));
+  EXPECT_EQ(impossibility_frontier(Fraction(1), 3), Fraction(3));
+  // Just below 3/2, Lemma 3 keeps the frontier at >= 3/2.
+  EXPECT_TRUE(Fraction(3, 2) <=
+              impossibility_frontier(Fraction(149, 100), 6));
+  // At x = 5/2 only the symmetric Lemma 2 segments bite; with m <= 6 the
+  // binding one is m = 4 (or 5): u_max = 1/2 -> y = 1 + (1/2)/4 = 9/8.
+  EXPECT_EQ(impossibility_frontier(Fraction(5, 2), 6), Fraction(9, 8));
+  // Beyond x = max_m every constraint is exhausted: frontier collapses to 1.
+  EXPECT_EQ(impossibility_frontier(Fraction(6), 6), Fraction(1));
+}
+
+TEST(Frontier, MonotoneNonIncreasing) {
+  Fraction prev = impossibility_frontier(Fraction(1), 6);
+  for (int step = 1; step <= 30; ++step) {
+    const Fraction x = Fraction(1) + Fraction(step, 20);  // 1 .. 2.5
+    const Fraction cur = impossibility_frontier(x, 6);
+    EXPECT_TRUE(cur <= prev) << "x = " << x.to_string();
+    prev = cur;
+  }
+}
+
+TEST(Frontier, SymmetricPairs) {
+  // The domain is symmetric: frontier_y(x) >= y iff frontier_y(y) >= x
+  // cannot be asserted pointwise, but the lemma-2 symmetric segments must
+  // make (x, y) and (y, x) equally impossible.
+  const std::vector<std::pair<Fraction, Fraction>> pts{
+      {Fraction(11, 10), Fraction(5, 4)},
+      {Fraction(6, 5), Fraction(11, 8)},
+      {Fraction(4, 3), Fraction(4, 3)},
+  };
+  for (const auto& [x, y] : pts) {
+    EXPECT_EQ(is_impossible(x, y, 6), is_impossible(y, x, 6))
+        << x.to_string() << "," << y.to_string();
+  }
+}
+
+TEST(Impossible, LemmaWitnessesAreBoundary) {
+  // Strictly inside every witness: impossible. At/above it: not proven
+  // impossible by that witness alone.
+  EXPECT_TRUE(is_impossible(Fraction(99, 100), Fraction(199, 100), 6));
+  EXPECT_TRUE(is_impossible(Fraction(149, 100), Fraction(149, 100), 6));
+  EXPECT_FALSE(is_impossible(Fraction(2), Fraction(2), 6));
+  EXPECT_FALSE(is_impossible(Fraction(3, 2), Fraction(2), 6));
+}
+
+TEST(SboCurve, NeverEntersImpossibleDomain) {
+  // Corollary 1's achievable curve (1 + Delta, 1 + 1/Delta) must stay out
+  // of the impossibility domain for every Delta -- otherwise the paper
+  // would contradict itself.
+  for (int num = 1; num <= 40; ++num) {
+    const Fraction delta(num, 10);  // 0.1 .. 4.0
+    const RatioPoint pt = sbo_curve_point(delta);
+    EXPECT_FALSE(is_impossible(pt.x, pt.y, 8))
+        << "Delta = " << delta.to_string();
+  }
+}
+
+TEST(SboCurve, EndpointBehaviour) {
+  EXPECT_EQ(sbo_curve_point(Fraction(1)),
+            (RatioPoint{Fraction(2), Fraction(2)}));
+  EXPECT_EQ(sbo_curve_point(Fraction(1, 2)),
+            (RatioPoint{Fraction(3, 2), Fraction(3)}));
+  EXPECT_THROW(sbo_curve_point(Fraction(0)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation against exhaustive enumeration: the gadget instances
+// really do exclude the claimed ratio pairs.
+// ---------------------------------------------------------------------------
+
+TEST(CrossCheck, Figure1InstanceExcludesOneSevenFourths) {
+  // Section 4.1: a (1, 7/4)-approximation cannot exist. Enumerate the
+  // scaled gadget: no schedule has Cmax <= 1 * C* AND Mmax <= 7/4 * M*.
+  const Instance inst = fig1_instance(100);
+  const auto enumeration = enumerate_pareto(inst);
+  const Time c_star = enumeration.optimal_cmax();
+  const Mem m_star = enumeration.optimal_mmax();
+  for (const LabelledPoint& pt : enumeration.front) {
+    const bool both = Fraction(pt.value.cmax) <= Fraction(c_star) &&
+                      Fraction(pt.value.mmax) * Fraction(4) <=
+                          Fraction(7) * Fraction(m_star);
+    EXPECT_FALSE(both) << "a (1, 7/4)-approximation would exist";
+  }
+}
+
+TEST(CrossCheck, Lemma2InstancePointsAreParetoOptimal) {
+  // For m=2, k=3: the k+1 described solutions are exactly the Pareto set.
+  const int m = 2;
+  const int k = 3;
+  const Time eps_inv = 60;
+  const Instance inst = lemma2_instance(m, k, eps_inv);
+  const auto enumeration = enumerate_pareto(inst);
+  ASSERT_EQ(enumeration.front.size(), static_cast<std::size_t>(k + 1));
+
+  const auto scale = lemma2_scale(m, k, eps_inv);
+  for (int i = 0; i <= k; ++i) {
+    // Solution i: makespan (1 + i/(km)) * km_scaled, memory
+    // (k + (k-i)(m-1)) * eps_inv for i < k, k * eps_inv + 1 for i = k.
+    const Time expect_c = scale.time_scale + i;  // km + i in scaled units
+    const Mem expect_m =
+        i == k ? k * eps_inv + 1
+               : (k + (static_cast<Mem>(k) - i) * (m - 1)) * eps_inv;
+    const auto& pt = enumeration.front[static_cast<std::size_t>(i)];
+    EXPECT_EQ(pt.value.cmax, expect_c) << "i = " << i;
+    EXPECT_EQ(pt.value.mmax, expect_m) << "i = " << i;
+  }
+}
+
+TEST(CrossCheck, Lemma3InstanceExcludesBetterThanThreeHalves) {
+  // Section 4.3 with eps close to 1/2: no schedule beats (3/2, 3/2).
+  const Instance inst = fig2_instance(2);  // eps = 1/2 exactly
+  const auto enumeration = enumerate_pareto(inst);
+  const Time c_star = enumeration.optimal_cmax();
+  const Mem m_star = enumeration.optimal_mmax();
+  for (const LabelledPoint& pt : enumeration.front) {
+    const bool both_strict =
+        Fraction(pt.value.cmax) * Fraction(2) < Fraction(3) * Fraction(c_star) &&
+        Fraction(pt.value.mmax) * Fraction(2) < Fraction(3) * Fraction(m_star);
+    EXPECT_FALSE(both_strict);
+  }
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,204 @@
+// Unit tests for Instance and Schedule: bounds, metrics, serialization of
+// assignments into timed schedules, and validation of machine invariants.
+#include <gtest/gtest.h>
+
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(Instance, AggregatesAndBounds) {
+  const Instance inst = make_instance({3, 5, 4}, {2, 7, 3}, 2);
+  EXPECT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.m(), 2);
+  EXPECT_EQ(inst.total_work(), 12);
+  EXPECT_EQ(inst.total_storage(), 12);
+  EXPECT_EQ(inst.max_p(), 5);
+  EXPECT_EQ(inst.max_s(), 7);
+  EXPECT_EQ(inst.time_lower_bound(), 6);     // ceil(12/2) = 6 > max_p
+  EXPECT_EQ(inst.storage_lower_bound(), 7);  // max_s = 7 > 12/2
+  EXPECT_EQ(inst.time_lower_bound_fraction(), Fraction(6));
+  EXPECT_EQ(inst.storage_lower_bound_fraction(), Fraction(7));
+}
+
+TEST(Instance, FractionalAverageBound) {
+  const Instance inst = make_instance({1, 1, 1}, {1, 1, 1}, 2);
+  EXPECT_EQ(inst.time_lower_bound_fraction(), Fraction(3, 2));
+  EXPECT_EQ(inst.time_lower_bound(), 2);  // integer ceiling
+}
+
+TEST(Instance, RejectsBadInput) {
+  EXPECT_THROW(Instance({{1, 1}}, 0), std::invalid_argument);
+  EXPECT_THROW(Instance({{-1, 1}}, 2), std::invalid_argument);
+  EXPECT_THROW(Instance({{1, -1}}, 2), std::invalid_argument);
+}
+
+TEST(Instance, DagSizeMismatchAndCyclesRejected) {
+  Dag wrong(2);
+  EXPECT_THROW(Instance({{1, 1}}, 2, wrong), std::invalid_argument);
+  Dag cyc(2);
+  cyc.add_edge(0, 1);
+  cyc.add_edge(1, 0);
+  EXPECT_THROW(Instance({{1, 1}, {1, 1}}, 2, cyc), std::invalid_argument);
+}
+
+TEST(Instance, CriticalPathWithAndWithoutDag) {
+  const Instance free_inst = make_instance({4, 2}, {1, 1}, 2);
+  EXPECT_EQ(free_inst.critical_path(), 4);
+
+  Dag chain(2);
+  chain.add_edge(0, 1);
+  const Instance dag_inst({{4, 1}, {2, 1}}, 2, chain);
+  EXPECT_EQ(dag_inst.critical_path(), 6);
+  EXPECT_EQ(dag_inst.time_lower_bound(), 6);
+}
+
+TEST(Instance, SwappedExchangesObjectives) {
+  const Instance inst = make_instance({3, 5}, {2, 7}, 2);
+  const Instance sw = inst.swapped();
+  EXPECT_EQ(sw.task(0).p, 2);
+  EXPECT_EQ(sw.task(0).s, 3);
+  EXPECT_EQ(sw.max_p(), inst.max_s());
+  EXPECT_EQ(sw.total_work(), inst.total_storage());
+}
+
+TEST(Instance, SwappedThrowsOnDag) {
+  Dag d(1);
+  const Instance inst({{1, 1}}, 1, d);
+  EXPECT_THROW(inst.swapped(), std::logic_error);
+}
+
+TEST(Schedule, AssignmentAndMetrics) {
+  const Instance inst = make_instance({3, 5, 4}, {2, 7, 3}, 2);
+  Schedule sched(inst);
+  EXPECT_FALSE(sched.fully_assigned());
+  sched.assign(0, 0);
+  sched.assign(1, 1);
+  sched.assign(2, 0);
+  EXPECT_TRUE(sched.fully_assigned());
+  EXPECT_FALSE(sched.timed());
+
+  EXPECT_EQ(processor_loads(inst, sched), (std::vector<Time>{7, 5}));
+  EXPECT_EQ(processor_storage(inst, sched), (std::vector<Mem>{5, 7}));
+  EXPECT_EQ(cmax(inst, sched), 7);
+  EXPECT_EQ(mmax(inst, sched), 7);
+  EXPECT_EQ(objectives(inst, sched), (ObjectivePoint{7, 7}));
+}
+
+TEST(Schedule, TimedMetrics) {
+  const Instance inst = make_instance({3, 5}, {1, 1}, 2);
+  Schedule sched(inst);
+  sched.assign(0, 0, 0);
+  sched.assign(1, 0, 3);
+  EXPECT_TRUE(sched.timed());
+  EXPECT_EQ(cmax(inst, sched), 8);
+  EXPECT_EQ(sum_completion_times(inst, sched), 3 + 8);
+  EXPECT_EQ(tri_objectives(inst, sched), (TriObjectivePoint{8, 2, 11}));
+}
+
+TEST(Schedule, SumCompletionRequiresTiming) {
+  const Instance inst = make_instance({3}, {1}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0);
+  EXPECT_THROW(sum_completion_times(inst, sched), std::logic_error);
+}
+
+TEST(Schedule, RejectsBadAssignments) {
+  const Instance inst = make_instance({3}, {1}, 2);
+  Schedule sched(inst);
+  EXPECT_THROW(sched.assign(0, 2), std::invalid_argument);
+  EXPECT_THROW(sched.assign(0, -1), std::invalid_argument);
+  EXPECT_THROW(sched.assign(0, 0, -5), std::invalid_argument);
+}
+
+TEST(Schedule, SerializeAssignmentBackToBack) {
+  const Instance inst = make_instance({3, 5, 4}, {1, 1, 1}, 2);
+  Schedule sched(inst);
+  sched.assign(0, 0);
+  sched.assign(1, 1);
+  sched.assign(2, 0);
+  const Schedule timed = serialize_assignment(inst, sched);
+  EXPECT_TRUE(timed.timed());
+  EXPECT_EQ(timed.start(0), 0);
+  EXPECT_EQ(timed.start(2), 3);  // follows task 0 on processor 0
+  EXPECT_EQ(timed.start(1), 0);
+  EXPECT_EQ(cmax(inst, timed), cmax(inst, sched));
+  EXPECT_TRUE(validate_schedule(inst, timed, {.require_timed = true}).ok);
+}
+
+TEST(Schedule, SerializeRespectsPriority) {
+  const Instance inst = make_instance({3, 4}, {1, 1}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0);
+  sched.assign(1, 0);
+  const std::vector<TaskId> priority{1, 0};
+  const Schedule timed = serialize_assignment(inst, sched, priority);
+  EXPECT_EQ(timed.start(1), 0);
+  EXPECT_EQ(timed.start(0), 4);
+}
+
+TEST(Validate, DetectsUnassigned) {
+  const Instance inst = make_instance({1}, {1}, 1);
+  const Schedule sched(inst);
+  const auto r = validate_schedule(inst, sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unassigned"), std::string::npos);
+}
+
+TEST(Validate, DetectsOverlap) {
+  const Instance inst = make_instance({5, 5}, {1, 1}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0, 0);
+  sched.assign(1, 0, 3);  // overlaps [0,5)
+  const auto r = validate_schedule(inst, sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("overlap"), std::string::npos);
+}
+
+TEST(Validate, AcceptsTouchingIntervals) {
+  const Instance inst = make_instance({5, 5}, {1, 1}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0, 0);
+  sched.assign(1, 0, 5);
+  EXPECT_TRUE(validate_schedule(inst, sched).ok);
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  const Instance inst({{5, 1}, {2, 1}}, 2, d);
+  Schedule sched(inst);
+  sched.assign(0, 0, 0);
+  sched.assign(1, 1, 3);  // starts before task 0 finishes at 5
+  const auto r = validate_schedule(inst, sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("precedence"), std::string::npos);
+}
+
+TEST(Validate, PrecedenceInstancesRequireTiming) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  const Instance inst({{5, 1}, {2, 1}}, 2, d);
+  Schedule sched(inst);
+  sched.assign(0, 0);
+  sched.assign(1, 1);
+  EXPECT_FALSE(validate_schedule(inst, sched).ok);
+}
+
+TEST(Validate, EnforcesMemoryCap) {
+  const Instance inst = make_instance({1, 1}, {4, 5}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0);
+  sched.assign(1, 0);
+  EXPECT_TRUE(validate_schedule(inst, sched, {.memory_cap = 9}).ok);
+  const auto r = validate_schedule(inst, sched, {.memory_cap = 8});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,193 @@
+// Integration tests: full pipelines across modules -- generate a workload,
+// schedule it with the paper's algorithms, validate structurally, replay in
+// the simulator, and check every proven guarantee end to end.
+#include <gtest/gtest.h>
+
+#include "algorithms/graham.hpp"
+#include "algorithms/scheduler.hpp"
+#include "common/dag_generators.hpp"
+#include "common/gantt.hpp"
+#include "common/generators.hpp"
+#include "common/io.hpp"
+#include "common/paper_instances.hpp"
+#include "common/rng.hpp"
+#include "core/constrained.hpp"
+#include "core/pareto_enum.hpp"
+#include "core/rls.hpp"
+#include "core/sbo.hpp"
+#include "core/theory.hpp"
+#include "core/triobjective.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/online.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+TEST(Integration, SboPipelineOnPhysicsWorkload) {
+  Rng rng(91);
+  const Instance inst = generate_physics_batch(400, 8, 1.3, rng);
+  const LptSchedulerAlg lpt;
+  const Fraction delta(1);
+  const SboResult r = sbo_schedule(inst, delta, lpt);
+
+  // Structural validity, then serialize and replay through the simulator.
+  ASSERT_TRUE(validate_schedule(inst, r.schedule).ok);
+  const Schedule timed =
+      serialize_assignment(inst, r.schedule, priority_order(inst, PriorityPolicy::kSpt));
+  const SimReport report = simulate_schedule(inst, timed, {.keep_trace = false});
+  ASSERT_TRUE(report.ok) << report.violation;
+
+  // The simulator's independent metric derivation agrees with the library.
+  EXPECT_EQ(report.makespan, cmax(inst, r.schedule));
+  EXPECT_EQ(report.peak_memory, mmax(inst, r.schedule));
+
+  // Properties 1-2, end to end on a 400-task workload.
+  EXPECT_TRUE(Fraction(report.makespan) <= r.cmax_bound);
+  EXPECT_TRUE(Fraction(report.peak_memory) <= r.mmax_bound);
+}
+
+TEST(Integration, RlsPipelineOnSocWorkload) {
+  Rng rng(92);
+  const Instance inst = generate_soc_pipeline(10, 4, 4, {}, rng);
+  const Fraction delta(3);
+  const RlsResult r = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+  ASSERT_TRUE(r.feasible);
+
+  const auto vr = validate_schedule(inst, r.schedule, {.require_timed = true});
+  ASSERT_TRUE(vr.ok) << vr.error;
+  const SimReport report =
+      simulate_schedule(inst, r.schedule, {.memory_cap = r.cap.floor()});
+  ASSERT_TRUE(report.ok) << report.violation;
+
+  // Corollary 2/Lemma 5 guarantees against the Graham bounds.
+  EXPECT_TRUE(Fraction(report.peak_memory) <= delta * r.lb);
+  const Fraction c_lb = Fraction::max(Fraction(inst.total_work(), inst.m()),
+                                      Fraction(inst.critical_path()));
+  EXPECT_TRUE(Fraction(report.makespan) <= rls_cmax_ratio(delta, inst.m()) * c_lb);
+  EXPECT_LE(r.marked_count, rls_marked_bound(delta, inst.m()));
+}
+
+TEST(Integration, OfflineRlsAndOnlineDispatchBothSatisfyCap) {
+  Rng rng(93);
+  const Instance inst = generate_layered_dag(6, 5, 0.3, 4, {}, rng);
+  const Fraction delta(5, 2);
+  const RlsResult offline = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+  const OnlineResult online =
+      simulate_online_rls(inst, delta, PriorityPolicy::kBottomLevel);
+  ASSERT_TRUE(offline.feasible);
+  if (online.feasible) {  // online has no feasibility guarantee
+    EXPECT_TRUE(validate_schedule(inst, online.schedule,
+                                  {.require_timed = true,
+                                   .memory_cap = online.cap})
+                    .ok);
+  }
+  EXPECT_TRUE(Fraction(mmax(inst, offline.schedule)) <= offline.cap);
+}
+
+TEST(Integration, ConstrainedSolversAgreeOnFeasibleRegion) {
+  Rng rng(94);
+  const LptSchedulerAlg lpt;
+  for (int trial = 0; trial < 6; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(8, 30));
+    gp.m = static_cast<int>(rng.uniform_int(2, 4));
+    const Instance inst = generate_uniform(gp, rng);
+    const Mem cap = (inst.storage_lower_bound_fraction() * Fraction(3)).ceil();
+
+    const ConstrainedResult via_rls = solve_constrained_rls(inst, cap);
+    const ConstrainedResult via_sbo = solve_constrained_sbo(inst, cap, lpt, lpt);
+    ASSERT_TRUE(via_rls.feasible);
+    ASSERT_TRUE(via_sbo.feasible);
+    EXPECT_LE(via_rls.objectives.mmax, cap);
+    EXPECT_LE(via_sbo.objectives.mmax, cap);
+  }
+}
+
+TEST(Integration, SmallInstanceSboNeverBeatsExactFront) {
+  // SBO's measured points must be covered by (i.e. not dominate) the exact
+  // Pareto front -- the front is the boundary of the achievable region.
+  Rng rng(95);
+  const LptSchedulerAlg lpt;
+  for (int trial = 0; trial < 8; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(3, 9));
+    gp.m = 2;
+    const Instance inst = generate_uniform(gp, rng);
+    const auto front = enumerate_pareto(inst);
+    for (const Fraction delta : {Fraction(1, 2), Fraction(1), Fraction(2)}) {
+      const SboResult r = sbo_schedule(inst, delta, lpt);
+      const ObjectivePoint measured = objectives(inst, r.schedule);
+      EXPECT_TRUE(covered_by_front(measured, front.front))
+          << "SBO produced a point outside the achievable region";
+    }
+  }
+}
+
+TEST(Integration, GadgetGanttRendering) {
+  // Render the paper's Figure 1 schedules end-to-end (enumeration ->
+  // serialization -> ASCII Gantt), checking the memory labels the figure
+  // shows.
+  const Instance inst = fig1_instance(10);
+  const auto enumeration = enumerate_pareto(inst);
+  ASSERT_EQ(enumeration.front.size(), 2u);
+  for (const auto& pt : enumeration.front) {
+    const Schedule& assignment =
+        enumeration.schedules[static_cast<std::size_t>(pt.tag)];
+    const Schedule timed = serialize_assignment(inst, assignment);
+    const std::string art = render_gantt(inst, timed);
+    EXPECT_NE(art.find("Cmax=" + std::to_string(pt.value.cmax)),
+              std::string::npos);
+    EXPECT_NE(art.find("Mmax=" + std::to_string(pt.value.mmax)),
+              std::string::npos);
+  }
+}
+
+TEST(Integration, TextRoundTripPreservesScheduleBehaviour) {
+  Rng rng(96);
+  const Instance inst = generate_dag_by_name("forkjoin", 30, 3, {}, rng);
+  const Instance copy = from_text(to_text(inst));
+  const RlsResult a = rls_schedule(inst, Fraction(3));
+  const RlsResult b = rls_schedule(copy, Fraction(3));
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+TEST(Integration, SwappedInstanceSwapsSboGuarantees) {
+  // The paper's symmetry: swapping p <-> s and Delta <-> 1/Delta exchanges
+  // the two objectives' roles.
+  Rng rng(97);
+  GenParams gp;
+  gp.n = 20;
+  gp.m = 3;
+  const Instance inst = generate_uniform(gp, rng);
+  const Instance swapped = inst.swapped();
+  const ListSchedulerAlg ls;
+  const SboResult fwd = sbo_schedule(inst, Fraction(2), ls);
+  const SboResult bwd = sbo_schedule(swapped, Fraction(1, 2), ls);
+  // Guarantee values swap roles (C on one side bounds M on the other).
+  EXPECT_EQ(fwd.c_ingredient, bwd.m_ingredient);
+  EXPECT_EQ(fwd.m_ingredient, bwd.c_ingredient);
+}
+
+TEST(Integration, TriObjectiveVersusSboOnSameWorkload) {
+  // Both algorithm families produce valid schedules on the same instance;
+  // record that RLS+SPT additionally controls sum Ci while SBO does not
+  // claim to.
+  Rng rng(98);
+  GenParams gp;
+  gp.n = 24;
+  gp.m = 3;
+  const Instance inst = generate_anticorrelated(gp, 0.2, rng);
+  const TriObjectiveResult tri = tri_objective_schedule(inst, Fraction(3));
+  ASSERT_TRUE(tri.rls.feasible);
+  const LptSchedulerAlg lpt;
+  const SboResult sbo = sbo_schedule(inst, Fraction(1), lpt);
+  EXPECT_TRUE(validate_schedule(inst, sbo.schedule).ok);
+  EXPECT_TRUE(Fraction(tri.objectives.sum_ci) <=
+              tri.sumci_ratio * Fraction(optimal_sum_completion(inst)));
+}
+
+}  // namespace
+}  // namespace storesched

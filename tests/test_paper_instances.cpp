@@ -1,0 +1,65 @@
+// Tests for the scaled paper gadget builders.
+#include "common/paper_instances.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storesched {
+namespace {
+
+TEST(Fig1, ScaledWeights) {
+  const Instance inst = fig1_instance(100);
+  ASSERT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.m(), 2);
+  EXPECT_EQ(inst.task(0), (Task{200, 1}));    // p=1, s=eps
+  EXPECT_EQ(inst.task(1), (Task{100, 100}));  // p=1/2, s=1
+  EXPECT_EQ(inst.task(2), (Task{100, 100}));
+  const auto scale = fig1_scale(100);
+  EXPECT_EQ(scale.time_scale, 200);
+  EXPECT_EQ(scale.storage_scale, 100);
+  EXPECT_THROW(fig1_instance(1), std::invalid_argument);
+}
+
+TEST(Fig2, ScaledWeights) {
+  const Instance inst = fig2_instance(100);
+  ASSERT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.task(0), (Task{100, 1}));   // p=1,     s=eps
+  EXPECT_EQ(inst.task(1), (Task{1, 100}));   // p=eps,   s=1
+  EXPECT_EQ(inst.task(2), (Task{99, 99}));   // p=1-eps, s=1-eps
+  const auto scale = fig2_scale(100);
+  EXPECT_EQ(scale.time_scale, 100);
+  EXPECT_EQ(scale.storage_scale, 100);
+  EXPECT_THROW(fig2_instance(0), std::invalid_argument);
+}
+
+TEST(Lemma2Instance, ShapeAndWeights) {
+  const int m = 3;
+  const int k = 2;
+  const Instance inst = lemma2_instance(m, k, 50);
+  ASSERT_EQ(inst.n(), static_cast<std::size_t>(k * m + m - 1));
+  // First m-1 tasks: p = km (scaled 1), s = 1 (scaled eps).
+  for (TaskId i = 0; i < m - 1; ++i) {
+    EXPECT_EQ(inst.task(i), (Task{6, 1}));
+  }
+  // Remaining km tasks: p = 1 (scaled 1/km), s = 50 (scaled 1).
+  for (TaskId i = m - 1; i < static_cast<TaskId>(inst.n()); ++i) {
+    EXPECT_EQ(inst.task(i), (Task{1, 50}));
+  }
+  EXPECT_THROW(lemma2_instance(1, 2, 50), std::invalid_argument);
+  EXPECT_THROW(lemma2_instance(2, 1, 50), std::invalid_argument);
+}
+
+TEST(Lemma2Point, RatioFormulas) {
+  // m=2, k=2, eps_inv large: point i has Cmax ratio 1 + i/4 and memory
+  // ratio ((2 + (2-i)) * eps_inv) / (2 eps_inv + 1).
+  const Time e = 1000;
+  const auto p0 = lemma2_point(2, 2, 0, e);
+  EXPECT_EQ(p0.cmax_ratio, Fraction(1));
+  EXPECT_EQ(p0.mmax_ratio, Fraction(4 * e, 2 * e + 1));  // ~2
+  const auto p2 = lemma2_point(2, 2, 2, e);
+  EXPECT_EQ(p2.cmax_ratio, Fraction(3, 2));
+  EXPECT_EQ(p2.mmax_ratio, Fraction(1));
+  EXPECT_THROW(lemma2_point(2, 2, 3, e), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,88 @@
+// Unit tests for dominance and Pareto-front utilities.
+#include "common/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storesched {
+namespace {
+
+TEST(Dominance, BasicRelations) {
+  EXPECT_TRUE(dominates({1, 2}, {1, 2}));
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(dominates({1, 3}, {2, 2}));
+  EXPECT_TRUE(strictly_dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(strictly_dominates({1, 2}, {1, 2}));
+}
+
+TEST(ParetoFront, RemovesDominatedAndSorts) {
+  const std::vector<ObjectivePoint> pts{{3, 1}, {1, 3}, {2, 2}, {3, 3}, {2, 4}};
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].value, (ObjectivePoint{1, 3}));
+  EXPECT_EQ(front[1].value, (ObjectivePoint{2, 2}));
+  EXPECT_EQ(front[2].value, (ObjectivePoint{3, 1}));
+  EXPECT_TRUE(is_valid_front(front));
+}
+
+TEST(ParetoFront, DeduplicatesEqualPoints) {
+  const std::vector<ObjectivePoint> pts{{1, 1}, {1, 1}, {1, 1}};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoFront, SinglePoint) {
+  const std::vector<ObjectivePoint> pts{{5, 7}};
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].tag, 0);
+}
+
+TEST(ParetoFront, EmptyInput) {
+  EXPECT_TRUE(pareto_front(std::span<const ObjectivePoint>{}).empty());
+}
+
+TEST(ParetoFront, TagsTrackOrigins) {
+  const std::vector<ObjectivePoint> pts{{3, 1}, {1, 3}, {2, 5}};
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0].tag, 1);  // (1,3)
+  EXPECT_EQ(front[1].tag, 0);  // (3,1)
+}
+
+TEST(CoveredByFront, WeakCoverage) {
+  const std::vector<ObjectivePoint> pts{{1, 3}, {3, 1}};
+  const auto front = pareto_front(pts);
+  EXPECT_TRUE(covered_by_front({1, 3}, front));   // equal counts
+  EXPECT_TRUE(covered_by_front({2, 4}, front));   // dominated by (1,3)
+  EXPECT_FALSE(covered_by_front({2, 2}, front));  // incomparable to both
+  EXPECT_FALSE(covered_by_front({0, 0}, front));  // better than both
+}
+
+TEST(MergeFronts, UnionFront) {
+  const std::vector<ObjectivePoint> a_pts{{1, 5}, {4, 2}};
+  const std::vector<ObjectivePoint> b_pts{{2, 3}, {5, 1}};
+  const auto a = pareto_front(a_pts);
+  const auto b = pareto_front(b_pts);
+  const auto merged = merge_fronts(a, b);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(is_valid_front(merged));
+}
+
+TEST(MergeFronts, DominationAcrossInputs) {
+  const std::vector<ObjectivePoint> a_pts{{1, 1}};
+  const std::vector<ObjectivePoint> b_pts{{2, 3}, {5, 1}};
+  const auto merged =
+      merge_fronts(pareto_front(a_pts), pareto_front(b_pts));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].value, (ObjectivePoint{1, 1}));
+}
+
+TEST(IsValidFront, RejectsBadFronts) {
+  std::vector<LabelledPoint> bad{{{1, 3}, 0}, {{2, 3}, 1}};  // mmax not strictly decreasing
+  EXPECT_FALSE(is_valid_front(bad));
+  std::vector<LabelledPoint> good{{{1, 3}, 0}, {{2, 2}, 1}};
+  EXPECT_TRUE(is_valid_front(good));
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,157 @@
+// Tests for exhaustive Pareto enumeration: the paper's Figure 1 and
+// Figure 2 fronts reproduced exactly, symmetry-breaking counts, and
+// consistency with the exact single-objective solvers.
+#include "core/pareto_enum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/partition.hpp"
+#include "common/paper_instances.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(ParetoEnum, RejectsPrecedence) {
+  Dag d(1);
+  const Instance inst({{1, 1}}, 1, d);
+  EXPECT_THROW(enumerate_pareto(inst), std::logic_error);
+}
+
+TEST(ParetoEnum, EmptyInstance) {
+  const Instance inst(std::vector<Task>{}, 2);
+  const auto r = enumerate_pareto(inst);
+  ASSERT_EQ(r.front.size(), 1u);
+  EXPECT_EQ(r.front[0].value, (ObjectivePoint{0, 0}));
+}
+
+TEST(ParetoEnum, SingleTask) {
+  const Instance inst = make_instance({5}, {3}, 3);
+  const auto r = enumerate_pareto(inst);
+  ASSERT_EQ(r.front.size(), 1u);
+  EXPECT_EQ(r.front[0].value, (ObjectivePoint{5, 3}));
+  EXPECT_EQ(r.enumerated, 1u);  // symmetry breaking: one placement
+}
+
+TEST(ParetoEnum, SymmetryBreakingCountsSetPartitions) {
+  // n identical-role placements on m >= n processors enumerate the set
+  // partitions into <= m blocks (Bell number when m >= n). n=3, m=3: 5.
+  const Instance inst = make_instance({1, 2, 4}, {1, 2, 4}, 3);
+  const auto r = enumerate_pareto(inst);
+  EXPECT_EQ(r.enumerated, 5u);
+}
+
+TEST(ParetoEnum, FrontIsValidAndSchedulesMatch) {
+  Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 4));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    std::vector<Time> p(n);
+    std::vector<Mem> s(n);
+    for (auto& v : p) v = rng.uniform_int(1, 20);
+    for (auto& v : s) v = rng.uniform_int(1, 20);
+    const Instance inst = make_instance(p, s, m);
+    const auto r = enumerate_pareto(inst);
+    ASSERT_FALSE(r.front.empty());
+    EXPECT_TRUE(is_valid_front(r.front));
+    for (const auto& pt : r.front) {
+      const Schedule& sched = r.schedules[static_cast<std::size_t>(pt.tag)];
+      EXPECT_TRUE(validate_schedule(inst, sched).ok);
+      EXPECT_EQ(objectives(inst, sched), pt.value);
+    }
+  }
+}
+
+TEST(ParetoEnum, OptimaAgreeWithExactSolvers) {
+  Rng rng(62);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 3));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 9));
+    std::vector<Time> p(n);
+    std::vector<Mem> s(n);
+    for (auto& v : p) v = rng.uniform_int(1, 25);
+    for (auto& v : s) v = rng.uniform_int(1, 25);
+    const Instance inst = make_instance(p, s, m);
+    const auto r = enumerate_pareto(inst);
+    EXPECT_EQ(r.optimal_cmax(),
+              partition_value(testing::p_weights(inst),
+                              exact_bnb_assign(testing::p_weights(inst), m), m));
+    EXPECT_EQ(r.optimal_mmax(),
+              partition_value(testing::s_weights(inst),
+                              exact_bnb_assign(testing::s_weights(inst), m), m));
+  }
+}
+
+TEST(ParetoEnum, LimitGuards) {
+  const Instance inst = make_instance(std::vector<Time>(12, 1),
+                                      std::vector<Mem>(12, 1), 4);
+  EXPECT_THROW(enumerate_pareto(inst, /*limit=*/10), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's figures, exactly.
+// ---------------------------------------------------------------------------
+
+TEST(PaperFigures, Figure1FrontExact) {
+  // Section 4.1 instance (eps = 1/100, times x200, storage x100):
+  // Pareto points (1, 2) -> (200, 200) and (3/2, 1 + eps) -> (300, 101).
+  const Instance inst = fig1_instance(100);
+  const auto r = enumerate_pareto(inst);
+  ASSERT_EQ(r.front.size(), 2u);
+  EXPECT_EQ(r.front[0].value, (ObjectivePoint{200, 200}));
+  EXPECT_EQ(r.front[1].value, (ObjectivePoint{300, 101}));
+  // The dominated third schedule of the paper, (2, 2 + eps) -> (400, 201),
+  // must not appear.
+  for (const auto& pt : r.front) {
+    EXPECT_NE(pt.value, (ObjectivePoint{400, 201}));
+  }
+}
+
+TEST(PaperFigures, Figure1ScalesWithEpsilon) {
+  for (const Time eps_inv : {2, 10, 1000}) {
+    const Instance inst = fig1_instance(eps_inv);
+    const auto r = enumerate_pareto(inst);
+    ASSERT_EQ(r.front.size(), 2u) << eps_inv;
+    EXPECT_EQ(r.front[0].value,
+              (ObjectivePoint{2 * eps_inv, 2 * eps_inv}));
+    EXPECT_EQ(r.front[1].value, (ObjectivePoint{3 * eps_inv, eps_inv + 1}));
+  }
+}
+
+TEST(PaperFigures, Figure2FrontExact) {
+  // Section 4.3 instance (eps = 1/100, both axes x100): Pareto points
+  // (1, 2-eps) -> (100, 199), (1+eps, 1+eps) -> (101, 101),
+  // (2-eps, 1) -> (199, 100).
+  const Instance inst = fig2_instance(100);
+  const auto r = enumerate_pareto(inst);
+  ASSERT_EQ(r.front.size(), 3u);
+  EXPECT_EQ(r.front[0].value, (ObjectivePoint{100, 199}));
+  EXPECT_EQ(r.front[1].value, (ObjectivePoint{101, 101}));
+  EXPECT_EQ(r.front[2].value, (ObjectivePoint{199, 100}));
+}
+
+TEST(PaperFigures, Figure2MiddlePointVanishesAtHalf) {
+  // The paper notes (1+eps, 1+eps) is Pareto optimal only for eps < 1/2:
+  // at eps = 1/2 it is dominated and the front has two points.
+  const Instance inst = fig2_instance(2);
+  const auto r = enumerate_pareto(inst);
+  EXPECT_EQ(r.front.size(), 2u);
+}
+
+TEST(PaperFigures, OptimaMatchPaperValues) {
+  const Instance f1 = fig1_instance(100);
+  const auto r1 = enumerate_pareto(f1);
+  EXPECT_EQ(r1.optimal_cmax(), 200);  // C* = 1 (x200)
+  EXPECT_EQ(r1.optimal_mmax(), 101);  // M* = 1 + eps (x100)
+
+  const Instance f2 = fig2_instance(100);
+  const auto r2 = enumerate_pareto(f2);
+  EXPECT_EQ(r2.optimal_cmax(), 100);  // C* = 1 (x100)
+  EXPECT_EQ(r2.optimal_mmax(), 100);  // M* = 1 (x100)
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,240 @@
+// Tests for the min-max partition algorithms (the single-objective
+// substrate of SBO): correctness against brute force on small instances and
+// proven-ratio property sweeps on random ones.
+#include "algorithms/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::brute_force_partition;
+
+TEST(PartitionBounds, LowerBoundFormulas) {
+  const std::vector<std::int64_t> w{5, 3, 3, 3};
+  EXPECT_EQ(partition_lower_bound(w, 2), 7);  // ceil(14/2)
+  EXPECT_EQ(partition_lower_bound(w, 4), 5);  // max element
+  EXPECT_EQ(partition_lower_bound_fraction(w, 4), Fraction(5));
+  // With m = 3 the max element (5) still dominates 14/3.
+  EXPECT_EQ(partition_lower_bound_fraction(w, 3), Fraction(5));
+  // Drop the big element: now the average bound binds.
+  const std::vector<std::int64_t> flat{3, 3, 3, 3, 3};
+  EXPECT_EQ(partition_lower_bound_fraction(flat, 2), Fraction(15, 2));
+}
+
+TEST(PartitionBounds, RejectsBadInput) {
+  const std::vector<std::int64_t> w{1};
+  EXPECT_THROW(partition_lower_bound(w, 0), std::invalid_argument);
+  const std::vector<std::int64_t> neg{-1};
+  EXPECT_THROW(partition_lower_bound(neg, 1), std::invalid_argument);
+}
+
+TEST(PartitionValue, ComputesMaxLoad) {
+  const std::vector<std::int64_t> w{4, 2, 6};
+  const std::vector<ProcId> assign{0, 0, 1};
+  EXPECT_EQ(partition_value(w, assign, 2), 6);
+  const std::vector<ProcId> bad{0, 0, 2};
+  EXPECT_THROW(partition_value(w, bad, 2), std::invalid_argument);
+}
+
+TEST(ListAssign, FollowsGreedyRule) {
+  const std::vector<std::int64_t> w{3, 3, 2, 2};
+  const auto assign = list_assign(w, 2);
+  // 3->P0, 3->P1, 2->P0, 2->P1 by least-load with lowest-id ties.
+  EXPECT_EQ(assign, (std::vector<ProcId>{0, 1, 0, 1}));
+}
+
+TEST(ListAssign, OrderedVariantUsesGivenOrder) {
+  const std::vector<std::int64_t> w{1, 10};
+  const std::vector<std::size_t> order{1, 0};
+  const auto assign = list_assign_ordered(w, order, 2);
+  EXPECT_EQ(assign[1], 0);  // the big weight placed first
+  EXPECT_EQ(assign[0], 1);
+  EXPECT_THROW(list_assign_ordered(w, std::vector<std::size_t>{0}, 2),
+               std::invalid_argument);
+}
+
+TEST(LptAssign, ClassicWorstCaseStillWithinRatio) {
+  // Graham's LPT worst case for m=2: {3,3,2,2,2}: LPT gives 7, OPT 6.
+  const std::vector<std::int64_t> w{3, 3, 2, 2, 2};
+  EXPECT_EQ(partition_value(w, lpt_assign(w, 2), 2), 7);
+  EXPECT_EQ(brute_force_partition(w, 2), 6);
+}
+
+TEST(Orders, DecreasingAndIncreasingAreStable) {
+  const std::vector<std::int64_t> w{4, 9, 4, 1};
+  EXPECT_EQ(decreasing_order(w), (std::vector<std::size_t>{1, 0, 2, 3}));
+  EXPECT_EQ(increasing_order(w), (std::vector<std::size_t>{3, 0, 2, 1}));
+}
+
+TEST(ExactDp, MatchesBruteForceSmall) {
+  Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 4));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    std::vector<std::int64_t> w(n);
+    for (auto& v : w) v = rng.uniform_int(1, 30);
+    EXPECT_EQ(exact_dp_value(w, m), brute_force_partition(w, m))
+        << "trial " << trial;
+  }
+}
+
+TEST(ExactDp, GuardsSize) {
+  const std::vector<std::int64_t> w(21, 1);
+  EXPECT_THROW(exact_dp_value(w, 2), std::invalid_argument);
+}
+
+TEST(ExactBnb, MatchesDpOnRandomInstances) {
+  Rng rng(22);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 5));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 14));
+    std::vector<std::int64_t> w(n);
+    for (auto& v : w) v = rng.uniform_int(1, 100);
+    const auto assign = exact_bnb_assign(w, m);
+    EXPECT_EQ(partition_value(w, assign, m), exact_dp_value(w, m))
+        << "trial " << trial;
+  }
+}
+
+TEST(ExactBnb, NodeLimitTriggers) {
+  Rng rng(23);
+  std::vector<std::int64_t> w(24);
+  for (auto& v : w) v = rng.uniform_int(1000, 9999);
+  EXPECT_THROW(exact_bnb_assign(w, 4, /*node_limit=*/10), std::runtime_error);
+}
+
+TEST(Multifit, NeverWorseThanThirteenElevenths) {
+  Rng rng(24);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 4));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 12));
+    std::vector<std::int64_t> w(n);
+    for (auto& v : w) v = rng.uniform_int(1, 50);
+    const std::int64_t opt = brute_force_partition(w, m);
+    const std::int64_t got = partition_value(w, multifit_assign(w, m), m);
+    EXPECT_LE(got * 11, opt * 13) << "trial " << trial;
+    EXPECT_GE(got, opt);
+  }
+}
+
+TEST(KOpt, FullPrefixIsExact) {
+  Rng rng(25);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 3));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    std::vector<std::int64_t> w(n);
+    for (auto& v : w) v = rng.uniform_int(1, 40);
+    const auto assign = kopt_assign(w, m, static_cast<int>(n));
+    EXPECT_EQ(partition_value(w, assign, m), brute_force_partition(w, m))
+        << "trial " << trial;
+  }
+}
+
+TEST(KOpt, ZeroPrefixEqualsLptValueOrBetter) {
+  Rng rng(26);
+  std::vector<std::int64_t> w(20);
+  for (auto& v : w) v = rng.uniform_int(1, 99);
+  const auto kopt = kopt_assign(w, 3, 0);
+  const auto lpt = lpt_assign(w, 3);
+  EXPECT_EQ(partition_value(w, kopt, 3), partition_value(w, lpt, 3));
+}
+
+TEST(DualPtas, RejectsUnsupportedK) {
+  const std::vector<std::int64_t> w{1, 2};
+  EXPECT_THROW(dual_ptas_assign(w, 2, 1), std::invalid_argument);
+  EXPECT_THROW(dual_ptas_assign(w, 2, 4), std::invalid_argument);
+}
+
+TEST(DualPtas, EmptyAndSingleton) {
+  EXPECT_TRUE(dual_ptas_assign({}, 2, 2).empty());
+  const std::vector<std::int64_t> w{7};
+  const auto assign = dual_ptas_assign(w, 3, 3);
+  EXPECT_EQ(partition_value(w, assign, 3), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: every heuristic respects its proven ratio against the
+// exact optimum across generators and machine counts.
+// ---------------------------------------------------------------------------
+
+struct RatioCase {
+  std::string alg;
+  int m;
+  std::uint64_t seed;
+};
+
+class PartitionRatioTest : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(PartitionRatioTest, RespectsProvenRatio) {
+  const RatioCase& param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    std::vector<std::int64_t> w(n);
+    for (auto& v : w) v = rng.uniform_int(1, 60);
+    const std::int64_t opt = brute_force_partition(w, param.m);
+
+    std::vector<ProcId> assign;
+    Fraction ratio(1);
+    if (param.alg == "ls") {
+      assign = list_assign(w, param.m);
+      ratio = Fraction(2 * param.m - 1, param.m);
+    } else if (param.alg == "lpt") {
+      assign = lpt_assign(w, param.m);
+      ratio = Fraction(4 * param.m - 1, 3 * param.m);
+    } else if (param.alg == "multifit") {
+      assign = multifit_assign(w, param.m);
+      ratio = Fraction(13, 11);
+    } else if (param.alg == "kopt6") {
+      assign = kopt_assign(w, param.m, 6);
+      ratio = Fraction(1) + Fraction(param.m - 1, param.m * (1 + 6 / param.m));
+    } else if (param.alg == "ptas2") {
+      assign = dual_ptas_assign(w, param.m, 2);
+      ratio = Fraction(3, 2);
+    } else {
+      assign = dual_ptas_assign(w, param.m, 3);
+      ratio = Fraction(4, 3);
+    }
+
+    const std::int64_t got = partition_value(w, assign, param.m);
+    EXPECT_GE(got, opt);
+    // got <= ratio * opt, exactly.
+    EXPECT_TRUE(Fraction(got) <= ratio * Fraction(opt))
+        << param.alg << " m=" << param.m << " trial=" << trial << " got=" << got
+        << " opt=" << opt;
+    // Every weight assigned a real processor.
+    for (const ProcId q : assign) {
+      EXPECT_GE(q, 0);
+      EXPECT_LT(q, param.m);
+    }
+  }
+}
+
+std::vector<RatioCase> ratio_cases() {
+  std::vector<RatioCase> cases;
+  std::uint64_t seed = 1000;
+  for (const char* alg : {"ls", "lpt", "multifit", "kopt6", "ptas2", "ptas3"}) {
+    for (const int m : {2, 3, 5}) {
+      cases.push_back({alg, m, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PartitionRatioTest,
+                         ::testing::ValuesIn(ratio_cases()),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.alg + "_m" +
+                                              std::to_string(param_info.param.m);
+                           for (auto& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,183 @@
+// Tests for RLS_Delta (paper Section 5.1, Algorithm 2): the Delta * LB
+// memory cap (Corollary 2), the Lemma 4 marked-processor bound, the Lemma 5
+// makespan ratio, infeasibility reporting for Delta <= 2, and structural
+// schedule validity on DAG workloads.
+#include "core/rls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/paper_instances.hpp"
+#include "common/rng.hpp"
+#include "core/theory.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(Rls, RejectsNonPositiveDelta) {
+  const Instance inst = make_instance({1}, {1}, 1);
+  EXPECT_THROW(rls_schedule(inst, Fraction(0)), std::invalid_argument);
+  EXPECT_THROW(rls_schedule(inst, Fraction(-3)), std::invalid_argument);
+}
+
+TEST(Rls, LbIsGrahamStorageBound) {
+  const Instance inst = make_instance({1, 1, 1}, {6, 2, 1}, 2);
+  const RlsResult r = rls_schedule(inst, Fraction(3));
+  EXPECT_EQ(r.lb, Fraction(6));            // max_s dominates 9/2
+  EXPECT_EQ(r.cap, Fraction(18));          // Delta * LB
+}
+
+TEST(Rls, FeasibleRunsRespectTheCapExactly) {
+  Rng rng(41);
+  for (int trial = 0; trial < 15; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(5, 30));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_uniform(gp, rng);
+    const Fraction delta(5, 2);
+    const RlsResult r = rls_schedule(inst, delta);
+    ASSERT_TRUE(r.feasible) << trial;
+    const auto mem = processor_storage(inst, r.schedule);
+    for (const Mem used : mem) {
+      EXPECT_TRUE(Fraction(used) <= r.cap) << trial;
+    }
+    // Corollary 2: Mmax <= Delta * M*max follows since LB <= M*max.
+    EXPECT_TRUE(Fraction(mmax(inst, r.schedule)) <= delta * r.lb);
+  }
+}
+
+TEST(Rls, AlwaysFeasibleAboveTwo) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(3, 25));
+    gp.m = static_cast<int>(rng.uniform_int(2, 6));
+    gp.s_max = 200;
+    const Instance inst = generate_uniform(gp, rng);
+    const Fraction delta(201, 100);  // barely above 2
+    const RlsResult r = rls_schedule(inst, delta);
+    EXPECT_TRUE(r.feasible) << "Delta > 2 must always be feasible, trial "
+                            << trial;
+  }
+}
+
+TEST(Rls, InfeasibleReportsStuckTask) {
+  // Three unit-storage tasks, one processor's budget only fits one task:
+  // m=2, s = {10, 10, 10}: LB = 15, Delta = 1 -> cap = 15, so each
+  // processor takes exactly one task and the third is stuck.
+  const Instance inst = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const RlsResult r = rls_schedule(inst, Fraction(1));
+  EXPECT_FALSE(r.feasible);
+  ASSERT_TRUE(r.stuck_task.has_value());
+  EXPECT_FALSE(r.schedule.fully_assigned());
+}
+
+TEST(Rls, MarkedBoundFormula) {
+  EXPECT_EQ(rls_marked_bound(Fraction(3), 4), 2);       // floor(4/2)
+  EXPECT_EQ(rls_marked_bound(Fraction(5, 2), 4), 2);    // floor(4/1.5)
+  EXPECT_EQ(rls_marked_bound(Fraction(4), 6), 2);       // floor(6/3)
+  EXPECT_THROW(rls_marked_bound(Fraction(1), 4), std::invalid_argument);
+}
+
+TEST(Rls, Lemma4MarkedProcessorsWithinBound) {
+  Rng rng(43);
+  for (int trial = 0; trial < 15; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(6, 40));
+    gp.m = static_cast<int>(rng.uniform_int(2, 6));
+    const Instance inst = generate_memory_tight(gp, 1.2, rng);
+    for (const Fraction delta : {Fraction(9, 4), Fraction(3), Fraction(4)}) {
+      const RlsResult r = rls_schedule(inst, delta);
+      if (!r.feasible) continue;
+      EXPECT_LE(r.marked_count, rls_marked_bound(delta, inst.m()))
+          << "trial " << trial << " delta " << delta.to_string();
+    }
+  }
+}
+
+TEST(Rls, Lemma5MakespanRatioAgainstLowerBound) {
+  Rng rng(44);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_layered_dag(4, 4, 0.3, m, {}, rng);
+    for (const Fraction delta : {Fraction(5, 2), Fraction(3), Fraction(6)}) {
+      const RlsResult r = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+      ASSERT_TRUE(r.feasible);
+      const auto vr = validate_schedule(inst, r.schedule, {.require_timed = true});
+      ASSERT_TRUE(vr.ok) << vr.error;
+      // C*max >= max(work/m, critical path); the Lemma 5 ratio against that
+      // lower bound must hold (it holds against C*max >= lb).
+      const Fraction lb = Fraction::max(
+          Fraction(inst.total_work(), m), Fraction(inst.critical_path()));
+      const Fraction bound = rls_cmax_ratio(delta, m) * lb;
+      EXPECT_TRUE(Fraction(cmax(inst, r.schedule)) <= bound)
+          << "trial " << trial << " delta " << delta.to_string();
+    }
+  }
+}
+
+TEST(Rls, IndependentTasksDegenerateToLoadBalancing) {
+  // With huge Delta the memory cap never binds: RLS behaves like greedy
+  // list scheduling on loads.
+  const Instance inst = make_instance({3, 3, 2, 2}, {1, 1, 1, 1}, 2);
+  const RlsResult r = rls_schedule(inst, Fraction(1000));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.marked_count, 0);
+  EXPECT_EQ(cmax(inst, r.schedule), 5);
+}
+
+TEST(Rls, DagPrecedencesRespected) {
+  Rng rng(45);
+  for (const char* kind : {"layered", "forkjoin", "cholesky", "soc", "fft"}) {
+    const Instance inst = generate_dag_by_name(kind, 60, 3, {}, rng);
+    const RlsResult r = rls_schedule(inst, Fraction(3), PriorityPolicy::kBottomLevel);
+    ASSERT_TRUE(r.feasible) << kind;
+    const auto vr = validate_schedule(inst, r.schedule, {.require_timed = true});
+    EXPECT_TRUE(vr.ok) << kind << ": " << vr.error;
+  }
+}
+
+TEST(Rls, DeterministicForFixedInputs) {
+  Rng rng(46);
+  const Instance inst = generate_random_dag(30, 0.2, 3, {}, rng);
+  const RlsResult a = rls_schedule(inst, Fraction(3));
+  const RlsResult b = rls_schedule(inst, Fraction(3));
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.marked_count, b.marked_count);
+}
+
+TEST(Rls, TieBreakPolicyChangesOrderNotFeasibility) {
+  Rng rng(47);
+  const Instance inst = generate_uniform(
+      {.n = 20, .m = 3, .p_min = 1, .p_max = 30, .s_min = 1, .s_max = 30}, rng);
+  for (const PriorityPolicy policy :
+       {PriorityPolicy::kInputOrder, PriorityPolicy::kSpt,
+        PriorityPolicy::kLpt, PriorityPolicy::kLargestStorage}) {
+    const RlsResult r = rls_schedule(inst, Fraction(3), policy);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_TRUE(validate_schedule(inst, r.schedule, {.require_timed = true}).ok);
+  }
+}
+
+TEST(Rls, ZeroStorageInstanceTrivialCap) {
+  const Instance inst = make_instance({4, 3, 2}, {0, 0, 0}, 2);
+  const RlsResult r = rls_schedule(inst, Fraction(3));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.lb, Fraction(0));
+  EXPECT_EQ(mmax(inst, r.schedule), 0);
+}
+
+TEST(Rls, Figure1GadgetBehaviour) {
+  const Instance inst = fig1_instance(10);
+  // Generous Delta: feasible, memory within Delta * LB.
+  const RlsResult r = rls_schedule(inst, Fraction(3));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(Fraction(mmax(inst, r.schedule)) <= r.cap);
+}
+
+}  // namespace
+}  // namespace storesched

@@ -1,0 +1,191 @@
+// Tests for SBO_Delta (paper Section 3, Algorithm 1): exact Property 1-2
+// inequalities, routing behaviour, degenerate inputs, and paper gadgets.
+#include "core/sbo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/generators.hpp"
+#include "common/paper_instances.hpp"
+#include "common/rng.hpp"
+#include "core/theory.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(Sbo, RejectsBadInputs) {
+  const ListSchedulerAlg ls;
+  const Instance inst = make_instance({1}, {1}, 1);
+  EXPECT_THROW(sbo_schedule(inst, Fraction(0), ls), std::invalid_argument);
+  EXPECT_THROW(sbo_schedule(inst, Fraction(-1), ls), std::invalid_argument);
+
+  Dag d(1);
+  const Instance dag_inst({{1, 1}}, 1, d);
+  EXPECT_THROW(sbo_schedule(dag_inst, Fraction(1), ls), std::logic_error);
+}
+
+TEST(Sbo, ThresholdRoutesExtremes) {
+  // Task 0: long and tiny-code -> must come from pi_1.
+  // Task 1: instant and huge-code -> must come from pi_2.
+  const Instance inst = make_instance({100, 1, 50, 50}, {1, 100, 50, 50}, 2);
+  const ListSchedulerAlg ls;
+  const SboResult r = sbo_schedule(inst, Fraction(1), ls);
+  EXPECT_FALSE(r.routed_to_pi2[0]);
+  EXPECT_TRUE(r.routed_to_pi2[1]);
+  EXPECT_EQ(r.schedule.proc(0), r.pi1.proc(0));
+  EXPECT_EQ(r.schedule.proc(1), r.pi2.proc(1));
+}
+
+TEST(Sbo, ThresholdIsStrict) {
+  // p_i/C == Delta s_i/M exactly: the paper's "<" keeps the task on pi_1.
+  const Instance inst = make_instance({2, 2}, {2, 2}, 2);
+  const ListSchedulerAlg ls;
+  // C = 2, M = 2, Delta = 1: p/C = 1 = 1 * s/M for both tasks.
+  const SboResult r = sbo_schedule(inst, Fraction(1), ls);
+  EXPECT_FALSE(r.routed_to_pi2[0]);
+  EXPECT_FALSE(r.routed_to_pi2[1]);
+}
+
+TEST(Sbo, AllZeroProcessingUsesPi2) {
+  const Instance inst = make_instance({0, 0}, {5, 7}, 2);
+  const ListSchedulerAlg ls;
+  const SboResult r = sbo_schedule(inst, Fraction(1), ls);
+  EXPECT_TRUE(r.routed_to_pi2[0]);
+  EXPECT_TRUE(r.routed_to_pi2[1]);
+  EXPECT_EQ(mmax(inst, r.schedule), r.m_ingredient);
+}
+
+TEST(Sbo, AllZeroStorageUsesPi1) {
+  const Instance inst = make_instance({5, 7}, {0, 0}, 2);
+  const ListSchedulerAlg ls;
+  const SboResult r = sbo_schedule(inst, Fraction(1), ls);
+  EXPECT_FALSE(r.routed_to_pi2[0]);
+  EXPECT_FALSE(r.routed_to_pi2[1]);
+  EXPECT_EQ(cmax(inst, r.schedule), r.c_ingredient);
+}
+
+TEST(Sbo, ExtremeDeltaDegeneratesToIngredients) {
+  const Instance inst = make_instance({9, 4, 7, 2, 8}, {3, 9, 1, 8, 5}, 3);
+  const LptSchedulerAlg lpt;
+  // Huge Delta: everything satisfies p/C < Delta s/M (when s > 0).
+  const SboResult big = sbo_schedule(inst, Fraction(1'000'000), lpt);
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    EXPECT_TRUE(big.routed_to_pi2[i]);
+  }
+  // Tiny Delta: nothing does.
+  const SboResult small = sbo_schedule(inst, Fraction(1, 1'000'000), lpt);
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    EXPECT_FALSE(small.routed_to_pi2[i]);
+  }
+}
+
+TEST(Sbo, SameAlgorithmOverloadMatchesTwoArgForm) {
+  const Instance inst = make_instance({9, 4, 7}, {3, 9, 1}, 2);
+  const LptSchedulerAlg lpt;
+  const SboResult a = sbo_schedule(inst, Fraction(2), lpt);
+  const SboResult b = sbo_schedule(inst, Fraction(2), lpt, lpt);
+  EXPECT_EQ(a.schedule.assignment().size(), b.schedule.assignment().size());
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    EXPECT_EQ(a.schedule.proc(i), b.schedule.proc(i));
+  }
+}
+
+TEST(Sbo, Figure1InstanceHitsGuarantee) {
+  // Scaled Section 4.1 gadget; SBO must respect its own value bounds.
+  const Instance inst = fig1_instance(100);
+  const ListSchedulerAlg ls;
+  for (const Fraction delta : {Fraction(1, 2), Fraction(1), Fraction(2)}) {
+    const SboResult r = sbo_schedule(inst, delta, ls);
+    EXPECT_TRUE(Fraction(cmax(inst, r.schedule)) <= r.cmax_bound);
+    EXPECT_TRUE(Fraction(mmax(inst, r.schedule)) <= r.mmax_bound);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: Properties 1 and 2 hold exactly for every (generator,
+// Delta, scheduler pair, m) combination across random instances, and the
+// end-to-end ratios respect Corollary-1-style bounds against brute force.
+// ---------------------------------------------------------------------------
+
+struct SboCase {
+  std::string generator;
+  std::string scheduler;
+  Fraction delta;
+  int m;
+  std::uint64_t seed;
+};
+
+class SboPropertyTest : public ::testing::TestWithParam<SboCase> {};
+
+TEST_P(SboPropertyTest, PropertiesOneAndTwoHoldExactly) {
+  const SboCase& param = GetParam();
+  Rng rng(param.seed);
+  const auto alg = make_scheduler(param.scheduler);
+  for (int trial = 0; trial < 6; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(4, 40));
+    gp.m = param.m;
+    const Instance inst = generate_by_name(param.generator, gp, rng);
+
+    const SboResult r = sbo_schedule(inst, param.delta, *alg);
+    ASSERT_TRUE(r.schedule.fully_assigned());
+    EXPECT_TRUE(validate_schedule(inst, r.schedule).ok);
+
+    // Property 1: Cmax(pi_Delta) <= (1 + Delta) * Cmax(pi_1), exactly.
+    EXPECT_TRUE(Fraction(cmax(inst, r.schedule)) <=
+                (Fraction(1) + param.delta) * Fraction(r.c_ingredient))
+        << "trial " << trial;
+    // Property 2: Mmax(pi_Delta) <= (1 + 1/Delta) * Mmax(pi_2), exactly.
+    EXPECT_TRUE(Fraction(mmax(inst, r.schedule)) <=
+                (Fraction(1) + Fraction(1) / param.delta) *
+                    Fraction(r.m_ingredient))
+        << "trial " << trial;
+
+    // End-to-end: measured values never beat the lower bounds. Both
+    // ingredient schedulers here are list schedules, and Graham's proof
+    // bounds a list schedule against the lower bound itself:
+    // C <= (2 - 1/m) * LB. Hence Cmax <= (1+Delta)(2-1/m) * LB exactly
+    // (and symmetrically for memory).
+    const Fraction c_lb = inst.time_lower_bound_fraction();
+    const Fraction m_lb = inst.storage_lower_bound_fraction();
+    EXPECT_TRUE(c_lb <= Fraction(cmax(inst, r.schedule)));
+    EXPECT_TRUE(m_lb <= Fraction(mmax(inst, r.schedule)));
+    const Fraction ls_lb_ratio(2 * param.m - 1, param.m);
+    EXPECT_TRUE(Fraction(cmax(inst, r.schedule)) <=
+                sbo_cmax_ratio(param.delta, ls_lb_ratio) * c_lb)
+        << "trial " << trial;
+    EXPECT_TRUE(Fraction(mmax(inst, r.schedule)) <=
+                sbo_mmax_ratio(param.delta, ls_lb_ratio) * m_lb)
+        << "trial " << trial;
+  }
+}
+
+std::vector<SboCase> sbo_cases() {
+  std::vector<SboCase> cases;
+  std::uint64_t seed = 5000;
+  for (const char* gen : {"uniform", "anticorrelated", "correlated"}) {
+    for (const char* alg : {"ls", "lpt"}) {
+      for (const Fraction delta :
+           {Fraction(1, 3), Fraction(1), Fraction(3)}) {
+        for (const int m : {2, 4}) {
+          cases.push_back({gen, alg, delta, m, seed++});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SboPropertyTest, ::testing::ValuesIn(sbo_cases()),
+    [](const auto& param_info) {
+      const SboCase& c = param_info.param;
+      return c.generator + "_" + c.scheduler + "_d" +
+             std::to_string(c.delta.num()) + "over" +
+             std::to_string(c.delta.den()) + "_m" + std::to_string(c.m);
+    });
+
+}  // namespace
+}  // namespace storesched

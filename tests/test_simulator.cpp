@@ -1,0 +1,202 @@
+// Tests for the discrete-event simulator and the online dispatcher: replay
+// agreement with schedule arithmetic, violation detection, and equivalence
+// of the online uncapped dispatcher with Graham list scheduling.
+#include <gtest/gtest.h>
+
+#include "algorithms/graham.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "core/rls.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/online.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(Simulator, ReplaysValidScheduleAndAgreesOnMetrics) {
+  Rng rng(81);
+  for (int trial = 0; trial < 10; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(5, 40));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_uniform(gp, rng);
+    const Schedule sched = graham_list_schedule(inst, PriorityPolicy::kLpt);
+    const SimReport report = simulate_schedule(inst, sched);
+    ASSERT_TRUE(report.ok) << report.violation;
+    EXPECT_EQ(report.makespan, cmax(inst, sched));
+    EXPECT_EQ(report.peak_memory, mmax(inst, sched));
+    EXPECT_EQ(report.sum_completion, sum_completion_times(inst, sched));
+  }
+}
+
+TEST(Simulator, ReplaysDagSchedules) {
+  Rng rng(82);
+  const Instance inst = generate_dag_by_name("cholesky", 60, 4, {}, rng);
+  const RlsResult rls = rls_schedule(inst, Fraction(3), PriorityPolicy::kBottomLevel);
+  ASSERT_TRUE(rls.feasible);
+  const SimReport report = simulate_schedule(inst, rls.schedule);
+  ASSERT_TRUE(report.ok) << report.violation;
+  EXPECT_EQ(report.makespan, cmax(inst, rls.schedule));
+  EXPECT_EQ(report.peak_memory, mmax(inst, rls.schedule));
+}
+
+TEST(Simulator, DetectsOverlap) {
+  const Instance inst = make_instance({5, 5}, {1, 1}, 1);
+  Schedule bad(inst);
+  bad.assign(0, 0, 0);
+  bad.assign(1, 0, 2);
+  const SimReport report = simulate_schedule(inst, bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("overlap"), std::string::npos);
+}
+
+TEST(Simulator, DetectsPrecedenceViolation) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  const Instance inst({{5, 1}, {1, 1}}, 2, d);
+  Schedule bad(inst);
+  bad.assign(0, 0, 0);
+  bad.assign(1, 1, 2);
+  const SimReport report = simulate_schedule(inst, bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("precedence"), std::string::npos);
+}
+
+TEST(Simulator, AllowsFinishToStartHandoff) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  const Instance inst({{5, 1}, {1, 1}}, 2, d);
+  Schedule ok(inst);
+  ok.assign(0, 0, 0);
+  ok.assign(1, 1, 5);  // starts exactly when the predecessor finishes
+  EXPECT_TRUE(simulate_schedule(inst, ok).ok);
+}
+
+TEST(Simulator, EnforcesMemoryCap) {
+  const Instance inst = make_instance({1, 1}, {6, 6}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0, 0);
+  sched.assign(1, 0, 1);
+  EXPECT_TRUE(simulate_schedule(inst, sched, {.memory_cap = 12}).ok);
+  const SimReport capped = simulate_schedule(inst, sched, {.memory_cap = 11});
+  EXPECT_FALSE(capped.ok);
+  EXPECT_NE(capped.violation.find("memory cap"), std::string::npos);
+}
+
+TEST(Simulator, UntimedScheduleRejected) {
+  const Instance inst = make_instance({1}, {1}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0);
+  const SimReport report = simulate_schedule(inst, sched);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Simulator, MemoryProfilesAreMonotoneSteps) {
+  const Instance inst = make_instance({2, 3, 4}, {5, 6, 7}, 2);
+  const Schedule sched = graham_list_schedule(inst);
+  const SimReport report = simulate_schedule(inst, sched);
+  ASSERT_TRUE(report.ok);
+  for (const auto& profile : report.memory_profiles) {
+    for (std::size_t i = 1; i < profile.size(); ++i) {
+      EXPECT_LE(profile[i - 1].time, profile[i].time);
+      EXPECT_LT(profile[i - 1].occupied, profile[i].occupied);
+    }
+  }
+}
+
+TEST(Simulator, StatsAddUp) {
+  const Instance inst = make_instance({4, 4, 4, 4}, {1, 1, 1, 1}, 2);
+  const Schedule sched = graham_list_schedule(inst);
+  const SimReport report = simulate_schedule(inst, sched);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.makespan, 8);
+  EXPECT_DOUBLE_EQ(report.utilization, 1.0);
+  EXPECT_EQ(report.total_idle, 0);
+  Time busy = 0;
+  int tasks = 0;
+  for (const auto& proc : report.processors) {
+    busy += proc.busy;
+    tasks += proc.tasks;
+  }
+  EXPECT_EQ(busy, inst.total_work());
+  EXPECT_EQ(tasks, 4);
+}
+
+TEST(Simulator, HandlesZeroLengthTasks) {
+  const Instance inst = make_instance({0, 5, 0}, {2, 3, 4}, 1);
+  Schedule sched(inst);
+  sched.assign(0, 0, 0);
+  sched.assign(1, 0, 0);
+  sched.assign(2, 0, 5);
+  const SimReport report = simulate_schedule(inst, sched);
+  ASSERT_TRUE(report.ok) << report.violation;
+  EXPECT_EQ(report.peak_memory, 9);
+}
+
+TEST(Simulator, TraceCanBeDisabled) {
+  const Instance inst = make_instance({1, 2}, {1, 1}, 2);
+  const Schedule sched = graham_list_schedule(inst);
+  const SimReport with = simulate_schedule(inst, sched, {.keep_trace = true});
+  const SimReport without = simulate_schedule(inst, sched, {.keep_trace = false});
+  EXPECT_EQ(with.trace.size(), 4u);
+  EXPECT_TRUE(without.trace.empty());
+  EXPECT_EQ(with.makespan, without.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Online dispatcher.
+// ---------------------------------------------------------------------------
+
+TEST(Online, UncappedMatchesGrahamListSchedule) {
+  Rng rng(83);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = generate_layered_dag(4, 4, 0.3,
+                                               static_cast<int>(rng.uniform_int(2, 4)),
+                                               {}, rng);
+    const OnlineResult online =
+        simulate_online_list(inst, /*memory_cap=*/-1, PriorityPolicy::kBottomLevel);
+    ASSERT_TRUE(online.feasible);
+    const Schedule graham =
+        graham_list_schedule(inst, PriorityPolicy::kBottomLevel);
+    EXPECT_EQ(online.schedule, graham) << "trial " << trial;
+  }
+}
+
+TEST(Online, RespectsMemoryCap) {
+  Rng rng(84);
+  for (int trial = 0; trial < 8; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(6, 30));
+    gp.m = 3;
+    const Instance inst = generate_uniform(gp, rng);
+    const OnlineResult r = simulate_online_rls(inst, Fraction(3));
+    ASSERT_TRUE(r.feasible) << trial;
+    EXPECT_TRUE(validate_schedule(inst, r.schedule,
+                                  {.require_timed = true, .memory_cap = r.cap})
+                    .ok);
+    const SimReport report =
+        simulate_schedule(inst, r.schedule, {.memory_cap = r.cap});
+    EXPECT_TRUE(report.ok) << report.violation;
+  }
+}
+
+TEST(Online, StuckWhenNothingFits) {
+  const Instance inst = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const OnlineResult r = simulate_online_list(inst, 10);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.stuck_task.has_value());
+}
+
+TEST(Online, RlsCapMatchesDeltaTimesLb) {
+  const Instance inst = make_instance({1, 1}, {4, 4}, 2);
+  // LB = max(4, 8/2) = 4; Delta = 3/2 -> cap = 6.
+  const OnlineResult r = simulate_online_rls(inst, Fraction(3, 2));
+  EXPECT_EQ(r.cap, 6);
+}
+
+}  // namespace
+}  // namespace storesched

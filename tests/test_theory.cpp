@@ -1,0 +1,95 @@
+// Tests for the closed-form ratio formulas of the paper.
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storesched {
+namespace {
+
+TEST(Theory, SboRatios) {
+  // (1 + Delta) rho1 and (1 + 1/Delta) rho2.
+  EXPECT_EQ(sbo_cmax_ratio(Fraction(1), Fraction(1)), Fraction(2));
+  EXPECT_EQ(sbo_mmax_ratio(Fraction(1), Fraction(1)), Fraction(2));
+  EXPECT_EQ(sbo_cmax_ratio(Fraction(1, 2), Fraction(3, 2)), Fraction(9, 4));
+  EXPECT_EQ(sbo_mmax_ratio(Fraction(1, 2), Fraction(3, 2)), Fraction(9, 2));
+  EXPECT_THROW(sbo_cmax_ratio(Fraction(0), Fraction(1)), std::invalid_argument);
+  EXPECT_THROW(sbo_mmax_ratio(Fraction(-1), Fraction(1)),
+               std::invalid_argument);
+}
+
+TEST(Theory, SboRatiosAreSymmetricInDelta) {
+  // Swapping Delta <-> 1/Delta swaps the two ratios (the paper's symmetry).
+  const Fraction delta(3, 2);
+  EXPECT_EQ(sbo_cmax_ratio(delta, Fraction(1)),
+            sbo_mmax_ratio(Fraction(1) / delta, Fraction(1)));
+}
+
+TEST(Theory, RlsCmaxRatio) {
+  // 2 + 1/(Delta-2) - (Delta-1)/(m(Delta-2)).
+  // Delta = 3, m = 2: 2 + 1 - 2/2 = 2.
+  EXPECT_EQ(rls_cmax_ratio(Fraction(3), 2), Fraction(2));
+  // Delta = 4, m = 4: 2 + 1/2 - 3/8 = 17/8.
+  EXPECT_EQ(rls_cmax_ratio(Fraction(4), 4), Fraction(17, 8));
+  // m -> infinity limit is 2 + 1/(Delta-2): check monotonicity in m.
+  EXPECT_TRUE(rls_cmax_ratio(Fraction(3), 2) < rls_cmax_ratio(Fraction(3), 100));
+  EXPECT_THROW(rls_cmax_ratio(Fraction(2), 2), std::invalid_argument);
+  EXPECT_THROW(rls_cmax_ratio(Fraction(3), 0), std::invalid_argument);
+}
+
+TEST(Theory, RlsCmaxRatioMatchesPaperRewriting) {
+  // The paper rewrites Delta = 2 + Delta' as
+  // (2 + 1/Delta' - (Delta'+1)/(m Delta'), 2 + Delta').
+  for (int dp_num = 1; dp_num <= 8; ++dp_num) {
+    const Fraction dprime(dp_num, 2);
+    const Fraction delta = Fraction(2) + dprime;
+    for (const int m : {2, 3, 7}) {
+      const Fraction direct = rls_cmax_ratio(delta, m);
+      const Fraction rewritten = Fraction(2) + Fraction(1) / dprime -
+                                 (dprime + Fraction(1)) / (Fraction(m) * dprime);
+      EXPECT_EQ(direct, rewritten);
+    }
+  }
+}
+
+TEST(Theory, RlsMmaxRatio) {
+  EXPECT_EQ(rls_mmax_ratio(Fraction(2)), Fraction(2));
+  EXPECT_EQ(rls_mmax_ratio(Fraction(7, 2)), Fraction(7, 2));
+  EXPECT_THROW(rls_mmax_ratio(Fraction(3, 2)), std::invalid_argument);
+}
+
+TEST(Theory, RlsSumCiRatio) {
+  EXPECT_EQ(rls_sumci_ratio(Fraction(3)), Fraction(3));
+  EXPECT_EQ(rls_sumci_ratio(Fraction(4)), Fraction(5, 2));
+  EXPECT_THROW(rls_sumci_ratio(Fraction(2)), std::invalid_argument);
+}
+
+TEST(Theory, SptRestrictionRatio) {
+  // Lemma 6: (1/rho + 1).
+  EXPECT_EQ(spt_restriction_ratio(Fraction(1)), Fraction(2));
+  EXPECT_EQ(spt_restriction_ratio(Fraction(1, 2)), Fraction(3));
+  EXPECT_THROW(spt_restriction_ratio(Fraction(0)), std::invalid_argument);
+  EXPECT_THROW(spt_restriction_ratio(Fraction(3, 2)), std::invalid_argument);
+}
+
+TEST(Theory, RlsTradeoffMonotone) {
+  // Larger Delta: looser memory, tighter makespan (strictly, for m >= 2).
+  Fraction prev_c = rls_cmax_ratio(Fraction(21, 10), 4);
+  for (int step = 2; step <= 20; ++step) {
+    const Fraction delta = Fraction(2) + Fraction(step, 10);
+    const Fraction c = rls_cmax_ratio(delta, 4);
+    EXPECT_TRUE(c < prev_c) << delta.to_string();
+    prev_c = c;
+  }
+}
+
+TEST(Theory, SboTradeoffCrossoverAtOne) {
+  // Delta = 1 balances both objectives at 2 rho; the curve trades one for
+  // the other on either side.
+  EXPECT_TRUE(sbo_cmax_ratio(Fraction(1, 2), Fraction(1)) <
+              sbo_cmax_ratio(Fraction(2), Fraction(1)));
+  EXPECT_TRUE(sbo_mmax_ratio(Fraction(2), Fraction(1)) <
+              sbo_mmax_ratio(Fraction(1, 2), Fraction(1)));
+}
+
+}  // namespace
+}  // namespace storesched

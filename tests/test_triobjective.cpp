@@ -1,0 +1,110 @@
+// Tests for the Section 5.2 tri-objective extension: RLS + SPT order on
+// independent tasks and the Corollary 4 guarantees on all three objectives.
+#include "core/triobjective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/graham.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+TEST(TriObjective, RejectsPrecedenceInstances) {
+  Dag d(1);
+  const Instance inst({{1, 1}}, 1, d);
+  EXPECT_THROW(tri_objective_schedule(inst, Fraction(3)), std::logic_error);
+}
+
+TEST(TriObjective, GuaranteeOnlyAboveTwo) {
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  const TriObjectiveResult with = tri_objective_schedule(inst, Fraction(3));
+  EXPECT_TRUE(with.has_guarantee);
+  const TriObjectiveResult without = tri_objective_schedule(inst, Fraction(3, 2));
+  EXPECT_FALSE(without.has_guarantee);
+}
+
+TEST(TriObjective, RatioFormulasMatchCorollary4) {
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 4);
+  const Fraction delta(4);
+  const TriObjectiveResult r = tri_objective_schedule(inst, delta);
+  ASSERT_TRUE(r.has_guarantee);
+  // 2 + 1/(4-2) - (4-1)/(4*(4-2)) = 2 + 1/2 - 3/8 = 17/8.
+  EXPECT_EQ(r.cmax_ratio, Fraction(17, 8));
+  EXPECT_EQ(r.mmax_ratio, Fraction(4));
+  // 2 + 1/(4-2) = 5/2.
+  EXPECT_EQ(r.sumci_ratio, Fraction(5, 2));
+}
+
+TEST(TriObjective, SumCiBoundAgainstSptOptimum) {
+  Rng rng(51);
+  for (int trial = 0; trial < 15; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(4, 30));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_uniform(gp, rng);
+    const Fraction delta(3);
+    const TriObjectiveResult r = tri_objective_schedule(inst, delta);
+    ASSERT_TRUE(r.rls.feasible);
+    const Time opt_sumci = optimal_sum_completion(inst);
+    // Corollary 4: sum Ci <= (2 + 1/(Delta-2)) * optimal sum Ci, exactly.
+    EXPECT_TRUE(Fraction(r.objectives.sum_ci) <=
+                rls_sumci_ratio(delta) * Fraction(opt_sumci))
+        << "trial " << trial;
+    EXPECT_GE(r.objectives.sum_ci, opt_sumci);
+  }
+}
+
+TEST(TriObjective, AllThreeObjectivesWithinGuarantees) {
+  Rng rng(52);
+  for (int trial = 0; trial < 10; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(6, 25));
+    gp.m = static_cast<int>(rng.uniform_int(2, 4));
+    const Instance inst = generate_anticorrelated(gp, 0.2, rng);
+    const Fraction delta(7, 2);
+    const TriObjectiveResult r = tri_objective_schedule(inst, delta);
+    ASSERT_TRUE(r.rls.feasible);
+
+    const Fraction c_lb = inst.time_lower_bound_fraction();
+    const Fraction m_lb = inst.storage_lower_bound_fraction();
+    // Lemma 5's proof bounds Cmax by a combination of sum p / m and the
+    // critical path, both of which are <= c_lb, so the ratio holds against
+    // the lower bound itself.
+    EXPECT_TRUE(Fraction(r.objectives.cmax) <= r.cmax_ratio * c_lb);
+    EXPECT_TRUE(Fraction(r.objectives.mmax) <= r.mmax_ratio * m_lb);
+    EXPECT_TRUE(Fraction(r.objectives.sum_ci) <=
+                r.sumci_ratio * Fraction(optimal_sum_completion(inst)));
+  }
+}
+
+TEST(TriObjective, SptTieBreakUsedInsideRls) {
+  // On one processor, SPT order is fully determined: starts must be the
+  // prefix sums of sorted processing times.
+  const Instance inst = make_instance({5, 1, 3}, {1, 1, 1}, 1);
+  const TriObjectiveResult r = tri_objective_schedule(inst, Fraction(3));
+  ASSERT_TRUE(r.rls.feasible);
+  EXPECT_EQ(r.rls.schedule.start(1), 0);  // p=1 first
+  EXPECT_EQ(r.rls.schedule.start(2), 1);  // p=3 second
+  EXPECT_EQ(r.rls.schedule.start(0), 4);  // p=5 last
+  EXPECT_EQ(r.objectives.sum_ci, 1 + 4 + 9);
+  EXPECT_EQ(r.objectives.sum_ci, optimal_sum_completion(inst));
+}
+
+TEST(TriObjective, UnconstrainedMemoryMatchesPlainSpt) {
+  // With Delta large enough to never bind, RLS+SPT equals the SPT list
+  // schedule, which is sum-Ci optimal.
+  Rng rng(53);
+  const Instance inst = generate_uniform(
+      {.n = 12, .m = 3, .p_min = 1, .p_max = 20, .s_min = 1, .s_max = 20}, rng);
+  const TriObjectiveResult r = tri_objective_schedule(inst, Fraction(1000));
+  ASSERT_TRUE(r.rls.feasible);
+  EXPECT_EQ(r.objectives.sum_ci, optimal_sum_completion(inst));
+}
+
+}  // namespace
+}  // namespace storesched

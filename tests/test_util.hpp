@@ -1,0 +1,61 @@
+// Shared helpers for the storesched test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/instance.hpp"
+#include "common/types.hpp"
+
+namespace storesched::testing {
+
+/// Builds an independent instance from parallel p/s vectors.
+inline Instance make_instance(std::vector<Time> p, std::vector<Mem> s, int m) {
+  std::vector<Task> tasks;
+  tasks.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) tasks.push_back({p[i], s[i]});
+  return Instance(std::move(tasks), m);
+}
+
+/// Extracts the processing-time weights of an instance.
+inline std::vector<std::int64_t> p_weights(const Instance& inst) {
+  std::vector<std::int64_t> w;
+  w.reserve(inst.n());
+  for (const Task& t : inst.tasks()) w.push_back(t.p);
+  return w;
+}
+
+/// Extracts the storage weights of an instance.
+inline std::vector<std::int64_t> s_weights(const Instance& inst) {
+  std::vector<std::int64_t> w;
+  w.reserve(inst.n());
+  for (const Task& t : inst.tasks()) w.push_back(t.s);
+  return w;
+}
+
+/// Exhaustive optimum of the min-max-subset-sum problem (reference
+/// implementation for cross-checking the real algorithms; m^n work).
+inline std::int64_t brute_force_partition(std::span<const std::int64_t> w,
+                                          int m) {
+  const std::size_t n = w.size();
+  std::int64_t best = 0;
+  for (const std::int64_t v : w) best += v;  // everything on one processor
+  std::vector<int> choice(n, 0);
+  while (true) {
+    std::vector<std::int64_t> load(static_cast<std::size_t>(m), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      load[static_cast<std::size_t>(choice[i])] += w[i];
+    }
+    std::int64_t mx = 0;
+    for (const std::int64_t l : load) mx = std::max(mx, l);
+    best = std::min(best, mx);
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n && ++choice[pos] == m) choice[pos++] = 0;
+    if (pos == n) break;
+  }
+  return best;
+}
+
+}  // namespace storesched::testing
