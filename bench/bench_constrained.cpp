@@ -11,6 +11,9 @@
 // Expected shape: success probability rises from ~0 near beta = 1 to 1 at
 // beta > 2 (provably), with the achieved makespan degrading as the budget
 // tightens.
+//
+// Both drivers are addressed through the constrained:* solver specs; the
+// capacity travels in SolveOptions::memory_capacity.
 #include <iostream>
 #include <vector>
 
@@ -19,13 +22,14 @@
 #include "common/generators.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "core/constrained.hpp"
+#include "core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
 
   banner("EXT-D", "Constrained solves: min Cmax s.t. Mmax <= capacity");
+  bench::BenchReport report("constrained", argc, argv);
 
   const std::vector<Fraction> betas{Fraction(11, 10), Fraction(3, 2),
                                     Fraction(2),      Fraction(5, 2),
@@ -33,12 +37,14 @@ int main() {
   const int m = 8;
   const int seeds = 12;
   bool all_ok = true;
-  const LptSchedulerAlg lpt;
+  const auto sbo_solver = make_solver("constrained:sbo,alg=lpt");
 
   const auto run_sweep = [&](const std::string& label, bool dag,
                              bool memory_tight) {
     std::cout << "\n" << label << " (m = " << m << ", " << seeds
               << " seeds per beta):\n";
+    const auto rls_solver = make_solver(
+        dag ? "constrained:rls,tiebreak=bottom" : "constrained:rls");
     std::vector<std::vector<std::string>> rows;
     for (const Fraction& beta : betas) {
       int rls_success = 0;
@@ -60,10 +66,9 @@ int main() {
         }();
         const Fraction lb = inst.storage_lower_bound_fraction();
         const Mem cap = (beta * lb).floor();
+        const SolveOptions budget{.memory_capacity = cap};
 
-        const ConstrainedResult via_rls = solve_constrained_rls(
-            inst, cap, dag ? PriorityPolicy::kBottomLevel
-                           : PriorityPolicy::kInputOrder);
+        const SolveResult via_rls = rls_solver->solve(inst, budget);
         if (via_rls.feasible) {
           ++rls_success;
           if (via_rls.objectives.mmax > cap) all_ok = false;
@@ -75,8 +80,7 @@ int main() {
         }
 
         if (!dag) {
-          const ConstrainedResult via_sbo =
-              solve_constrained_sbo(inst, cap, lpt, lpt);
+          const SolveResult via_sbo = sbo_solver->solve(inst, budget);
           if (via_sbo.feasible) {
             ++sbo_success;
             if (via_sbo.objectives.mmax > cap) all_ok = false;
@@ -91,6 +95,12 @@ int main() {
            rls_ratio.count() ? fmt(rls_ratio.summary().mean) : "n/a",
            dag ? "-" : std::to_string(sbo_success) + "/" + std::to_string(seeds),
            dag || !sbo_ratio.count() ? "-" : fmt(sbo_ratio.summary().mean)});
+      report.add("budget_sweep",
+                 {{"workload", label},
+                  {"beta", beta},
+                  {"rls_success", rls_success},
+                  {"sbo_success", dag ? -1 : sbo_success},
+                  {"seeds", seeds}});
     }
     std::cout << markdown_table({"beta (cap/LB)", "RLS success",
                                  "RLS Cmax/LB mean", "SBO success",
@@ -111,6 +121,7 @@ int main() {
   std::cout << "\nEqual-code workloads (n = 12, m = 8, s = 100 each; "
                "threshold at beta = 4/3):\n";
   {
+    const auto rls_solver = make_solver("constrained:rls");
     std::vector<std::vector<std::string>> rows;
     for (const Fraction& beta : std::vector<Fraction>{
              Fraction(1), Fraction(5, 4), Fraction(13, 10), Fraction(4, 3),
@@ -122,12 +133,17 @@ int main() {
       }
       const Instance inst(std::move(tasks), 8);
       const Mem cap = (beta * inst.storage_lower_bound_fraction()).floor();
-      const ConstrainedResult r = solve_constrained_rls(inst, cap);
+      const SolveResult r =
+          rls_solver->solve(inst, {.memory_capacity = cap});
       const bool should_fit = !(beta < Fraction(4, 3));
       if (r.feasible != should_fit) all_ok = false;
       rows.push_back({bench::frac(beta), std::to_string(cap),
                       r.feasible ? "feasible" : "infeasible",
                       should_fit ? "feasible" : "infeasible"});
+      report.add("equal_code_threshold", {{"beta", beta},
+                                          {"capacity", cap},
+                                          {"feasible", r.feasible},
+                                          {"predicted", should_fit}});
     }
     std::cout << markdown_table(
         {"beta (cap/LB)", "capacity", "RLS outcome", "predicted"}, rows);
@@ -136,5 +152,7 @@ int main() {
   std::cout << "\ncapacity respected on every feasible run and beta > 2 "
                "always feasible: "
             << (all_ok ? "YES" : "NO (bug!)") << "\n";
+  report.add("verdict", {{"all_ok", all_ok}});
+  report.finish();
   return all_ok ? 0 : 1;
 }

@@ -15,12 +15,13 @@
 #include "common/paper_instances.hpp"
 #include "core/pareto_enum.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
   using bench::ratio_str;
 
   banner("FIG1", "Pareto-optimal schedules of the Section 4.1 instance");
+  bench::BenchReport report("fig1_pareto", argc, argv);
 
   const Time eps_inv = 100;  // eps = 1/100
   const Instance inst = fig1_instance(eps_inv);
@@ -76,5 +77,10 @@ int main() {
   std::cout << "\n(1, 7/4)-approximation on this instance possible? "
             << (seven_fourths_possible ? "YES (contradiction!)" : "no — as proven")
             << "\n";
+  report.add("fig1", {{"front_size", r.front.size()},
+                      {"enumerated", static_cast<std::int64_t>(r.enumerated)},
+                      {"exact_match", match},
+                      {"seven_fourths_possible", seven_fourths_possible}});
+  report.finish();
   return match && !seven_fourths_possible ? 0 : 1;
 }

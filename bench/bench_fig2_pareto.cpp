@@ -14,12 +14,13 @@
 #include "common/paper_instances.hpp"
 #include "core/pareto_enum.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
   using bench::ratio_str;
 
   banner("FIG2", "Pareto-optimal schedules of the Section 4.3 instance");
+  bench::BenchReport report("fig2_pareto", argc, argv);
 
   bool all_ok = true;
   std::vector<std::vector<std::string>> sweep_rows;
@@ -62,5 +63,9 @@ int main() {
               << pt.value.mmax << ") --\n"
               << render_gantt(inst, timed);
   }
+  report.add("fig2", {{"front_size", r.front.size()},
+                      {"exact_match", match},
+                      {"all_sweep_sizes_ok", all_ok}});
+  report.finish();
   return all_ok ? 0 : 1;
 }

@@ -18,12 +18,13 @@
 #include "core/impossibility.hpp"
 #include "core/pareto_enum.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
   using bench::frac;
 
   banner("FIG3", "Impossibility domain and the SBO guarantee curve");
+  bench::BenchReport report("fig3_impossibility", argc, argv);
   constexpr int kMaxM = 6;
 
   // --- Series 1: Lemma 2 segments per m (integer witnesses, k = 12). ---
@@ -101,5 +102,8 @@ int main() {
 
   const bool ok = curve_ok && gadgets_ok;
   std::cout << "\nreproduction: " << (ok ? "CONSISTENT" : "MISMATCH") << "\n";
+  report.add("fig3", {{"sbo_curve_outside_domain", curve_ok},
+                      {"gadget_fronts_match", gadgets_ok}});
+  report.finish();
   return ok ? 0 : 1;
 }

@@ -9,6 +9,9 @@
 //   * the worst measured RLS makespan ratio an adversarial hill climb can
 //     find vs Lemma 5's guarantee (the gap the paper conjectures);
 //   * uniform processors: guarantee bounds vs measured values.
+//
+// Front generation goes through the generic front(solver_spec, grid) of the
+// unified API -- one code path for every Delta-tunable solver family.
 #include <iostream>
 #include <vector>
 
@@ -16,25 +19,27 @@
 #include "common/generators.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "core/front_approx.hpp"
 #include "core/pareto_enum.hpp"
+#include "core/solver.hpp"
 #include "core/theory.hpp"
 #include "core/uniform_bi.hpp"
 #include "core/worstcase.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
 
   banner("EXT-F", "Extensions: front approximation, tightness hunt, uniform machines");
+  bench::BenchReport report("frontier", argc, argv);
   bool all_ok = true;
 
   // --- 1. Delta-sweep front vs exact front. ---
   std::cout << "\nSBO Delta-sweep front coverage of the exact Pareto front "
                "(n in [6,10], m = 2, LPT ingredients):\n";
-  const LptSchedulerAlg lpt;
+  const Fraction lpt_ratio_m2 = make_scheduler("lpt")->ratio(2);
   std::vector<std::vector<std::string>> cov_rows;
   for (const int steps : {5, 9, 17, 33}) {
+    const auto grid = delta_grid(Fraction(1, 8), Fraction(8), steps);
     Accumulator eps;
     Accumulator sizes;
     Rng rng(0x400 + static_cast<std::uint64_t>(steps));
@@ -44,13 +49,17 @@ int main() {
       gp.m = 2;
       const Instance inst = generate_uniform(gp, rng);
       const auto exact = enumerate_pareto(inst);
-      const ApproxFront approx = sbo_front(inst, lpt, steps);
+      const ApproxFront approx = front(inst, "sbo:lpt", grid);
       eps.add(coverage_epsilon(approx.points, exact.front));
       sizes.add(static_cast<double>(approx.points.size()));
     }
     cov_rows.push_back({std::to_string(steps), fmt(sizes.summary().mean, 1),
                         fmt(eps.summary().mean), fmt(eps.summary().max)});
-    if (eps.summary().max > 2.0 * lpt.ratio(2).to_double() + 1e-9) {
+    report.add("front_coverage", {{"grid_steps", steps},
+                                  {"front_size_mean", sizes.summary().mean},
+                                  {"coverage_eps_mean", eps.summary().mean},
+                                  {"coverage_eps_max", eps.summary().max}});
+    if (eps.summary().max > 2.0 * lpt_ratio_m2.to_double() + 1e-9) {
       all_ok = false;
     }
   }
@@ -77,6 +86,10 @@ int main() {
     wc_rows.push_back({std::to_string(m), bench::frac(delta),
                        fmt(r.measured_ratio), fmt(r.bound),
                        fmt(r.bound - r.measured_ratio)});
+    report.add("rls_tightness", {{"m", m},
+                                 {"delta", delta},
+                                 {"worst_measured_ratio", r.measured_ratio},
+                                 {"lemma5_bound", r.bound}});
   }
   std::cout << markdown_table({"m", "Delta", "worst measured Cmax ratio",
                                "Lemma 5 bound", "gap"},
@@ -112,6 +125,9 @@ int main() {
     uni_rows.push_back({bench::frac(delta), fmt(rc.summary().mean),
                         fmt(1.0 + delta.to_double()), fmt(rm.summary().mean),
                         fmt(1.0 + 4.0 / delta.to_double())});
+    report.add("uniform_processors", {{"delta", delta},
+                                      {"cmax_ratio_mean", rc.summary().mean},
+                                      {"mmax_ratio_mean", rm.summary().mean}});
   }
   std::cout << markdown_table({"Delta", "Cmax/C mean", "bound (1+Delta)",
                                "Mmax/M mean", "bound (1+speed_max/Delta)"},
@@ -119,5 +135,7 @@ int main() {
 
   std::cout << "\nall extension guarantees hold: "
             << (all_ok ? "YES" : "NO (bug!)") << "\n";
+  report.add("verdict", {{"all_ok", all_ok}});
+  report.finish();
   return all_ok ? 0 : 1;
 }

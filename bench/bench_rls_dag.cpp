@@ -12,6 +12,9 @@
 // Expected shape: memory tracks the cap for small Delta and detaches for
 // large Delta, while the makespan ratio falls towards the Graham 2 - 1/m
 // regime as Delta grows.
+//
+// RLS runs go through the unified solver API; the Lemma 4 analysis channel
+// rides along in SolveResult's rls extras.
 #include <iostream>
 #include <vector>
 
@@ -19,15 +22,16 @@
 #include "common/dag_generators.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "core/rls.hpp"
+#include "core/solver.hpp"
 #include "core/theory.hpp"
 #include "sim/online.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
 
   banner("EXT-B", "RLS_Delta on DAG workloads: guarantees and online dispatch");
+  bench::BenchReport report("rls_dag", argc, argv);
 
   const std::vector<std::string> families{"layered", "forkjoin", "cholesky",
                                           "fft", "soc"};
@@ -41,6 +45,8 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   for (const std::string& family : families) {
     for (const Fraction& delta : deltas) {
+      const auto solver =
+          make_solver("rls:bottom,delta=" + delta.to_string());
       Accumulator c_ratio;
       Accumulator m_ratio;
       Accumulator marked;
@@ -49,29 +55,29 @@ int main() {
       int infeasible = 0;
       for (int seed = 0; seed < 8; ++seed) {
         const Instance inst = generate_dag_by_name(family, 200, m, {}, rng);
-        const RlsResult r =
-            rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+        const SolveResult r = solver->solve(inst);
         if (!r.feasible) {
           ++infeasible;
           continue;
         }
+        const RlsResult& rls = *r.rls;
         const Fraction c_lb = Fraction::max(
             Fraction(inst.total_work(), inst.m()),
             Fraction(inst.critical_path()));
-        c_ratio.add(static_cast<double>(cmax(inst, r.schedule)) /
-                    c_lb.to_double());
-        if (Fraction(0) < r.lb) {
-          m_ratio.add(static_cast<double>(mmax(inst, r.schedule)) /
-                      r.lb.to_double());
+        c_ratio.add(static_cast<double>(r.objectives.cmax) / c_lb.to_double());
+        if (Fraction(0) < rls.lb) {
+          m_ratio.add(static_cast<double>(r.objectives.mmax) /
+                      rls.lb.to_double());
         }
-        marked.add(static_cast<double>(r.marked_count));
-        // Exact guarantee checks.
-        if (!(Fraction(mmax(inst, r.schedule)) <= delta * r.lb)) all_ok = false;
-        if (!(Fraction(cmax(inst, r.schedule)) <=
-              rls_cmax_ratio(delta, inst.m()) * c_lb)) {
+        marked.add(static_cast<double>(rls.marked_count));
+        // Exact guarantee checks against the run's own bounds and ratios.
+        if (!(Fraction(r.objectives.mmax) <= *r.mmax_bound)) all_ok = false;
+        if (!(Fraction(r.objectives.cmax) <= *r.cmax_ratio * c_lb)) {
           all_ok = false;
         }
-        if (r.marked_count > rls_marked_bound(delta, inst.m())) all_ok = false;
+        if (rls.marked_count > rls_marked_bound(delta, inst.m())) {
+          all_ok = false;
+        }
       }
       // Delta > 2 guarantees feasibility.
       if (infeasible > 0) all_ok = false;
@@ -81,6 +87,12 @@ int main() {
                       fmt(m_ratio.summary().mean), fmt(delta.to_double()),
                       fmt(marked.summary().mean),
                       std::to_string(rls_marked_bound(delta, m))});
+      report.add("dag_sweep", {{"family", family},
+                               {"delta", delta},
+                               {"cmax_lb_ratio_mean", c_ratio.summary().mean},
+                               {"mmax_lb_ratio_mean", m_ratio.summary().mean},
+                               {"marked_mean", marked.summary().mean},
+                               {"infeasible", infeasible}});
     }
   }
   std::cout << markdown_table({"family", "Delta", "Cmax/LB mean", "Cmax/LB max",
@@ -93,17 +105,17 @@ int main() {
                "Delta * LB, layered DAGs, 8 seeds):\n";
   std::vector<std::vector<std::string>> online_rows;
   for (const Fraction& delta : deltas) {
+    const auto solver = make_solver("rls:bottom,delta=" + delta.to_string());
     Accumulator off_c;
     Accumulator on_c;
     int online_stuck = 0;
     Rng rng(0xE0 + static_cast<std::uint64_t>(delta.num()));
     for (int seed = 0; seed < 8; ++seed) {
       const Instance inst = generate_dag_by_name("layered", 200, m, {}, rng);
-      const RlsResult off =
-          rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+      const SolveResult off = solver->solve(inst);
       const OnlineResult on =
           simulate_online_rls(inst, delta, PriorityPolicy::kBottomLevel);
-      if (off.feasible) off_c.add(static_cast<double>(cmax(inst, off.schedule)));
+      if (off.feasible) off_c.add(static_cast<double>(off.objectives.cmax));
       if (on.feasible) {
         on_c.add(static_cast<double>(cmax(inst, on.schedule)));
       } else {
@@ -113,6 +125,11 @@ int main() {
     online_rows.push_back({bench::frac(delta), fmt(off_c.summary().mean, 1),
                            fmt(on_c.summary().mean, 1),
                            std::to_string(online_stuck)});
+    report.add("offline_vs_online",
+               {{"delta", delta},
+                {"offline_cmax_mean", off_c.summary().mean},
+                {"online_cmax_mean", on_c.summary().mean},
+                {"online_stuck", online_stuck}});
   }
   std::cout << markdown_table(
       {"Delta", "offline RLS Cmax mean", "online Cmax mean", "online stuck"},
@@ -121,5 +138,7 @@ int main() {
   std::cout << "\nall guarantees (Cor.2, Lemma 4, Lemma 5, feasibility for "
                "Delta > 2) hold: "
             << (all_ok ? "YES" : "NO (bug!)") << "\n";
+  report.add("verdict", {{"all_guarantees_hold", all_ok}});
+  report.finish();
   return all_ok ? 0 : 1;
 }

@@ -8,6 +8,9 @@
 // curve ((1+Delta) rho1, (1+1/Delta) rho2) and (by Section 4) cannot lie
 // inside the impossibility domain. Expected shape: makespan ratio grows and
 // memory ratio shrinks as Delta grows, crossing near Delta = 1.
+//
+// All algorithm dispatch goes through the unified solver registry
+// (make_solver); the guarantee bounds come from Solver::capabilities().
 #include <iostream>
 #include <vector>
 
@@ -16,14 +19,14 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/pareto_enum.hpp"
-#include "core/sbo.hpp"
-#include "core/theory.hpp"
+#include "core/solver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
 
   banner("EXT-A", "Empirical SBO_Delta ratios vs exact optima and bounds");
+  bench::BenchReport report("sbo_ratio", argc, argv);
 
   const std::vector<Fraction> deltas{Fraction(1, 4), Fraction(1, 2),
                                      Fraction(1),    Fraction(2),
@@ -35,10 +38,10 @@ int main() {
   // --- Small instances: ratios against exact optima. ---
   std::cout << "\nSmall instances (n in [6,10], m = 2, 40 seeds each), LPT/LPT "
                "ingredients, ratios vs exact C*max / M*max:\n";
-  const LptSchedulerAlg lpt;
   std::vector<std::vector<std::string>> small_rows;
   for (const std::string& gen : generators) {
     for (const Fraction& delta : deltas) {
+      const auto solver = make_solver("sbo:lpt,delta=" + delta.to_string());
       Accumulator rc;
       Accumulator rm;
       Rng rng(0xA0 + static_cast<std::uint64_t>(delta.num()) * 31 +
@@ -51,15 +54,15 @@ int main() {
         gp.s_max = 40;
         const Instance inst = generate_by_name(gen, gp, rng);
         const auto front = enumerate_pareto(inst);
-        const SboResult r = sbo_schedule(inst, delta, lpt);
-        const ObjectivePoint pt = objectives(inst, r.schedule);
-        rc.add(static_cast<double>(pt.cmax) /
+        const SolveResult r = solver->solve(inst);
+        rc.add(static_cast<double>(r.objectives.cmax) /
                static_cast<double>(front.optimal_cmax()));
-        rm.add(static_cast<double>(pt.mmax) /
+        rm.add(static_cast<double>(r.objectives.mmax) /
                static_cast<double>(front.optimal_mmax()));
       }
-      const Fraction c_bound = sbo_cmax_ratio(delta, lpt.ratio(2));
-      const Fraction m_bound = sbo_mmax_ratio(delta, lpt.ratio(2));
+      const Capabilities caps = solver->capabilities(2);
+      const Fraction c_bound = *caps.cmax_ratio;
+      const Fraction m_bound = *caps.mmax_ratio;
       const Summary sc = rc.summary();
       const Summary sm = rm.summary();
       if (sc.max > c_bound.to_double() + 1e-9 ||
@@ -69,6 +72,14 @@ int main() {
       small_rows.push_back({gen, bench::frac(delta), fmt(sc.mean), fmt(sc.max),
                             fmt(c_bound.to_double()), fmt(sm.mean), fmt(sm.max),
                             fmt(m_bound.to_double())});
+      report.add("small_vs_exact", {{"generator", gen},
+                                    {"delta", delta},
+                                    {"cmax_ratio_mean", sc.mean},
+                                    {"cmax_ratio_max", sc.max},
+                                    {"cmax_bound", c_bound.to_double()},
+                                    {"mmax_ratio_mean", sm.mean},
+                                    {"mmax_ratio_max", sm.max},
+                                    {"mmax_bound", m_bound.to_double()}});
     }
   }
   std::cout << markdown_table({"generator", "Delta", "Cmax/C* mean",
@@ -82,6 +93,7 @@ int main() {
   std::vector<std::vector<std::string>> large_rows;
   for (const std::string& gen : generators) {
     for (const Fraction& delta : deltas) {
+      const auto solver = make_solver("sbo:lpt,delta=" + delta.to_string());
       Accumulator rc;
       Accumulator rm;
       Rng rng(0xB0 + static_cast<std::uint64_t>(delta.num()) * 17 +
@@ -93,16 +105,19 @@ int main() {
         gp.p_max = 1000;
         gp.s_max = 1000;
         const Instance inst = generate_by_name(gen, gp, rng);
-        const SboResult r = sbo_schedule(inst, delta, lpt);
-        const ObjectivePoint pt = objectives(inst, r.schedule);
-        rc.add(static_cast<double>(pt.cmax) /
+        const SolveResult r = solver->solve(inst);
+        rc.add(static_cast<double>(r.objectives.cmax) /
                inst.time_lower_bound_fraction().to_double());
-        rm.add(static_cast<double>(pt.mmax) /
+        rm.add(static_cast<double>(r.objectives.mmax) /
                inst.storage_lower_bound_fraction().to_double());
       }
       large_rows.push_back({gen, bench::frac(delta), fmt(rc.summary().mean),
                             fmt(rc.summary().max), fmt(rm.summary().mean),
                             fmt(rm.summary().max)});
+      report.add("large_vs_lb", {{"generator", gen},
+                                 {"delta", delta},
+                                 {"cmax_lb_ratio_mean", rc.summary().mean},
+                                 {"mmax_lb_ratio_mean", rm.summary().mean}});
     }
   }
   std::cout << markdown_table({"generator", "Delta", "Cmax/LB mean",
@@ -114,7 +129,8 @@ int main() {
                "seeds): which rho1/rho2 pair to plug in:\n";
   std::vector<std::vector<std::string>> abl_rows;
   for (const char* alg_name : {"ls", "lpt", "multifit", "kopt8"}) {
-    const auto alg = make_scheduler(alg_name);
+    const auto solver =
+        make_solver("sbo:" + std::string(alg_name) + ",delta=1");
     Accumulator rc;
     Accumulator rm;
     Rng rng(0xC0);
@@ -125,16 +141,19 @@ int main() {
       gp.p_max = 500;
       gp.s_max = 500;
       const Instance inst = generate_uniform(gp, rng);
-      const SboResult r = sbo_schedule(inst, Fraction(1), *alg);
-      const ObjectivePoint pt = objectives(inst, r.schedule);
-      rc.add(static_cast<double>(pt.cmax) /
+      const SolveResult r = solver->solve(inst);
+      rc.add(static_cast<double>(r.objectives.cmax) /
              inst.time_lower_bound_fraction().to_double());
-      rm.add(static_cast<double>(pt.mmax) /
+      rm.add(static_cast<double>(r.objectives.mmax) /
              inst.storage_lower_bound_fraction().to_double());
     }
-    abl_rows.push_back({alg->name(),
-                        bench::frac(sbo_cmax_ratio(Fraction(1), alg->ratio(8))),
+    abl_rows.push_back({solver->name(),
+                        bench::frac(*solver->capabilities(8).cmax_ratio),
                         fmt(rc.summary().mean), fmt(rm.summary().mean)});
+    report.add("ingredient_ablation",
+               {{"spec", solver->name()},
+                {"cmax_lb_ratio_mean", rc.summary().mean},
+                {"mmax_lb_ratio_mean", rm.summary().mean}});
   }
   std::cout << markdown_table(
       {"ingredient", "guaranteed Cmax ratio", "Cmax/LB mean", "Mmax/LB mean"},
@@ -142,5 +161,7 @@ int main() {
 
   std::cout << "\nall measured points within their guarantees: "
             << (all_within ? "YES" : "NO (bug!)") << "\n";
+  report.add("verdict", {{"all_within_guarantees", all_within}});
+  report.finish();
   return all_within ? 0 : 1;
 }

@@ -1,21 +1,25 @@
-// EXT-E -- wall-clock scaling of the library's algorithms (google-benchmark).
+// EXT-E -- wall-clock scaling of the library through the unified solver API.
 //
 // Covers the complexity claims that matter for adoption: SBO is dominated
-// by its ingredient schedulers (near-linear for LS/LPT), RLS is the paper's
-// O(n^2 m), the dual-approximation PTAS pays for its guarantee, and exact
-// Pareto enumeration is exponential (hence small-n only).
-#include <benchmark/benchmark.h>
+// by its ingredient schedulers (near-linear for LS/LPT, heavier for the
+// dual-approximation PTAS that pays for its guarantee), RLS is the paper's
+// O(n^2 m) on independent and DAG inputs alike, and exact Pareto
+// enumeration is exponential (hence small-n only).
+//
+// The headline section measures solve_batch(): the std::thread fan-out over
+// an instance set versus the equivalent serial loop, the number the
+// ROADMAP's batch-throughput goal tracks. Run with --json to record the
+// trajectory (BENCH_scaling.json).
+#include <iostream>
+#include <thread>
+#include <vector>
 
-#include "algorithms/partition.hpp"
-#include "algorithms/scheduler.hpp"
+#include "bench_util.hpp"
 #include "common/dag_generators.hpp"
 #include "common/generators.hpp"
 #include "common/rng.hpp"
 #include "core/pareto_enum.hpp"
-#include "core/rls.hpp"
-#include "core/sbo.hpp"
-#include "core/triobjective.hpp"
-#include "sim/event_sim.hpp"
+#include "core/solver.hpp"
 
 namespace {
 
@@ -31,130 +35,134 @@ Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
   return generate_uniform(gp, rng);
 }
 
-void BM_SboLpt(benchmark::State& state) {
-  const Instance inst =
-      uniform_instance(static_cast<std::size_t>(state.range(0)),
-                       static_cast<int>(state.range(1)), 1);
-  const LptSchedulerAlg lpt;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sbo_schedule(inst, Fraction(1), lpt));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_SboLpt)
-    ->Args({100, 8})
-    ->Args({1000, 8})
-    ->Args({10000, 8})
-    ->Args({10000, 64})
-    ->Complexity(benchmark::oNLogN);
-
-void BM_RlsIndependent(benchmark::State& state) {
-  const Instance inst =
-      uniform_instance(static_cast<std::size_t>(state.range(0)),
-                       static_cast<int>(state.range(1)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rls_schedule(inst, Fraction(3)));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_RlsIndependent)
-    ->Args({50, 8})
-    ->Args({100, 8})
-    ->Args({200, 8})
-    ->Args({400, 8})
-    ->Complexity(benchmark::oNSquared);
-
-void BM_RlsDag(benchmark::State& state) {
-  Rng rng(3);
-  const Instance inst = generate_dag_by_name(
-      "layered", static_cast<std::size_t>(state.range(0)), 8, {}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        rls_schedule(inst, Fraction(3), PriorityPolicy::kBottomLevel));
-  }
-}
-BENCHMARK(BM_RlsDag)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
-
-void BM_TriObjective(benchmark::State& state) {
-  const Instance inst =
-      uniform_instance(static_cast<std::size_t>(state.range(0)), 8, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tri_objective_schedule(inst, Fraction(3)));
-  }
-}
-BENCHMARK(BM_TriObjective)->Arg(100)->Arg(200)->Arg(400);
-
-void BM_PartitionLpt(benchmark::State& state) {
-  Rng rng(5);
-  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : w) v = rng.uniform_int(1, 1000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lpt_assign(w, 16));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_PartitionLpt)
-    ->Arg(1000)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Complexity(benchmark::oNLogN);
-
-void BM_PartitionMultifit(benchmark::State& state) {
-  Rng rng(6);
-  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : w) v = rng.uniform_int(1, 1000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(multifit_assign(w, 16));
-  }
-}
-BENCHMARK(BM_PartitionMultifit)->Arg(1000)->Arg(10000);
-
-void BM_DualPtas(benchmark::State& state) {
-  Rng rng(7);
-  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : w) v = rng.uniform_int(1, 1000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        dual_ptas_assign(w, 8, static_cast<int>(state.range(1))));
-  }
-}
-BENCHMARK(BM_DualPtas)->Args({50, 2})->Args({50, 3})->Args({200, 2})->Args({200, 3});
-
-void BM_ExactBnb(benchmark::State& state) {
-  Rng rng(8);
-  std::vector<std::int64_t> w(static_cast<std::size_t>(state.range(0)));
-  for (auto& v : w) v = rng.uniform_int(1, 1000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(exact_bnb_assign(w, 4));
-  }
-}
-BENCHMARK(BM_ExactBnb)->Arg(12)->Arg(16)->Arg(20);
-
-void BM_ParetoEnumeration(benchmark::State& state) {
-  const Instance inst =
-      uniform_instance(static_cast<std::size_t>(state.range(0)), 3, 9);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(enumerate_pareto(inst));
-  }
-}
-BENCHMARK(BM_ParetoEnumeration)->Arg(8)->Arg(10)->Arg(12);
-
-void BM_Simulator(benchmark::State& state) {
-  const Instance inst =
-      uniform_instance(static_cast<std::size_t>(state.range(0)), 16, 10);
-  const Schedule sched = graham_list_schedule(inst, PriorityPolicy::kLpt);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        simulate_schedule(inst, sched, {.keep_trace = false}));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_Simulator)
-    ->Arg(1000)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Complexity(benchmark::oNLogN);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using bench::banner;
+  using bench::time_ms;
+
+  banner("EXT-E", "Wall-clock scaling via the unified solver API");
+  bench::BenchReport report("scaling", argc, argv);
+
+  // --- Per-solver single-instance scaling. -------------------------------
+  struct Case {
+    std::string spec;
+    std::size_t n;
+    int m;
+    int iters;
+  };
+  const std::vector<Case> cases{
+      {"sbo:lpt,delta=1", 100, 8, 50},    {"sbo:lpt,delta=1", 1000, 8, 20},
+      {"sbo:lpt,delta=1", 10000, 8, 5},   {"sbo:lpt,delta=1", 10000, 64, 5},
+      {"sbo:multifit,delta=1", 10000, 8, 5},
+      {"sbo:ptas2,delta=1", 200, 8, 5},   {"sbo:ptas2,delta=1", 1000, 8, 3},
+      {"rls:input,delta=3", 50, 8, 20},   {"rls:input,delta=3", 100, 8, 10},
+      {"rls:input,delta=3", 200, 8, 5},   {"rls:input,delta=3", 400, 8, 3},
+      {"tri:spt,delta=3", 100, 8, 10},    {"tri:spt,delta=3", 400, 8, 3},
+      {"graham:lpt", 10000, 16, 10},
+  };
+
+  std::cout << "\nSingle-instance solve() latency (uniform workloads):\n";
+  std::vector<std::vector<std::string>> rows;
+  std::uint64_t seed = 1;
+  for (const Case& c : cases) {
+    const Instance inst = uniform_instance(c.n, c.m, seed++);
+    const auto solver = make_solver(c.spec);
+    solver->solve(inst);  // warm-up (page in code and data)
+    const double total =
+        time_ms([&] { for (int i = 0; i < c.iters; ++i) solver->solve(inst); });
+    const double per_run = total / c.iters;
+    rows.push_back({c.spec, std::to_string(c.n), std::to_string(c.m),
+                    fmt(per_run, 3)});
+    report.add("solve_latency", {{"spec", c.spec},
+                                 {"n", c.n},
+                                 {"m", c.m},
+                                 {"ms_per_solve", per_run}});
+  }
+  std::cout << markdown_table({"solver spec", "n", "m", "ms/solve"}, rows);
+
+  // --- RLS on DAG workloads. ---------------------------------------------
+  std::cout << "\nRLS on layered DAGs (bottom-level priority):\n";
+  std::vector<std::vector<std::string>> dag_rows;
+  const auto dag_solver = make_solver("rls:bottom,delta=3");
+  for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+    Rng rng(3);
+    const Instance inst = generate_dag_by_name("layered", n, 8, {}, rng);
+    dag_solver->solve(inst);
+    const double per_run =
+        time_ms([&] { for (int i = 0; i < 3; ++i) dag_solver->solve(inst); }) /
+        3.0;
+    dag_rows.push_back({std::to_string(n), fmt(per_run, 3)});
+    report.add("rls_dag_latency", {{"n", n}, {"ms_per_solve", per_run}});
+  }
+  std::cout << markdown_table({"n", "ms/solve"}, dag_rows);
+
+  // --- Exact Pareto enumeration (exponential; small n only). -------------
+  std::cout << "\nExact Pareto enumeration (ground truth; m = 3):\n";
+  std::vector<std::vector<std::string>> enum_rows;
+  for (const std::size_t n : {8u, 10u, 12u}) {
+    const Instance inst = uniform_instance(n, 3, 9);
+    const double ms = time_ms([&] { enumerate_pareto(inst); });
+    enum_rows.push_back({std::to_string(n), fmt(ms, 3)});
+    report.add("pareto_enum_latency", {{"n", n}, {"ms", ms}});
+  }
+  std::cout << markdown_table({"n", "ms"}, enum_rows);
+
+  // --- The headline: solve_batch() vs the serial loop. -------------------
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const int batch_size = 64;
+  std::vector<Instance> instances;
+  instances.reserve(batch_size);
+  for (int i = 0; i < batch_size; ++i) {
+    instances.push_back(uniform_instance(250, 8, 0x1000 + i));
+  }
+  const auto batch_solver = make_solver("rls:input,delta=3");
+
+  std::cout << "\nsolve_batch() throughput (" << batch_size
+            << " RLS solves, n = 250, m = 8) on " << cores << " cores:\n";
+  // Warm-up plus a correctness spot check: batch equals serial.
+  const std::vector<SolveResult> serial_results =
+      solve_batch(*batch_solver, instances, {}, {.threads = 1});
+  const std::vector<SolveResult> batch_results =
+      solve_batch(*batch_solver, instances);
+  bool identical = true;
+  for (int i = 0; i < batch_size; ++i) {
+    if (serial_results[static_cast<std::size_t>(i)].objectives !=
+        batch_results[static_cast<std::size_t>(i)].objectives) {
+      identical = false;
+    }
+  }
+
+  const double serial_ms = time_ms(
+      [&] { solve_batch(*batch_solver, instances, {}, {.threads = 1}); });
+  const double parallel_ms =
+      time_ms([&] { solve_batch(*batch_solver, instances); });
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+
+  std::vector<std::vector<std::string>> batch_rows;
+  batch_rows.push_back({"serial loop (threads=1)", fmt(serial_ms, 1), "1.00"});
+  batch_rows.push_back({"solve_batch (threads=" + std::to_string(cores) + ")",
+                        fmt(parallel_ms, 1), fmt(speedup, 2)});
+  std::cout << markdown_table({"runner", "wall ms", "speedup"}, batch_rows);
+  std::cout << "(batch results identical to serial: "
+            << (identical ? "yes" : "NO (bug!)") << ")\n";
+  report.add("solve_batch_speedup",
+             {{"instances", batch_size},
+              {"n", 250},
+              {"m", 8},
+              {"spec", std::string("rls:input,delta=3")},
+              {"cores", static_cast<std::int64_t>(cores)},
+              {"serial_ms", serial_ms},
+              {"batch_ms", parallel_ms},
+              {"speedup", speedup},
+              {"identical_results", identical}});
+
+  // The >= 2x bar only applies where the parallelism exists to pay for it.
+  const bool speedup_ok = cores < 4 || speedup >= 2.0;
+  if (!speedup_ok) {
+    std::cout << "solve_batch speedup below 2x on " << cores
+              << " cores (bug!)\n";
+  }
+  report.finish();
+  return identical && speedup_ok ? 0 : 1;
+}

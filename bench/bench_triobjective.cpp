@@ -7,6 +7,10 @@
 // Expected shape: sum-Ci ratio stays close to 1 (far below the pessimistic
 // 2 + 1/(Delta-2) bound), and tightening Delta trades makespan for memory
 // while sum Ci degrades only mildly.
+//
+// The tri-objective runs use the "tri:spt" solver; the tie-break ablation
+// swaps RLS solvers by spec string -- exactly the dispatch the unified
+// registry exists for.
 #include <iostream>
 #include <vector>
 
@@ -14,15 +18,15 @@
 #include "common/generators.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "core/rls.hpp"
+#include "core/solver.hpp"
 #include "core/theory.hpp"
-#include "core/triobjective.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storesched;
   using bench::banner;
 
   banner("EXT-C", "Tri-objective RLS+SPT on independent physics batches");
+  bench::BenchReport report("triobjective", argc, argv);
 
   const std::vector<Fraction> deltas{Fraction(21, 10), Fraction(5, 2),
                                      Fraction(3), Fraction(4), Fraction(8)};
@@ -33,14 +37,15 @@ int main() {
             << ", 10 seeds each):\n";
   std::vector<std::vector<std::string>> rows;
   for (const Fraction& delta : deltas) {
+    const auto solver = make_solver("tri:spt,delta=" + delta.to_string());
     Accumulator rc;
     Accumulator rm;
     Accumulator rs;
     Rng rng(0xF0 + static_cast<std::uint64_t>(delta.num()));
     for (int seed = 0; seed < 10; ++seed) {
       const Instance inst = generate_physics_batch(300, m, 1.3, rng);
-      const TriObjectiveResult r = tri_objective_schedule(inst, delta);
-      if (!r.rls.feasible) {
+      const SolveResult r = solver->solve(inst);
+      if (!r.feasible) {
         all_ok = false;
         continue;
       }
@@ -49,11 +54,11 @@ int main() {
              inst.time_lower_bound_fraction().to_double());
       rm.add(static_cast<double>(r.objectives.mmax) /
              inst.storage_lower_bound_fraction().to_double());
-      rs.add(static_cast<double>(r.objectives.sum_ci) /
+      rs.add(static_cast<double>(*r.sum_ci) /
              static_cast<double>(opt_sumci));
-      // Corollary 4, exactly.
-      if (!(Fraction(r.objectives.sum_ci) <=
-            rls_sumci_ratio(delta) * Fraction(opt_sumci))) {
+      // Corollary 4, exactly, against the run's own guaranteed ratio.
+      if (r.sumci_ratio &&
+          !(Fraction(*r.sum_ci) <= *r.sumci_ratio * Fraction(opt_sumci))) {
         all_ok = false;
       }
     }
@@ -62,6 +67,11 @@ int main() {
                     fmt(rm.summary().mean), fmt(delta.to_double()),
                     fmt(rs.summary().mean), fmt(rs.summary().max),
                     fmt(rls_sumci_ratio(delta).to_double())});
+    report.add("tri_sweep", {{"delta", delta},
+                             {"cmax_lb_ratio_mean", rc.summary().mean},
+                             {"mmax_lb_ratio_mean", rm.summary().mean},
+                             {"sumci_opt_ratio_mean", rs.summary().mean},
+                             {"sumci_opt_ratio_max", rs.summary().max}});
   }
   std::cout << markdown_table({"Delta", "Cmax/LB mean", "Cor.4 Cmax bound",
                                "Mmax/LB mean", "Mmax bound", "sumCi/OPT mean",
@@ -72,20 +82,25 @@ int main() {
   std::cout << "\nTie-break ablation (Delta = 3, n = 300, 10 seeds): sum Ci "
                "relative to the SPT optimum:\n";
   std::vector<std::vector<std::string>> abl_rows;
-  for (const PriorityPolicy policy :
-       {PriorityPolicy::kSpt, PriorityPolicy::kInputOrder,
-        PriorityPolicy::kLpt}) {
+  for (const char* policy : {"spt", "input", "lpt"}) {
+    const auto solver =
+        make_solver("rls:" + std::string(policy) + ",delta=3");
     Accumulator rs;
     Rng rng(0x101);
     for (int seed = 0; seed < 10; ++seed) {
       const Instance inst = generate_physics_batch(300, m, 1.3, rng);
-      const RlsResult r = rls_schedule(inst, Fraction(3), policy);
+      const SolveResult r = solver->solve(inst);
       if (!r.feasible) continue;
-      rs.add(static_cast<double>(sum_completion_times(inst, r.schedule)) /
+      rs.add(static_cast<double>(*r.sum_ci) /
              static_cast<double>(optimal_sum_completion(inst)));
     }
-    abl_rows.push_back({to_string(policy), fmt(rs.summary().mean),
+    abl_rows.push_back({solver->name(), fmt(rs.summary().mean),
                         fmt(rs.summary().max)});
+    report.add("tiebreak_ablation", {{"spec", solver->name()},
+                                     {"sumci_opt_ratio_mean",
+                                      rs.summary().mean},
+                                     {"sumci_opt_ratio_max",
+                                      rs.summary().max}});
   }
   std::cout << markdown_table({"tie-break order", "sumCi/OPT mean",
                                "sumCi/OPT max"},
@@ -95,5 +110,7 @@ int main() {
 
   std::cout << "\nall Corollary 4 guarantees hold: "
             << (all_ok ? "YES" : "NO (bug!)") << "\n";
+  report.add("verdict", {{"all_guarantees_hold", all_ok}});
+  report.finish();
   return all_ok ? 0 : 1;
 }

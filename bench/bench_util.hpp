@@ -1,8 +1,21 @@
 // Shared helpers for the benchmark harness binaries.
+//
+// Every bench prints human-readable Markdown tables on stdout and, when the
+// `--json` flag is given, additionally records its headline numbers as
+// machine-readable JSON so the perf trajectory can be tracked across PRs:
+//
+//   ./bench_foo --json            # writes BENCH_foo.json in the cwd
+//   ./bench_foo --json=out.json   # writes to the given path
 #pragma once
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "common/fraction.hpp"
 #include "common/io.hpp"
@@ -27,6 +40,117 @@ inline std::string ratio_str(std::int64_t num, std::int64_t den,
                              int decimals = 3) {
   if (den == 0) return "n/a";
   return fmt(static_cast<double>(num) / static_cast<double>(den), decimals);
+}
+
+/// One JSON scalar; implicit from the types benches actually record.
+class JsonValue {
+ public:
+  JsonValue(double v) : value_(v) {}                            // NOLINT
+  JsonValue(int v) : value_(static_cast<std::int64_t>(v)) {}    // NOLINT
+  JsonValue(std::int64_t v) : value_(v) {}                      // NOLINT
+  JsonValue(std::size_t v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  JsonValue(bool v) : value_(v) {}                              // NOLINT
+  JsonValue(const char* v) : value_(std::string(v)) {}          // NOLINT
+  JsonValue(std::string v) : value_(std::move(v)) {}            // NOLINT
+  JsonValue(const Fraction& f) : value_(f.to_string()) {}       // NOLINT
+
+  void write(std::ostream& os) const {
+    if (const auto* d = std::get_if<double>(&value_)) {
+      os << fmt(*d, 6);
+    } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+      os << *i;
+    } else if (const auto* b = std::get_if<bool>(&value_)) {
+      os << (*b ? "true" : "false");
+    } else {
+      os << '"';
+      for (const char c : std::get<std::string>(value_)) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          default: os << c;
+        }
+      }
+      os << '"';
+    }
+  }
+
+ private:
+  std::variant<double, std::int64_t, bool, std::string> value_;
+};
+
+/// Collects named records of key/value fields and writes them as one JSON
+/// document (`{"bench": ..., "records": [...]}`) when --json was requested.
+class BenchReport {
+ public:
+  using Fields = std::vector<std::pair<std::string, JsonValue>>;
+
+  /// Parses --json / --json=PATH out of argv. Unknown arguments are left
+  /// for the bench to interpret.
+  BenchReport(std::string bench_id, int argc, char** argv)
+      : bench_id_(std::move(bench_id)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        path_ = "BENCH_" + bench_id_ + ".json";
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    try {
+      finish();
+    } catch (...) {  // NOLINT: never throw from a destructor
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement row.
+  void add(const std::string& record_name, Fields fields) {
+    records_.emplace_back(record_name, std::move(fields));
+  }
+
+  /// Writes the JSON file (idempotent; also called by the destructor).
+  void finish() {
+    if (path_.empty() || written_) return;
+    std::ofstream out(path_);
+    if (!out) throw std::runtime_error("BenchReport: cannot write " + path_);
+    out << "{\n  \"bench\": \"" << bench_id_ << "\",\n  \"records\": [";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << (r ? ",\n    {" : "\n    {");
+      out << "\"name\": ";
+      JsonValue(records_[r].first).write(out);
+      for (const auto& [key, value] : records_[r].second) {
+        out << ", \"" << key << "\": ";
+        value.write(out);
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    written_ = true;
+    std::cerr << "[bench] JSON written to " << path_ << "\n";
+  }
+
+ private:
+  std::string bench_id_;
+  std::string path_;
+  std::vector<std::pair<std::string, Fields>> records_;
+  bool written_ = false;
+};
+
+/// Wall-clock time of fn() in milliseconds (single run).
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
 }  // namespace storesched::bench

@@ -3,25 +3,21 @@
 // usage ... jointly", Section 1, reference [4]).
 //
 // 2,000 heavy-tailed analysis jobs produce result files that must stay on
-// the worker's scratch storage. Three scheduling questions:
+// the worker's scratch storage. Four scheduling questions, all answered
+// through the unified solver API:
 //   1. bi-objective: sweep SBO's Delta and show the achievable
 //      (makespan, storage) trade-off curve;
 //   2. tri-objective: users want early partial results, so optimize the
 //      mean completion time too (RLS + SPT, Section 5.2);
 //   3. constrained: workers have a fixed scratch quota -- use the SBO-driven
-//      solver with the paper's binary-search refinement (Section 7).
+//      solver with the paper's binary-search refinement (Section 7);
+//   4. throughput: overnight the grid re-plans many independent productions
+//      at once -- fan them out with solve_batch().
 //
 //   $ ./examples/grid_physics
 #include <iostream>
 
-#include "algorithms/graham.hpp"
-#include "algorithms/scheduler.hpp"
-#include "common/generators.hpp"
-#include "common/io.hpp"
-#include "common/rng.hpp"
-#include "core/constrained.hpp"
-#include "core/sbo.hpp"
-#include "core/triobjective.hpp"
+#include "storesched.hpp"
 
 int main() {
   using namespace storesched;
@@ -34,39 +30,41 @@ int main() {
             << " min, storage >= " << batch.storage_lower_bound()
             << " MB/worker\n\n";
 
-  // 1. The Delta trade-off curve.
-  const MultifitSchedulerAlg multifit;  // strong ingredient (13/11)
+  // 1. The Delta trade-off curve (MULTIFIT: strong 13/11 ingredient).
   std::cout << "SBO trade-off (MULTIFIT/MULTIFIT ingredients):\n";
   std::vector<std::vector<std::string>> rows;
   for (const Fraction delta : {Fraction(1, 8), Fraction(1, 2), Fraction(1),
                                Fraction(2), Fraction(8)}) {
-    const SboResult r = sbo_schedule(batch, delta, multifit);
-    rows.push_back({delta.to_string(),
-                    std::to_string(cmax(batch, r.schedule)),
-                    std::to_string(mmax(batch, r.schedule))});
+    const auto solver =
+        make_solver("sbo:multifit,delta=" + delta.to_string());
+    const SolveResult r = solver->solve(batch);
+    rows.push_back({delta.to_string(), std::to_string(r.objectives.cmax),
+                    std::to_string(r.objectives.mmax)});
   }
   std::cout << markdown_table({"Delta", "makespan (min)", "storage (MB)"},
                               rows);
 
   // 2. Early results: tri-objective scheduling.
-  const Fraction delta(3);
-  const TriObjectiveResult tri = tri_objective_schedule(batch, delta);
-  if (!tri.rls.feasible) {
-    std::cerr << "tri-objective run infeasible (cannot happen, Delta > 2)\n";
+  const auto tri_solver = make_solver("tri:spt,delta=3");
+  const SolveResult tri = tri_solver->solve(batch);
+  if (!tri.feasible) {
+    std::cerr << "tri-objective run infeasible (cannot happen, Delta > 2): "
+              << tri.diagnostics << "\n";
     return 1;
   }
   const Time opt_sum = optimal_sum_completion(batch);
-  std::cout << "\ntri-objective RLS+SPT at Delta = 3 (Corollary 4):\n"
+  std::cout << "\ntri-objective " << tri_solver->name()
+            << " (Corollary 4):\n"
             << "  makespan " << tri.objectives.cmax << " min (guarantee "
-            << tri.cmax_ratio << " * optimal)\n"
+            << *tri.cmax_ratio << " * optimal)\n"
             << "  storage  " << tri.objectives.mmax << " MB (guarantee "
-            << tri.mmax_ratio << " * optimal)\n"
+            << *tri.mmax_ratio << " * optimal)\n"
             << "  mean completion "
-            << fmt(static_cast<double>(tri.objectives.sum_ci) / 2000.0, 1)
+            << fmt(static_cast<double>(*tri.sum_ci) / 2000.0, 1)
             << " min vs SPT-optimal "
             << fmt(static_cast<double>(opt_sum) / 2000.0, 1)
-            << " min (guarantee " << tri.sumci_ratio << "x, measured "
-            << fmt(static_cast<double>(tri.objectives.sum_ci) /
+            << " min (guarantee " << *tri.sumci_ratio << "x, measured "
+            << fmt(static_cast<double>(*tri.sum_ci) /
                        static_cast<double>(opt_sum),
                    3)
             << "x)\n";
@@ -74,15 +72,36 @@ int main() {
   // 3. Fixed scratch quota per worker.
   const Mem quota =
       (batch.storage_lower_bound_fraction() * Fraction(7, 4)).floor();
-  const ConstrainedResult fit =
-      solve_constrained_sbo(batch, quota, multifit, multifit);
+  const auto fit_solver = make_solver("constrained:sbo,alg=multifit");
+  const SolveResult fit =
+      fit_solver->solve(batch, {.memory_capacity = quota});
   std::cout << "\nscratch quota " << quota << " MB/worker: ";
   if (fit.feasible) {
     std::cout << "schedulable at makespan " << fit.objectives.cmax
               << " min, storage " << fit.objectives.mmax
-              << " MB (Delta = " << fit.delta_used << ")\n";
+              << " MB (Delta = " << fit.delta << ")\n";
   } else {
     std::cout << "no feasible schedule found\n";
   }
+
+  // 4. Nightly re-planning: many productions, one solver, all cores.
+  std::vector<Instance> productions;
+  for (int site = 0; site < 8; ++site) {
+    Rng site_rng(100 + static_cast<std::uint64_t>(site));
+    productions.push_back(
+        generate_physics_batch(/*n=*/500, /*m=*/32, /*alpha=*/1.2, site_rng));
+  }
+  const std::vector<SolveResult> plans =
+      solve_batch("sbo:multifit,delta=1", productions);
+  std::cout << "\nnightly re-plan of " << plans.size()
+            << " site productions (solve_batch):\n";
+  std::vector<std::vector<std::string>> site_rows;
+  for (std::size_t site = 0; site < plans.size(); ++site) {
+    site_rows.push_back({std::to_string(site),
+                         std::to_string(plans[site].objectives.cmax),
+                         std::to_string(plans[site].objectives.mmax)});
+  }
+  std::cout << markdown_table({"site", "makespan (min)", "storage (MB)"},
+                              site_rows);
   return fit.feasible ? 0 : 1;
 }

@@ -13,12 +13,11 @@
 #include <sstream>
 #include <unistd.h>
 
-#include "algorithms/scheduler.hpp"
 #include "common/gantt.hpp"
 #include "common/io.hpp"
 #include "core/impossibility.hpp"
 #include "core/pareto_enum.hpp"
-#include "core/sbo.hpp"
+#include "core/solver.hpp"
 
 int main(int argc, char**) {
   using namespace storesched;
@@ -44,17 +43,18 @@ int main(int argc, char**) {
               << render_gantt(inst, timed, {.show_summary = false}) << "\n";
   }
 
-  // Overlay: what SBO reaches, per Delta.
+  // Overlay: what SBO reaches, per Delta (one solver per grid point,
+  // addressed through the unified registry).
   const Time c_star = front.optimal_cmax();
   const Mem m_star = front.optimal_mmax();
-  const LptSchedulerAlg lpt;
   std::cout << "SBO sweep vs the front (C* = " << c_star << ", M* = " << m_star
             << "):\n";
   std::vector<std::vector<std::string>> rows;
   for (int num = 1; num <= 16; num *= 2) {
     for (const Fraction delta : {Fraction(num, 4)}) {
-      const SboResult r = sbo_schedule(inst, delta, lpt);
-      const ObjectivePoint pt = objectives(inst, r.schedule);
+      const auto solver = make_solver("sbo:lpt,delta=" + delta.to_string());
+      const SolveResult r = solver->solve(inst);
+      const ObjectivePoint pt = r.objectives;
       const Fraction rx(pt.cmax, c_star);
       const Fraction ry(pt.mmax, m_star);
       // Note: the Section 4 domain constrains what can be *guaranteed on

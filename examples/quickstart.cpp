@@ -1,18 +1,14 @@
-// Quickstart: the 60-second tour of storesched.
+// Quickstart: the 60-second tour of storesched through the unified API.
 //
 // Builds a small independent-task instance, runs the paper's two algorithm
-// families (SBO_Delta and RLS_Delta), prints the schedules as Gantt charts,
-// and shows the guarantees each configuration carries.
+// families (SBO_Delta and RLS_Delta) via make_solver(), prints the schedules
+// as Gantt charts, shows the exact guarantees each configuration carries
+// (Solver::capabilities), and sweeps the Delta knob with front().
 //
 //   $ ./examples/quickstart
 #include <iostream>
 
-#include "algorithms/scheduler.hpp"
-#include "common/gantt.hpp"
-#include "common/io.hpp"
-#include "core/rls.hpp"
-#include "core/sbo.hpp"
-#include "core/theory.hpp"
+#include "storesched.hpp"
 
 int main() {
   using namespace storesched;
@@ -35,52 +31,53 @@ int main() {
   // 1. SBO_Delta: combine a makespan-oriented schedule (pi_1) with a
   //    memory-oriented one (pi_2) through the Delta threshold.
   // ---------------------------------------------------------------------
-  const LptSchedulerAlg lpt;  // rho = 4/3 - 1/(3m) ingredient
-  const Fraction delta(1);    // balance both objectives
-  const SboResult sbo = sbo_schedule(inst, delta, lpt);
+  const auto sbo = make_solver("sbo:lpt,delta=1");
+  const Capabilities sbo_caps = sbo->capabilities(inst.m());
+  const SolveResult sr = sbo->solve(inst);
 
-  std::cout << "SBO_" << delta << " with LPT/LPT ingredients:\n"
-            << "  guarantee: Cmax <= " << sbo_cmax_ratio(delta, lpt.ratio(3))
-            << " * C*max, Mmax <= " << sbo_mmax_ratio(delta, lpt.ratio(3))
-            << " * M*max\n"
-            << "  measured:  Cmax = " << cmax(inst, sbo.schedule)
-            << " (pi_1 alone: " << sbo.c_ingredient << ")"
-            << ", Mmax = " << mmax(inst, sbo.schedule)
-            << " (pi_2 alone: " << sbo.m_ingredient << ")\n\n";
+  std::cout << sbo->name() << ":\n"
+            << "  guarantee: Cmax <= " << *sbo_caps.cmax_ratio
+            << " * C*max, Mmax <= " << *sbo_caps.mmax_ratio << " * M*max\n"
+            << "  measured:  Cmax = " << sr.objectives.cmax
+            << " (pi_1 alone: " << sr.sbo->c_ingredient << ")"
+            << ", Mmax = " << sr.objectives.mmax
+            << " (pi_2 alone: " << sr.sbo->m_ingredient << ")\n\n";
 
-  const Schedule sbo_timed = serialize_assignment(inst, sbo.schedule);
+  const Schedule sbo_timed = serialize_assignment(inst, sr.schedule);
   std::cout << render_gantt(inst, sbo_timed) << "\n";
 
   // ---------------------------------------------------------------------
   // 2. RLS_Delta: list scheduling under a hard memory budget Delta * LB.
   //    Works with precedence constraints too (see examples/soc_codesize).
   // ---------------------------------------------------------------------
-  const Fraction rls_delta(3);
-  const RlsResult rls = rls_schedule(inst, rls_delta);
-  if (!rls.feasible) {
-    std::cerr << "RLS infeasible (cannot happen for Delta > 2)\n";
+  const auto rls = make_solver("rls:input,delta=3");
+  const SolveResult rr = rls->solve(inst);
+  if (!rr.feasible) {
+    std::cerr << "RLS infeasible (cannot happen for Delta > 2): "
+              << rr.diagnostics << "\n";
     return 1;
   }
-  std::cout << "RLS_" << rls_delta << " (memory budget " << rls.cap
-            << " = Delta * LB, LB = " << rls.lb << "):\n"
-            << "  guarantee: Cmax <= "
-            << rls_cmax_ratio(rls_delta, inst.m()) << " * C*max, Mmax <= "
-            << rls_mmax_ratio(rls_delta) << " * M*max\n"
-            << "  measured:  Cmax = " << cmax(inst, rls.schedule)
-            << ", Mmax = " << mmax(inst, rls.schedule)
-            << ", marked processors = " << rls.marked_count << " (bound "
-            << rls_marked_bound(rls_delta, inst.m()) << ")\n\n"
-            << render_gantt(inst, rls.schedule);
+  std::cout << rls->name() << " (memory budget " << rr.rls->cap
+            << " = Delta * LB, LB = " << rr.rls->lb << "):\n"
+            << "  guarantee: Cmax <= " << *rr.cmax_ratio
+            << " * C*max, Mmax <= " << *rr.mmax_ratio << " * M*max\n"
+            << "  measured:  Cmax = " << rr.objectives.cmax
+            << ", Mmax = " << rr.objectives.mmax
+            << ", marked processors = " << rr.rls->marked_count << " (bound "
+            << rls_marked_bound(rr.delta, inst.m()) << ")\n\n"
+            << render_gantt(inst, rr.schedule);
 
   // ---------------------------------------------------------------------
-  // 3. The knob: sweep Delta to trade makespan against memory.
+  // 3. The knob: sweep Delta to trade makespan against memory (the generic
+  //    front() works for any Delta-tunable solver family).
   // ---------------------------------------------------------------------
   std::cout << "\nthe Delta knob (SBO):\n";
+  const std::vector<Fraction> grid{Fraction(1, 4), Fraction(1), Fraction(4)};
+  const ApproxFront sweep = front(inst, "sbo:lpt", grid);
   std::vector<std::vector<std::string>> rows;
-  for (const Fraction d : {Fraction(1, 4), Fraction(1), Fraction(4)}) {
-    const SboResult r = sbo_schedule(inst, d, lpt);
-    rows.push_back({d.to_string(), std::to_string(cmax(inst, r.schedule)),
-                    std::to_string(mmax(inst, r.schedule))});
+  for (const FrontPoint& pt : sweep.points) {
+    rows.push_back({pt.delta.to_string(), std::to_string(pt.value.cmax),
+                    std::to_string(pt.value.mmax)});
   }
   std::cout << markdown_table({"Delta", "Cmax", "Mmax"}, rows);
   return 0;

@@ -5,25 +5,18 @@
 //
 // A 12-stage media pipeline is replicated 4-way for data parallelism and
 // mapped onto 4 SoC cores. Each stage's instruction code occupies its size
-// on whichever core runs a replica. We:
+// on whichever core runs a replica. Through the unified solver API we:
 //   1. schedule with plain Graham list scheduling -- fast but memory-blind;
 //   2. schedule with RLS_Delta for a grid of code budgets;
 //   3. solve the real constrained question: the tightest budget a given
-//      firmware image size allows (solve_constrained_rls);
+//      firmware image size allows (constrained:rls);
 //   4. replay the chosen schedule in the discrete-event simulator and dump
 //      the DOT graph for inspection.
 //
 //   $ ./examples/soc_codesize
 #include <iostream>
 
-#include "algorithms/graham.hpp"
-#include "common/dag_generators.hpp"
-#include "common/io.hpp"
-#include "common/rng.hpp"
-#include "core/constrained.hpp"
-#include "core/rls.hpp"
-#include "core/theory.hpp"
-#include "sim/event_sim.hpp"
+#include "storesched.hpp"
 
 int main() {
   using namespace storesched;
@@ -42,24 +35,22 @@ int main() {
             << pipeline.storage_lower_bound_fraction() << " KiB/core\n\n";
 
   // 1. Memory-blind baseline.
-  const Schedule blind =
-      graham_list_schedule(pipeline, PriorityPolicy::kBottomLevel);
-  std::cout << "memory-blind list scheduling: Cmax = " << cmax(pipeline, blind)
-            << ", per-core code = " << mmax(pipeline, blind) << " KiB\n\n";
+  const SolveResult blind = make_solver("graham:bottom")->solve(pipeline);
+  std::cout << "memory-blind list scheduling: Cmax = " << blind.objectives.cmax
+            << ", per-core code = " << blind.objectives.mmax << " KiB\n\n";
 
   // 2. RLS under tightening budgets.
   std::cout << "RLS_Delta across code budgets:\n";
   std::vector<std::vector<std::string>> rows;
   for (const Fraction delta :
        {Fraction(4), Fraction(3), Fraction(5, 2), Fraction(21, 10)}) {
-    const RlsResult r =
-        rls_schedule(pipeline, delta, PriorityPolicy::kBottomLevel);
-    rows.push_back({delta.to_string(), (delta * r.lb).to_string(),
-                    r.feasible ? std::to_string(cmax(pipeline, r.schedule))
+    const auto solver = make_solver("rls:bottom,delta=" + delta.to_string());
+    const SolveResult r = solver->solve(pipeline);
+    rows.push_back({delta.to_string(), r.rls->cap.to_string(),
+                    r.feasible ? std::to_string(r.objectives.cmax)
                                : "infeasible",
-                    r.feasible ? std::to_string(mmax(pipeline, r.schedule))
-                               : "-",
-                    rls_cmax_ratio(delta, pipeline.m()).to_string()});
+                    r.feasible ? std::to_string(r.objectives.mmax) : "-",
+                    r.cmax_ratio ? r.cmax_ratio->to_string() : "none"});
   }
   std::cout << markdown_table({"Delta", "budget (KiB)", "Cmax", "Mmax (KiB)",
                                "Cmax guarantee"},
@@ -69,23 +60,23 @@ int main() {
   //    RAM -- what schedule fits, and what does it cost on the makespan?
   const Mem budget =
       (pipeline.storage_lower_bound_fraction() * Fraction(3, 2)).floor();
-  const ConstrainedResult fit =
-      solve_constrained_rls(pipeline, budget, PriorityPolicy::kBottomLevel);
+  const SolveResult fit = make_solver("constrained:rls,tiebreak=bottom")
+                              ->solve(pipeline, {.memory_capacity = budget});
   std::cout << "\nfirmware budget " << budget << " KiB/core: ";
   if (fit.feasible) {
     std::cout << "schedulable with Cmax = " << fit.objectives.cmax
               << ", code = " << fit.objectives.mmax << " KiB (Delta = "
-              << fit.delta_used << ")\n";
+              << fit.delta << ")\n";
   } else {
-    std::cout << "NOT schedulable by RLS (Delta = " << fit.delta_used
+    std::cout << "NOT schedulable by RLS (Delta = " << fit.delta
               << " <= 2 carries no feasibility guarantee)\n";
   }
 
   // 4. Replay the Delta = 3 schedule through the event simulator.
-  const RlsResult chosen =
-      rls_schedule(pipeline, Fraction(3), PriorityPolicy::kBottomLevel);
+  const SolveResult chosen =
+      make_solver("rls:bottom,delta=3")->solve(pipeline);
   const SimReport report = simulate_schedule(
-      pipeline, chosen.schedule, {.memory_cap = chosen.cap.floor()});
+      pipeline, chosen.schedule, {.memory_cap = chosen.rls->cap.floor()});
   std::cout << "\nsimulator replay (Delta = 3): "
             << (report.ok ? "all machine invariants hold" : report.violation)
             << "\n  makespan " << report.makespan << ", utilization "

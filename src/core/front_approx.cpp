@@ -36,10 +36,7 @@ std::vector<Fraction> delta_grid(const Fraction& lo, const Fraction& hi,
   return grid;
 }
 
-namespace {
-
-/// Pareto-filters raw (delta, schedule, value) runs, keeping ascending cmax.
-std::vector<FrontPoint> filter_points(std::vector<FrontPoint> raw) {
+std::vector<FrontPoint> pareto_filter_front(std::vector<FrontPoint> raw) {
   std::sort(raw.begin(), raw.end(), [](const FrontPoint& a, const FrontPoint& b) {
     if (a.value.cmax != b.value.cmax) return a.value.cmax < b.value.cmax;
     return a.value.mmax < b.value.mmax;
@@ -52,8 +49,6 @@ std::vector<FrontPoint> filter_points(std::vector<FrontPoint> raw) {
   return front;
 }
 
-}  // namespace
-
 ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
                       int steps) {
   const auto grid = delta_grid(Fraction(1, 8), Fraction(8), steps);
@@ -65,7 +60,7 @@ ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
     raw.push_back({delta, std::move(run.schedule), value});
     ++result.runs;
   }
-  result.points = filter_points(std::move(raw));
+  result.points = pareto_filter_front(std::move(raw));
   return result;
 }
 
@@ -86,7 +81,7 @@ ApproxFront rls_front(const Instance& inst, int steps, const Fraction& hi) {
     const ObjectivePoint value = objectives(inst, run.schedule);
     raw.push_back({delta, std::move(run.schedule), value});
   }
-  result.points = filter_points(std::move(raw));
+  result.points = pareto_filter_front(std::move(raw));
   return result;
 }
 

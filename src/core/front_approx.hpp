@@ -43,6 +43,11 @@ struct ApproxFront {
 std::vector<Fraction> delta_grid(const Fraction& lo, const Fraction& hi,
                                  int steps);
 
+/// Pareto-filters raw (delta, schedule, value) runs: keeps the
+/// non-dominated points sorted by ascending Cmax. Shared by the per-family
+/// fronts below and the generic front() in core/solver.hpp.
+std::vector<FrontPoint> pareto_filter_front(std::vector<FrontPoint> raw);
+
 /// Approximate front via SBO_Delta (independent tasks only).
 /// The grid defaults to [1/8, 8] with `steps` geometric points.
 ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,

@@ -47,7 +47,19 @@ struct RlsResult {
 };
 
 /// Runs RLS_Delta on an independent or precedence-constrained instance.
-/// Requires Delta > 0 (values <= 2 are permitted but may be infeasible).
+///
+/// Precondition ladder (one story, asserted in tests):
+///   * Delta > 0  -- required to run at all (throws std::invalid_argument
+///                   otherwise); the memory budget Delta * LB is enforced
+///                   by construction on every run that completes;
+///   * Delta > 1  -- required by Lemma 4's marked-processor bound
+///                   (rls_marked_bound below);
+///   * Delta > 2  -- required for the Corollary 2-3 guarantees: provable
+///                   feasibility and the Lemma 5 makespan ratio. At
+///                   Delta <= 2 the run is legal but may come back
+///                   infeasible, and SolveResult-level consumers (see
+///                   core/solver.hpp) report a guarantee-zone diagnostic
+///                   instead of ratios.
 /// Faithful O(n^2 m) implementation of Algorithm 2: the ready set is
 /// re-scanned after every placement. Deterministic for a fixed tie-break
 /// policy.

@@ -1,0 +1,667 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/constrained.hpp"
+#include "core/theory.hpp"
+#include "core/triobjective.hpp"
+
+namespace storesched {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec-string plumbing.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      return parts;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& token) {
+  throw std::invalid_argument("make_solver: " + what + " \"" + token + "\"");
+}
+
+Fraction parse_fraction(const std::string& token) {
+  const auto parse_int = [&](const std::string& digits) {
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      bad_spec("malformed fraction", token);
+    }
+    try {
+      return std::stoll(digits);
+    } catch (const std::exception&) {
+      bad_spec("malformed fraction", token);
+    }
+  };
+  const std::size_t slash = token.find('/');
+  if (slash == std::string::npos) return Fraction(parse_int(token));
+  const std::int64_t den = parse_int(token.substr(slash + 1));
+  if (den == 0) bad_spec("malformed fraction", token);
+  return Fraction(parse_int(token.substr(0, slash)), den);
+}
+
+struct PolicyName {
+  const char* spec;
+  PriorityPolicy policy;
+};
+
+constexpr PolicyName kPolicies[] = {
+    {"input", PriorityPolicy::kInputOrder},
+    {"spt", PriorityPolicy::kSpt},
+    {"lpt", PriorityPolicy::kLpt},
+    {"bottom", PriorityPolicy::kBottomLevel},
+    {"minstore", PriorityPolicy::kSmallestStorage},
+    {"maxstore", PriorityPolicy::kLargestStorage},
+};
+
+PriorityPolicy parse_policy(const std::string& token) {
+  for (const PolicyName& entry : kPolicies) {
+    if (token == entry.spec) return entry.policy;
+  }
+  bad_spec("unknown tie-break policy", token);
+}
+
+std::string policy_spec(PriorityPolicy policy) {
+  for (const PolicyName& entry : kPolicies) {
+    if (policy == entry.policy) return entry.spec;
+  }
+  throw std::logic_error("policy_spec: unmapped policy");
+}
+
+/// A spec body decomposed into its positional argument and key=value pairs.
+struct SpecBody {
+  std::string positional;  // empty if the body starts with key=value
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+SpecBody parse_body(const std::string& body) {
+  SpecBody result;
+  if (body.empty()) return result;
+  bool first = true;
+  for (const std::string& token : split(body, ',')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (!first) bad_spec("expected key=value, got", token);
+      result.positional = token;
+    } else {
+      result.options.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+    first = false;
+  }
+  return result;
+}
+
+/// Pulls the value of `key` out of the option list (erasing it); the caller
+/// rejects whatever remains as unknown.
+std::optional<std::string> take_option(SpecBody& body, const std::string& key) {
+  for (auto it = body.options.begin(); it != body.options.end(); ++it) {
+    if (it->first == key) {
+      std::string value = it->second;
+      body.options.erase(it);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+void reject_leftovers(const SpecBody& body, const std::string& family) {
+  if (!body.options.empty()) {
+    bad_spec("unknown option for " + family + " solver",
+             body.options.front().first + "=" + body.options.front().second);
+  }
+}
+
+/// "lpt" or "lpt/multifit" -> validated pair of scheduler spec strings.
+std::pair<std::string, std::string> parse_alg_pair(const std::string& token) {
+  const std::size_t slash = token.find('/');
+  std::string a1 = slash == std::string::npos ? token : token.substr(0, slash);
+  std::string a2 = slash == std::string::npos ? a1 : token.substr(slash + 1);
+  try {
+    make_scheduler(a1);
+    make_scheduler(a2);
+  } catch (const std::invalid_argument&) {
+    bad_spec("unknown ingredient scheduler in", token);
+  }
+  return {std::move(a1), std::move(a2)};
+}
+
+std::string alg_pair_spec(const std::string& a1, const std::string& a2) {
+  return a1 == a2 ? a1 : a1 + "/" + a2;
+}
+
+/// Shared post-processing: optional validation of a feasible result.
+/// `cap` is the memory capacity to enforce -- only constrained solvers
+/// pass one (SolveOptions::memory_capacity is ignored by the others, as
+/// solver.hpp documents).
+void maybe_validate(const Instance& inst, const SolveOptions& options,
+                    bool timed, SolveResult& result,
+                    std::optional<Mem> cap = std::nullopt) {
+  if (!options.validate || !result.feasible) return;
+  ValidationOptions vopts;
+  vopts.require_timed = timed;
+  vopts.memory_cap = cap.value_or(-1);
+  const ValidationResult check = validate_schedule(inst, result.schedule, vopts);
+  if (!check.ok) {
+    result.feasible = false;
+    if (!result.diagnostics.empty()) result.diagnostics += "; ";
+    result.diagnostics += "validation failed: " + check.error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete solvers.
+// ---------------------------------------------------------------------------
+
+class SboSolver final : public Solver {
+ public:
+  SboSolver(std::string alg1, std::string alg2, Fraction delta)
+      : alg1_spec_(std::move(alg1)),
+        alg2_spec_(std::move(alg2)),
+        alg1_(make_scheduler(alg1_spec_)),
+        alg2_(make_scheduler(alg2_spec_)),
+        delta_(delta) {
+    if (!(Fraction(0) < delta_)) {
+      throw std::invalid_argument("make_solver: sbo requires delta > 0, got " +
+                                  delta_.to_string());
+    }
+  }
+
+  std::string name() const override {
+    return "sbo:" + alg_pair_spec(alg1_spec_, alg2_spec_) +
+           ",delta=" + delta_.to_string();
+  }
+
+  Capabilities capabilities(int m) const override {
+    Capabilities caps;
+    caps.cmax_ratio = sbo_cmax_ratio(delta_, alg1_->ratio(m));
+    caps.mmax_ratio = sbo_mmax_ratio(delta_, alg2_->ratio(m));
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    SolveResult result;
+    result.delta = delta_;
+    SboResult run = sbo_schedule(inst, delta_, *alg1_, *alg2_);
+    result.feasible = true;
+    result.objectives = objectives(inst, run.schedule);
+    result.cmax_bound = run.cmax_bound;
+    result.mmax_bound = run.mmax_bound;
+    const Capabilities caps = capabilities(inst.m());
+    result.cmax_ratio = caps.cmax_ratio;
+    result.mmax_ratio = caps.mmax_ratio;
+    result.schedule = run.schedule;
+    result.sbo = std::move(run);
+    maybe_validate(inst, options, /*timed=*/false, result);
+    return result;
+  }
+
+ private:
+  std::string alg1_spec_;
+  std::string alg2_spec_;
+  std::unique_ptr<MakespanScheduler> alg1_;
+  std::unique_ptr<MakespanScheduler> alg2_;
+  Fraction delta_;
+};
+
+/// Fills the shared RLS-family fields of a SolveResult from an RlsResult.
+/// The run itself needs only Delta > 0; the Corollary 2-3 guarantees (and
+/// provable feasibility) start strictly above Delta = 2, so below that the
+/// result carries a diagnostics note instead of ratios.
+void fill_from_rls(const Instance& inst, const Fraction& delta, RlsResult run,
+                   SolveResult& result) {
+  result.delta = delta;
+  result.feasible = run.feasible;
+  if (run.feasible) {
+    result.objectives = objectives(inst, run.schedule);
+    result.sum_ci = sum_completion_times(inst, run.schedule);
+    result.mmax_bound = run.cap;  // budget enforced by construction
+    result.schedule = run.schedule;
+  } else {
+    result.diagnostics =
+        "infeasible: task " +
+        std::to_string(run.stuck_task.value_or(-1)) +
+        " fits on no processor under memory budget " + run.cap.to_string();
+  }
+  if (Fraction(2) < delta) {
+    result.cmax_ratio = rls_cmax_ratio(delta, inst.m());
+    result.mmax_ratio = rls_mmax_ratio(delta);
+  } else {
+    if (!result.diagnostics.empty()) result.diagnostics += "; ";
+    result.diagnostics += "Delta = " + delta.to_string() +
+                          " <= 2: outside the Corollary 2-3 guarantee zone "
+                          "(the run itself requires only Delta > 0)";
+  }
+  result.rls = std::move(run);
+}
+
+class RlsSolver final : public Solver {
+ public:
+  RlsSolver(PriorityPolicy tie_break, Fraction delta)
+      : tie_break_(tie_break), delta_(delta) {
+    if (!(Fraction(0) < delta_)) {
+      throw std::invalid_argument("make_solver: rls requires delta > 0, got " +
+                                  delta_.to_string());
+    }
+  }
+
+  std::string name() const override {
+    return "rls:" + policy_spec(tie_break_) + ",delta=" + delta_.to_string();
+  }
+
+  Capabilities capabilities(int m) const override {
+    Capabilities caps;
+    caps.supports_precedence = true;
+    caps.timed_output = true;
+    caps.produces_sum_ci = true;
+    if (Fraction(2) < delta_) {
+      caps.cmax_ratio = rls_cmax_ratio(delta_, m);
+      caps.mmax_ratio = rls_mmax_ratio(delta_);
+    }
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    SolveResult result;
+    fill_from_rls(inst, delta_, rls_schedule(inst, delta_, tie_break_), result);
+    maybe_validate(inst, options, /*timed=*/true, result);
+    return result;
+  }
+
+ private:
+  PriorityPolicy tie_break_;
+  Fraction delta_;
+};
+
+class TriSolver final : public Solver {
+ public:
+  explicit TriSolver(Fraction delta) : delta_(delta) {
+    if (!(Fraction(0) < delta_)) {
+      throw std::invalid_argument("make_solver: tri requires delta > 0, got " +
+                                  delta_.to_string());
+    }
+  }
+
+  std::string name() const override {
+    return "tri:spt,delta=" + delta_.to_string();
+  }
+
+  Capabilities capabilities(int m) const override {
+    Capabilities caps;
+    caps.timed_output = true;
+    caps.produces_sum_ci = true;
+    if (Fraction(2) < delta_) {
+      caps.cmax_ratio = rls_cmax_ratio(delta_, m);
+      caps.mmax_ratio = rls_mmax_ratio(delta_);
+      caps.sumci_ratio = rls_sumci_ratio(delta_);
+    }
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    // tri_objective_schedule() throws std::logic_error on precedence
+    // instances, honoring supports_precedence = false.
+    TriObjectiveResult run = tri_objective_schedule(inst, delta_);
+    SolveResult result;
+    fill_from_rls(inst, delta_, std::move(run.rls), result);
+    if (result.feasible && Fraction(2) < delta_) {
+      result.sumci_ratio = run.sumci_ratio;
+    }
+    maybe_validate(inst, options, /*timed=*/true, result);
+    return result;
+  }
+
+ private:
+  Fraction delta_;
+};
+
+Mem require_capacity(const SolveOptions& options, const std::string& who) {
+  if (!options.memory_capacity) {
+    throw std::invalid_argument(
+        who + ": SolveOptions::memory_capacity is required");
+  }
+  return *options.memory_capacity;
+}
+
+void fill_from_constrained(const Instance& inst, Mem capacity,
+                           ConstrainedResult run, SolveResult& result) {
+  result.delta = run.delta_used;
+  result.feasible = run.feasible;
+  result.cmax_ratio = run.cmax_ratio;
+  if (run.feasible) {
+    result.objectives = run.objectives;
+    result.mmax_bound = Fraction(capacity);
+    result.mmax_ratio = inst.storage_lower_bound_fraction() == Fraction(0)
+                            ? std::optional<Fraction>{}
+                            : Fraction(capacity) /
+                                  inst.storage_lower_bound_fraction();
+    result.schedule = std::move(run.schedule);
+  } else {
+    result.diagnostics = "infeasible: no schedule found under capacity " +
+                         std::to_string(capacity);
+  }
+}
+
+class ConstrainedRlsSolver final : public Solver {
+ public:
+  explicit ConstrainedRlsSolver(PriorityPolicy tie_break)
+      : tie_break_(tie_break) {}
+
+  std::string name() const override {
+    return "constrained:rls,tiebreak=" + policy_spec(tie_break_);
+  }
+
+  Capabilities capabilities(int) const override {
+    Capabilities caps;
+    caps.supports_precedence = true;
+    caps.timed_output = true;
+    caps.produces_sum_ci = true;
+    caps.needs_capacity = true;
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    const Mem capacity = require_capacity(options, "constrained:rls");
+    SolveResult result;
+    fill_from_constrained(inst, capacity,
+                          solve_constrained_rls(inst, capacity, tie_break_),
+                          result);
+    if (result.feasible) {
+      result.sum_ci = sum_completion_times(inst, result.schedule);
+    }
+    maybe_validate(inst, options, /*timed=*/true, result, capacity);
+    return result;
+  }
+
+ private:
+  PriorityPolicy tie_break_;
+};
+
+class ConstrainedSboSolver final : public Solver {
+ public:
+  ConstrainedSboSolver(std::string alg1, std::string alg2, int refinements)
+      : alg1_spec_(std::move(alg1)),
+        alg2_spec_(std::move(alg2)),
+        alg1_(make_scheduler(alg1_spec_)),
+        alg2_(make_scheduler(alg2_spec_)),
+        refinements_(refinements) {
+    if (refinements_ < 0) {
+      throw std::invalid_argument(
+          "make_solver: constrained:sbo requires refinements >= 0, got " +
+          std::to_string(refinements_));
+    }
+  }
+
+  std::string name() const override {
+    return "constrained:sbo,alg=" + alg_pair_spec(alg1_spec_, alg2_spec_) +
+           ",refinements=" + std::to_string(refinements_);
+  }
+
+  Capabilities capabilities(int) const override {
+    Capabilities caps;
+    caps.needs_capacity = true;
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    const Mem capacity = require_capacity(options, "constrained:sbo");
+    SolveResult result;
+    fill_from_constrained(
+        inst, capacity,
+        solve_constrained_sbo(inst, capacity, *alg1_, *alg2_, refinements_),
+        result);
+    maybe_validate(inst, options, /*timed=*/false, result, capacity);
+    return result;
+  }
+
+ private:
+  std::string alg1_spec_;
+  std::string alg2_spec_;
+  std::unique_ptr<MakespanScheduler> alg1_;
+  std::unique_ptr<MakespanScheduler> alg2_;
+  int refinements_;
+};
+
+class GrahamSolver final : public Solver {
+ public:
+  explicit GrahamSolver(PriorityPolicy policy) : policy_(policy) {}
+
+  std::string name() const override {
+    return "graham:" + policy_spec(policy_);
+  }
+
+  Capabilities capabilities(int m) const override {
+    Capabilities caps;
+    caps.supports_precedence = true;
+    caps.timed_output = true;
+    caps.produces_sum_ci = true;
+    caps.cmax_ratio = Fraction(2 * m - 1, m);  // memory-blind: no mmax ratio
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    SolveResult result;
+    result.feasible = true;
+    result.schedule = graham_list_schedule(inst, policy_);
+    result.objectives = objectives(inst, result.schedule);
+    result.sum_ci = sum_completion_times(inst, result.schedule);
+    result.cmax_ratio = capabilities(inst.m()).cmax_ratio;
+    maybe_validate(inst, options, /*timed=*/true, result);
+    return result;
+  }
+
+ private:
+  PriorityPolicy policy_;
+};
+
+// ---------------------------------------------------------------------------
+// Family dispatch.
+// ---------------------------------------------------------------------------
+
+Fraction take_delta(SpecBody& body, const Fraction& fallback) {
+  const std::optional<std::string> raw = take_option(body, "delta");
+  return raw ? parse_fraction(*raw) : fallback;
+}
+
+std::unique_ptr<Solver> build_solver(const std::string& family,
+                                     SpecBody body) {
+  if (family == "sbo") {
+    auto [a1, a2] =
+        parse_alg_pair(body.positional.empty() ? "lpt" : body.positional);
+    const Fraction delta = take_delta(body, Fraction(1));
+    reject_leftovers(body, family);
+    return std::make_unique<SboSolver>(std::move(a1), std::move(a2), delta);
+  }
+  if (family == "rls") {
+    const PriorityPolicy policy =
+        parse_policy(body.positional.empty() ? "input" : body.positional);
+    const Fraction delta = take_delta(body, Fraction(3));
+    reject_leftovers(body, family);
+    return std::make_unique<RlsSolver>(policy, delta);
+  }
+  if (family == "tri") {
+    if (!body.positional.empty() && body.positional != "spt") {
+      bad_spec("tri solver only supports the spt order, got", body.positional);
+    }
+    const Fraction delta = take_delta(body, Fraction(3));
+    reject_leftovers(body, family);
+    return std::make_unique<TriSolver>(delta);
+  }
+  if (family == "constrained") {
+    if (body.positional == "rls") {
+      const std::optional<std::string> tb = take_option(body, "tiebreak");
+      const PriorityPolicy policy = parse_policy(tb.value_or("input"));
+      reject_leftovers(body, family);
+      return std::make_unique<ConstrainedRlsSolver>(policy);
+    }
+    if (body.positional == "sbo") {
+      const std::optional<std::string> alg = take_option(body, "alg");
+      auto [a1, a2] = parse_alg_pair(alg.value_or("lpt"));
+      const std::optional<std::string> refine =
+          take_option(body, "refinements");
+      int refinements = 16;
+      if (refine) {
+        if (refine->empty() ||
+            refine->find_first_not_of("0123456789") != std::string::npos) {
+          bad_spec("malformed refinements value", *refine);
+        }
+        try {
+          refinements = std::stoi(*refine);
+        } catch (const std::exception&) {
+          bad_spec("malformed refinements value", *refine);
+        }
+      }
+      reject_leftovers(body, family);
+      return std::make_unique<ConstrainedSboSolver>(std::move(a1),
+                                                    std::move(a2), refinements);
+    }
+    bad_spec("constrained solver needs a driver (rls or sbo), got",
+             body.positional);
+  }
+  if (family == "graham") {
+    const PriorityPolicy policy =
+        parse_policy(body.positional.empty() ? "input" : body.positional);
+    reject_leftovers(body, family);
+    return std::make_unique<GrahamSolver>(policy);
+  }
+  bad_spec("unknown solver family", family);
+}
+
+}  // namespace
+
+std::unique_ptr<Solver> make_solver(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string family =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  const std::string body =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  return build_solver(family, parse_body(body));
+}
+
+std::vector<std::string> registered_solver_specs() {
+  std::vector<std::string> specs;
+  for (const char* alg :
+       {"ls", "lpt", "multifit", "kopt8", "ptas2", "ptas3", "exact"}) {
+    specs.push_back("sbo:" + std::string(alg) + ",delta=1");
+  }
+  for (const PolicyName& entry : kPolicies) {
+    specs.push_back("rls:" + std::string(entry.spec) + ",delta=3");
+  }
+  specs.push_back("tri:spt,delta=3");
+  for (const PolicyName& entry : kPolicies) {
+    specs.push_back("constrained:rls,tiebreak=" + std::string(entry.spec));
+  }
+  specs.push_back("constrained:sbo,alg=lpt,refinements=16");
+  for (const PolicyName& entry : kPolicies) {
+    specs.push_back("graham:" + std::string(entry.spec));
+  }
+  return specs;
+}
+
+std::vector<SolveResult> solve_batch(const Solver& solver,
+                                     std::span<const Instance> instances,
+                                     const SolveOptions& options,
+                                     const BatchOptions& batch) {
+  std::vector<SolveResult> results(instances.size());
+  if (instances.empty()) return results;
+
+  unsigned workers = batch.threads > 0
+                         ? static_cast<unsigned>(batch.threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers,
+                               static_cast<unsigned>(instances.size()));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      results[i] = solver.solve(instances[i], options);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= instances.size()) return;
+      try {
+        results[i] = solver.solve(instances[i], options);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+std::vector<SolveResult> solve_batch(const std::string& spec,
+                                     std::span<const Instance> instances,
+                                     const SolveOptions& options,
+                                     const BatchOptions& batch) {
+  return solve_batch(*make_solver(spec), instances, options, batch);
+}
+
+ApproxFront front(const Instance& inst, const std::string& solver_spec,
+                  std::span<const Fraction> grid) {
+  // Parse once to validate the spec and learn the family; per grid point,
+  // rebuild the solver with the delta overridden.
+  const std::unique_ptr<Solver> probe = make_solver(solver_spec);
+  const std::string canonical = probe->name();
+  const std::string family = canonical.substr(0, canonical.find(':'));
+  if (family != "sbo" && family != "rls" && family != "tri") {
+    throw std::invalid_argument("front: solver family \"" + family +
+                                "\" has no Delta knob");
+  }
+  // The canonical spec always ends in "delta=<value>"; strip and replace.
+  const std::size_t delta_pos = canonical.rfind(",delta=");
+  const std::string base = canonical.substr(0, delta_pos);
+
+  ApproxFront result;
+  std::vector<FrontPoint> raw;
+  for (const Fraction& delta : grid) {
+    const std::unique_ptr<Solver> solver =
+        make_solver(base + ",delta=" + delta.to_string());
+    SolveResult run = solver->solve(inst);
+    ++result.runs;
+    if (!run.feasible) continue;  // e.g. RLS outside the guarantee zone
+    raw.push_back({delta, std::move(run.schedule), run.objectives});
+  }
+  result.points = pareto_filter_front(std::move(raw));
+  return result;
+}
+
+}  // namespace storesched

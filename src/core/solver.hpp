@@ -1,0 +1,173 @@
+// Unified polymorphic solver surface over every algorithm in the paper.
+//
+// The seed grew one free function and one bespoke result struct per
+// algorithm (sbo_schedule/SboResult, rls_schedule/RlsResult, ...), so every
+// bench, example and service front-end hand-wired its own dispatch. This
+// module is the single entry point instead:
+//
+//   auto solver = make_solver("sbo:lpt,delta=3/2");
+//   SolveResult r = solver->solve(instance);
+//
+// A solver spec is  family[:config]  where config is a positional argument
+// followed by key=value pairs:
+//
+//   sbo:ALG[/ALG2],delta=F      Algorithm 1 (independent tasks only);
+//                               ALG in make_scheduler()'s vocabulary
+//                               ("ls", "lpt", "multifit", "kopt<k>",
+//                               "ptas2", "ptas3", "exact")
+//   rls:POLICY,delta=F          Algorithm 2 (independent or DAG); POLICY in
+//                               {input, spt, lpt, bottom, minstore,
+//                               maxstore}
+//   tri:spt,delta=F             Section 5.2 tri-objective RLS+SPT
+//   constrained:rls,tiebreak=POLICY
+//   constrained:sbo,alg=ALG[/ALG2],refinements=N
+//                               Sections 2.2/7 capacity-driven solves; the
+//                               capacity comes from SolveOptions
+//   graham:POLICY               memory-blind Graham list scheduling
+//                               (baseline; ratio 2 - 1/m, no memory bound)
+//
+// F is an exact fraction ("3", "3/2"). Every solver prints a canonical
+// spec from name() that round-trips through make_solver(); the canonical
+// registry is enumerable via registered_solver_specs().
+//
+// Guarantee knowledge lives in Capabilities: what a configuration supports
+// (precedence, timed output, third objective) and the approximation ratios
+// it can promise on m processors, as exact Fractions. SBO promises
+// ((1+Delta)rho1, (1+1/Delta)rho2) for any Delta > 0; RLS-family solvers
+// promise (Lemma 5, Delta) only for Delta > 2 -- below that the run is
+// legal but carries no guarantee and may come back infeasible (the run
+// itself requires only Delta > 0; Lemma 4's marked-processor bound needs
+// Delta > 1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algorithms/graham.hpp"
+#include "algorithms/scheduler.hpp"
+#include "common/fraction.hpp"
+#include "common/instance.hpp"
+#include "common/schedule.hpp"
+#include "core/front_approx.hpp"
+#include "core/rls.hpp"
+#include "core/sbo.hpp"
+
+namespace storesched {
+
+/// What a solver configuration supports and can promise. Ratios are the
+/// exact guaranteed factors versus the per-objective optimum (C*max, M*max,
+/// optimal sum Ci); absent means no guarantee for this configuration.
+struct Capabilities {
+  bool supports_precedence = false;  ///< accepts DAG instances
+  bool timed_output = false;         ///< schedules carry start times
+  bool produces_sum_ci = false;      ///< reports the third objective
+  bool needs_capacity = false;       ///< requires SolveOptions::memory_capacity
+  std::optional<Fraction> cmax_ratio;
+  std::optional<Fraction> mmax_ratio;
+  std::optional<Fraction> sumci_ratio;
+};
+
+/// Per-solve inputs that are not part of the solver configuration.
+struct SolveOptions {
+  /// Hard per-processor memory capacity; required by constrained:* solvers
+  /// and ignored by the others.
+  std::optional<Mem> memory_capacity;
+  /// When set, validate_schedule() runs on every feasible result and a
+  /// violation turns the result infeasible with the message in diagnostics.
+  bool validate = false;
+};
+
+/// Unified output of any solver. Subsumes the per-algorithm result structs:
+/// their full payloads ride along in the sbo/rls extras channels for
+/// ablation studies, while the common fields cover every ordinary consumer.
+struct SolveResult {
+  bool feasible = false;
+  Schedule schedule;           ///< valid only when feasible
+  ObjectivePoint objectives;   ///< measured (Cmax, Mmax), feasible runs only
+  std::optional<Time> sum_ci;  ///< measured third objective (timed output)
+  Fraction delta{0};           ///< parameter the run used (0 if none)
+
+  /// Per-run *value* bounds: Cmax(schedule) <= cmax_bound etc. (SBO's
+  /// Properties 1-2 against its ingredient values, RLS's memory cap).
+  std::optional<Fraction> cmax_bound;
+  std::optional<Fraction> mmax_bound;
+
+  /// Guaranteed *ratios* versus the optima, when this configuration carries
+  /// them (mirrors Capabilities, resolved for the instance's m and the
+  /// run's actual Delta).
+  std::optional<Fraction> cmax_ratio;
+  std::optional<Fraction> mmax_ratio;
+  std::optional<Fraction> sumci_ratio;
+
+  /// Human-readable notes: infeasibility causes, guarantee-zone warnings
+  /// (e.g. an RLS run at Delta <= 2), validation findings.
+  std::string diagnostics;
+
+  /// Extras channels: the producing algorithm's full native result.
+  std::optional<SboResult> sbo;
+  std::optional<RlsResult> rls;
+};
+
+/// Polymorphic solver: one configured algorithm from the paper.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Canonical spec string; make_solver(name()) reconstructs this solver.
+  virtual std::string name() const = 0;
+
+  /// What this configuration supports and guarantees on m processors.
+  virtual Capabilities capabilities(int m) const = 0;
+
+  /// Solves one instance. Throws std::logic_error when the instance kind is
+  /// unsupported (capabilities().supports_precedence honored) and
+  /// std::invalid_argument when required options are missing. Solvers are
+  /// immutable after construction; solve() is const and thread-safe.
+  virtual SolveResult solve(const Instance& inst,
+                            const SolveOptions& options = {}) const = 0;
+};
+
+/// Builds a solver from a spec string (grammar above). Throws
+/// std::invalid_argument naming the offending token on unknown families,
+/// algorithms, policies, options, or malformed values.
+std::unique_ptr<Solver> make_solver(const std::string& spec);
+
+/// The canonical registry: one canonical spec per registered configuration
+/// (every family crossed with its standard arguments at its default Delta).
+/// Each entry satisfies make_solver(s)->name() == s.
+std::vector<std::string> registered_solver_specs();
+
+/// Tuning for the batch runner.
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+/// Solves many instances with one solver configuration, fanning the work
+/// out over std::thread workers (solvers are stateless; results land at
+/// their instance's index). A worker exception cancels the remaining work
+/// and rethrows on the caller.
+std::vector<SolveResult> solve_batch(const Solver& solver,
+                                     std::span<const Instance> instances,
+                                     const SolveOptions& options = {},
+                                     const BatchOptions& batch = {});
+
+/// Convenience overload: spec string in, results out.
+std::vector<SolveResult> solve_batch(const std::string& spec,
+                                     std::span<const Instance> instances,
+                                     const SolveOptions& options = {},
+                                     const BatchOptions& batch = {});
+
+/// Generic Delta-sweep front generation (Section 6 made operational for
+/// *any* Delta-tunable solver): runs the spec'd solver once per grid value,
+/// collects the feasible (Cmax, Mmax) points and Pareto-filters them.
+/// Generalizes sbo_front()/rls_front(), which are now thin wrappers.
+/// Throws std::invalid_argument for families without a Delta knob
+/// (graham, constrained).
+ApproxFront front(const Instance& inst, const std::string& solver_spec,
+                  std::span<const Fraction> grid);
+
+}  // namespace storesched

@@ -1,22 +1,18 @@
 // Integration tests: full pipelines across modules -- generate a workload,
-// schedule it with the paper's algorithms, validate structurally, replay in
-// the simulator, and check every proven guarantee end to end.
+// schedule it through the unified solver API, validate structurally, replay
+// in the simulator, and check every proven guarantee end to end.
 #include <gtest/gtest.h>
 
 #include "algorithms/graham.hpp"
-#include "algorithms/scheduler.hpp"
 #include "common/dag_generators.hpp"
 #include "common/gantt.hpp"
 #include "common/generators.hpp"
 #include "common/io.hpp"
 #include "common/paper_instances.hpp"
 #include "common/rng.hpp"
-#include "core/constrained.hpp"
 #include "core/pareto_enum.hpp"
-#include "core/rls.hpp"
-#include "core/sbo.hpp"
+#include "core/solver.hpp"
 #include "core/theory.hpp"
-#include "core/triobjective.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/online.hpp"
 #include "test_util.hpp"
@@ -27,9 +23,7 @@ namespace {
 TEST(Integration, SboPipelineOnPhysicsWorkload) {
   Rng rng(91);
   const Instance inst = generate_physics_batch(400, 8, 1.3, rng);
-  const LptSchedulerAlg lpt;
-  const Fraction delta(1);
-  const SboResult r = sbo_schedule(inst, delta, lpt);
+  const SolveResult r = make_solver("sbo:lpt,delta=1")->solve(inst);
 
   // Structural validity, then serialize and replay through the simulator.
   ASSERT_TRUE(validate_schedule(inst, r.schedule).ok);
@@ -39,40 +33,42 @@ TEST(Integration, SboPipelineOnPhysicsWorkload) {
   ASSERT_TRUE(report.ok) << report.violation;
 
   // The simulator's independent metric derivation agrees with the library.
-  EXPECT_EQ(report.makespan, cmax(inst, r.schedule));
-  EXPECT_EQ(report.peak_memory, mmax(inst, r.schedule));
+  EXPECT_EQ(report.makespan, r.objectives.cmax);
+  EXPECT_EQ(report.peak_memory, r.objectives.mmax);
 
   // Properties 1-2, end to end on a 400-task workload.
-  EXPECT_TRUE(Fraction(report.makespan) <= r.cmax_bound);
-  EXPECT_TRUE(Fraction(report.peak_memory) <= r.mmax_bound);
+  EXPECT_TRUE(Fraction(report.makespan) <= *r.cmax_bound);
+  EXPECT_TRUE(Fraction(report.peak_memory) <= *r.mmax_bound);
 }
 
 TEST(Integration, RlsPipelineOnSocWorkload) {
   Rng rng(92);
   const Instance inst = generate_soc_pipeline(10, 4, 4, {}, rng);
   const Fraction delta(3);
-  const RlsResult r = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+  const SolveResult r = make_solver("rls:bottom,delta=3")->solve(inst);
   ASSERT_TRUE(r.feasible);
 
   const auto vr = validate_schedule(inst, r.schedule, {.require_timed = true});
   ASSERT_TRUE(vr.ok) << vr.error;
   const SimReport report =
-      simulate_schedule(inst, r.schedule, {.memory_cap = r.cap.floor()});
+      simulate_schedule(inst, r.schedule, {.memory_cap = r.rls->cap.floor()});
   ASSERT_TRUE(report.ok) << report.violation;
 
-  // Corollary 2/Lemma 5 guarantees against the Graham bounds.
-  EXPECT_TRUE(Fraction(report.peak_memory) <= delta * r.lb);
+  // Corollary 2/Lemma 5 guarantees against the Graham bounds, using the
+  // bounds the SolveResult itself reports.
+  EXPECT_TRUE(Fraction(report.peak_memory) <= *r.mmax_bound);
   const Fraction c_lb = Fraction::max(Fraction(inst.total_work(), inst.m()),
                                       Fraction(inst.critical_path()));
-  EXPECT_TRUE(Fraction(report.makespan) <= rls_cmax_ratio(delta, inst.m()) * c_lb);
-  EXPECT_LE(r.marked_count, rls_marked_bound(delta, inst.m()));
+  EXPECT_TRUE(Fraction(report.makespan) <= *r.cmax_ratio * c_lb);
+  EXPECT_LE(r.rls->marked_count, rls_marked_bound(delta, inst.m()));
 }
 
 TEST(Integration, OfflineRlsAndOnlineDispatchBothSatisfyCap) {
   Rng rng(93);
   const Instance inst = generate_layered_dag(6, 5, 0.3, 4, {}, rng);
   const Fraction delta(5, 2);
-  const RlsResult offline = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+  const SolveResult offline =
+      make_solver("rls:bottom,delta=5/2")->solve(inst);
   const OnlineResult online =
       simulate_online_rls(inst, delta, PriorityPolicy::kBottomLevel);
   ASSERT_TRUE(offline.feasible);
@@ -82,21 +78,23 @@ TEST(Integration, OfflineRlsAndOnlineDispatchBothSatisfyCap) {
                                    .memory_cap = online.cap})
                     .ok);
   }
-  EXPECT_TRUE(Fraction(mmax(inst, offline.schedule)) <= offline.cap);
+  EXPECT_TRUE(Fraction(offline.objectives.mmax) <= *offline.mmax_bound);
 }
 
 TEST(Integration, ConstrainedSolversAgreeOnFeasibleRegion) {
   Rng rng(94);
-  const LptSchedulerAlg lpt;
+  const auto via_rls_solver = make_solver("constrained:rls");
+  const auto via_sbo_solver = make_solver("constrained:sbo,alg=lpt");
   for (int trial = 0; trial < 6; ++trial) {
     GenParams gp;
     gp.n = static_cast<std::size_t>(rng.uniform_int(8, 30));
     gp.m = static_cast<int>(rng.uniform_int(2, 4));
     const Instance inst = generate_uniform(gp, rng);
     const Mem cap = (inst.storage_lower_bound_fraction() * Fraction(3)).ceil();
+    const SolveOptions budget{.memory_capacity = cap};
 
-    const ConstrainedResult via_rls = solve_constrained_rls(inst, cap);
-    const ConstrainedResult via_sbo = solve_constrained_sbo(inst, cap, lpt, lpt);
+    const SolveResult via_rls = via_rls_solver->solve(inst, budget);
+    const SolveResult via_sbo = via_sbo_solver->solve(inst, budget);
     ASSERT_TRUE(via_rls.feasible);
     ASSERT_TRUE(via_sbo.feasible);
     EXPECT_LE(via_rls.objectives.mmax, cap);
@@ -108,7 +106,6 @@ TEST(Integration, SmallInstanceSboNeverBeatsExactFront) {
   // SBO's measured points must be covered by (i.e. not dominate) the exact
   // Pareto front -- the front is the boundary of the achievable region.
   Rng rng(95);
-  const LptSchedulerAlg lpt;
   for (int trial = 0; trial < 8; ++trial) {
     GenParams gp;
     gp.n = static_cast<std::size_t>(rng.uniform_int(3, 9));
@@ -116,9 +113,9 @@ TEST(Integration, SmallInstanceSboNeverBeatsExactFront) {
     const Instance inst = generate_uniform(gp, rng);
     const auto front = enumerate_pareto(inst);
     for (const Fraction delta : {Fraction(1, 2), Fraction(1), Fraction(2)}) {
-      const SboResult r = sbo_schedule(inst, delta, lpt);
-      const ObjectivePoint measured = objectives(inst, r.schedule);
-      EXPECT_TRUE(covered_by_front(measured, front.front))
+      const SolveResult r =
+          make_solver("sbo:lpt,delta=" + delta.to_string())->solve(inst);
+      EXPECT_TRUE(covered_by_front(r.objectives, front.front))
           << "SBO produced a point outside the achievable region";
     }
   }
@@ -147,8 +144,9 @@ TEST(Integration, TextRoundTripPreservesScheduleBehaviour) {
   Rng rng(96);
   const Instance inst = generate_dag_by_name("forkjoin", 30, 3, {}, rng);
   const Instance copy = from_text(to_text(inst));
-  const RlsResult a = rls_schedule(inst, Fraction(3));
-  const RlsResult b = rls_schedule(copy, Fraction(3));
+  const auto solver = make_solver("rls:input,delta=3");
+  const SolveResult a = solver->solve(inst);
+  const SolveResult b = solver->solve(copy);
   ASSERT_TRUE(a.feasible);
   ASSERT_TRUE(b.feasible);
   EXPECT_EQ(a.schedule, b.schedule);
@@ -163,12 +161,11 @@ TEST(Integration, SwappedInstanceSwapsSboGuarantees) {
   gp.m = 3;
   const Instance inst = generate_uniform(gp, rng);
   const Instance swapped = inst.swapped();
-  const ListSchedulerAlg ls;
-  const SboResult fwd = sbo_schedule(inst, Fraction(2), ls);
-  const SboResult bwd = sbo_schedule(swapped, Fraction(1, 2), ls);
+  const SolveResult fwd = make_solver("sbo:ls,delta=2")->solve(inst);
+  const SolveResult bwd = make_solver("sbo:ls,delta=1/2")->solve(swapped);
   // Guarantee values swap roles (C on one side bounds M on the other).
-  EXPECT_EQ(fwd.c_ingredient, bwd.m_ingredient);
-  EXPECT_EQ(fwd.m_ingredient, bwd.c_ingredient);
+  EXPECT_EQ(fwd.sbo->c_ingredient, bwd.sbo->m_ingredient);
+  EXPECT_EQ(fwd.sbo->m_ingredient, bwd.sbo->c_ingredient);
 }
 
 TEST(Integration, TriObjectiveVersusSboOnSameWorkload) {
@@ -180,13 +177,35 @@ TEST(Integration, TriObjectiveVersusSboOnSameWorkload) {
   gp.n = 24;
   gp.m = 3;
   const Instance inst = generate_anticorrelated(gp, 0.2, rng);
-  const TriObjectiveResult tri = tri_objective_schedule(inst, Fraction(3));
-  ASSERT_TRUE(tri.rls.feasible);
-  const LptSchedulerAlg lpt;
-  const SboResult sbo = sbo_schedule(inst, Fraction(1), lpt);
+  const SolveResult tri = make_solver("tri:spt,delta=3")->solve(inst);
+  ASSERT_TRUE(tri.feasible);
+  const SolveResult sbo = make_solver("sbo:lpt,delta=1")->solve(inst);
   EXPECT_TRUE(validate_schedule(inst, sbo.schedule).ok);
-  EXPECT_TRUE(Fraction(tri.objectives.sum_ci) <=
-              tri.sumci_ratio * Fraction(optimal_sum_completion(inst)));
+  EXPECT_TRUE(Fraction(*tri.sum_ci) <=
+              *tri.sumci_ratio * Fraction(optimal_sum_completion(inst)));
+}
+
+TEST(Integration, BatchPipelineAcrossWorkloadFamilies) {
+  // One solver, a mixed bag of workloads, fanned out by solve_batch: every
+  // result must carry its guarantee bounds and pass validation.
+  Rng rng(99);
+  std::vector<Instance> instances;
+  for (int i = 0; i < 6; ++i) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(20, 60));
+    gp.m = 4;
+    instances.push_back(generate_by_name(
+        i % 2 == 0 ? "uniform" : "anticorrelated", gp, rng));
+  }
+  const std::vector<SolveResult> results =
+      solve_batch("rls:input,delta=3", instances, {.validate = true},
+                  {.threads = 3});
+  ASSERT_EQ(results.size(), instances.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].feasible) << results[i].diagnostics;
+    EXPECT_TRUE(Fraction(results[i].objectives.mmax) <=
+                *results[i].mmax_bound);
+  }
 }
 
 }  // namespace

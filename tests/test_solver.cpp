@@ -1,0 +1,410 @@
+// Tests for the unified solver API (core/solver.hpp): registry round-trips,
+// spec-error reporting, Capabilities enforcement, equivalence with the
+// underlying per-algorithm functions, solve_batch, and the generic front().
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/dag.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "core/constrained.hpp"
+#include "core/theory.hpp"
+#include "core/triobjective.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+Instance small_dag_instance() {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  return Instance({{2, 1}, {3, 2}, {1, 1}}, 2, dag);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(SolverRegistry, EveryRegisteredSpecRoundTrips) {
+  const std::vector<std::string> specs = registered_solver_specs();
+  ASSERT_FALSE(specs.empty());
+  for (const std::string& spec : specs) {
+    const auto solver = make_solver(spec);
+    EXPECT_EQ(solver->name(), spec) << "canonical spec does not round-trip";
+    // Round-tripping the canonical name again is a fixed point.
+    EXPECT_EQ(make_solver(solver->name())->name(), solver->name());
+  }
+}
+
+TEST(SolverRegistry, DefaultsAreFilledIntoCanonicalNames) {
+  EXPECT_EQ(make_solver("sbo")->name(), "sbo:lpt,delta=1");
+  EXPECT_EQ(make_solver("sbo:lpt")->name(), "sbo:lpt,delta=1");
+  EXPECT_EQ(make_solver("sbo:lpt/lpt")->name(), "sbo:lpt,delta=1");
+  EXPECT_EQ(make_solver("sbo:ls/multifit,delta=3/2")->name(),
+            "sbo:ls/multifit,delta=3/2");
+  EXPECT_EQ(make_solver("rls")->name(), "rls:input,delta=3");
+  EXPECT_EQ(make_solver("rls:bottom,delta=5/2")->name(),
+            "rls:bottom,delta=5/2");
+  EXPECT_EQ(make_solver("tri")->name(), "tri:spt,delta=3");
+  EXPECT_EQ(make_solver("constrained:rls")->name(),
+            "constrained:rls,tiebreak=input");
+  EXPECT_EQ(make_solver("constrained:sbo")->name(),
+            "constrained:sbo,alg=lpt,refinements=16");
+  EXPECT_EQ(make_solver("graham:lpt")->name(), "graham:lpt");
+}
+
+/// The offending token must appear verbatim in the error message.
+void expect_throws_naming(const std::string& spec, const std::string& token) {
+  try {
+    make_solver(spec);
+    FAIL() << "make_solver(\"" << spec << "\") did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+        << "message \"" << e.what() << "\" does not name token \"" << token
+        << "\"";
+  }
+}
+
+TEST(SolverRegistry, UnknownSpecsThrowNamingTheToken) {
+  expect_throws_naming("simulated-annealing", "simulated-annealing");
+  expect_throws_naming("sbo:quantum", "quantum");
+  expect_throws_naming("sbo:lpt/quantum", "quantum");
+  expect_throws_naming("rls:random", "random");
+  expect_throws_naming("rls:input,delta=abc", "abc");
+  expect_throws_naming("rls:input,delta=1/0", "1/0");
+  expect_throws_naming("sbo:lpt,budget=3", "budget=3");
+  expect_throws_naming("tri:lpt", "lpt");
+  expect_throws_naming("constrained:greedy", "greedy");
+  expect_throws_naming("constrained:sbo,refinements=many", "many");
+  expect_throws_naming("constrained:sbo,refinements=16x", "16x");
+  expect_throws_naming("constrained:sbo,refinements=7.9", "7.9");
+  expect_throws_naming("graham:fastest", "fastest");
+  expect_throws_naming("rls:input,delta", "delta");
+}
+
+TEST(SolverRegistry, NonPositiveDeltaIsRejectedAtConstruction) {
+  EXPECT_THROW(make_solver("sbo:lpt,delta=0"), std::invalid_argument);
+  EXPECT_THROW(make_solver("rls:input,delta=0"), std::invalid_argument);
+  EXPECT_THROW(make_solver("tri:spt,delta=0"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Capabilities.
+// ---------------------------------------------------------------------------
+
+TEST(SolverCapabilities, SboRejectsPrecedenceInstances) {
+  // Paper Section 3: SBO cannot be extended to precedence constraints.
+  const auto solver = make_solver("sbo:lpt,delta=1");
+  EXPECT_FALSE(solver->capabilities(2).supports_precedence);
+  EXPECT_THROW(solver->solve(small_dag_instance()), std::logic_error);
+}
+
+TEST(SolverCapabilities, TriRejectsPrecedenceInstances) {
+  const auto solver = make_solver("tri:spt,delta=3");
+  EXPECT_FALSE(solver->capabilities(2).supports_precedence);
+  EXPECT_THROW(solver->solve(small_dag_instance()), std::logic_error);
+}
+
+TEST(SolverCapabilities, RlsAcceptsPrecedenceInstances) {
+  const auto solver = make_solver("rls:bottom,delta=3");
+  EXPECT_TRUE(solver->capabilities(2).supports_precedence);
+  const SolveResult r = solver->solve(small_dag_instance());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.schedule.timed());
+}
+
+TEST(SolverCapabilities, ConstrainedSolversRequireCapacity) {
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  for (const char* spec : {"constrained:rls", "constrained:sbo"}) {
+    const auto solver = make_solver(spec);
+    EXPECT_TRUE(solver->capabilities(2).needs_capacity);
+    EXPECT_THROW(solver->solve(inst), std::invalid_argument);
+    const SolveResult r = solver->solve(inst, {.memory_capacity = 100});
+    EXPECT_TRUE(r.feasible);
+    EXPECT_LE(r.objectives.mmax, 100);
+  }
+}
+
+TEST(SolverCapabilities, GuaranteeRatiosMatchTheoryFormulas) {
+  const Fraction delta(3, 2);
+  const auto sbo = make_solver("sbo:lpt,delta=3/2");
+  const Capabilities sc = sbo->capabilities(4);
+  const Fraction lpt_ratio = make_scheduler("lpt")->ratio(4);
+  EXPECT_EQ(*sc.cmax_ratio, sbo_cmax_ratio(delta, lpt_ratio));
+  EXPECT_EQ(*sc.mmax_ratio, sbo_mmax_ratio(delta, lpt_ratio));
+  EXPECT_FALSE(sc.sumci_ratio.has_value());
+
+  const auto tri = make_solver("tri:spt,delta=4");
+  const Capabilities tc = tri->capabilities(4);
+  EXPECT_EQ(*tc.cmax_ratio, rls_cmax_ratio(Fraction(4), 4));
+  EXPECT_EQ(*tc.mmax_ratio, Fraction(4));
+  EXPECT_EQ(*tc.sumci_ratio, rls_sumci_ratio(Fraction(4)));
+}
+
+// ---------------------------------------------------------------------------
+// The RLS precondition ladder: Delta > 0 runs, Delta > 1 for Lemma 4,
+// Delta > 2 for the Corollary 2-3 guarantees.
+// ---------------------------------------------------------------------------
+
+TEST(SolverRlsPreconditions, BelowTwoCarriesNoGuaranteeButMayRun) {
+  const auto solver = make_solver("rls:input,delta=3/2");
+  const Capabilities caps = solver->capabilities(2);
+  EXPECT_FALSE(caps.cmax_ratio.has_value());
+  EXPECT_FALSE(caps.mmax_ratio.has_value());
+
+  // Loose instance: feasible even at Delta = 3/2, but flagged as outside
+  // the guarantee zone.
+  const Instance loose = make_instance({1, 1, 1, 1}, {1, 1, 1, 1}, 4);
+  const SolveResult ok = solver->solve(loose);
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_FALSE(ok.cmax_ratio.has_value());
+  EXPECT_NE(ok.diagnostics.find("guarantee zone"), std::string::npos);
+
+  // Tight instance: two big codes cannot share a processor under the cap.
+  const Instance tight = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const SolveResult stuck = make_solver("rls:input,delta=1")->solve(tight);
+  EXPECT_FALSE(stuck.feasible);
+  EXPECT_TRUE(stuck.rls->stuck_task.has_value());
+  EXPECT_NE(stuck.diagnostics.find("infeasible"), std::string::npos);
+}
+
+TEST(SolverRlsPreconditions, AboveTwoGuaranteesFeasibilityAndRatios) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(5, 30));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    const Instance inst = generate_uniform(gp, rng);
+    const SolveResult r = make_solver("rls:input,delta=21/10")->solve(inst);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(*r.cmax_ratio, rls_cmax_ratio(Fraction(21, 10), inst.m()));
+    EXPECT_EQ(*r.mmax_ratio, Fraction(21, 10));
+    EXPECT_TRUE(Fraction(r.objectives.mmax) <= *r.mmax_bound);
+  }
+}
+
+TEST(SolverRlsPreconditions, MarkedBoundRequiresDeltaAboveOne) {
+  // Lemma 4's floor(m/(Delta-1)) degenerates at Delta <= 1.
+  EXPECT_THROW(rls_marked_bound(Fraction(1), 4), std::invalid_argument);
+  EXPECT_THROW(rls_marked_bound(Fraction(1, 2), 4), std::invalid_argument);
+  EXPECT_EQ(rls_marked_bound(Fraction(3), 4), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with the thin per-algorithm wrappers.
+// ---------------------------------------------------------------------------
+
+TEST(SolverEquivalence, SboSolverMatchesSboSchedule) {
+  Rng rng(77);
+  GenParams gp;
+  gp.n = 30;
+  gp.m = 3;
+  const Instance inst = generate_anticorrelated(gp, 0.2, rng);
+  const auto solver = make_solver("sbo:lpt,delta=3/2");
+  const SolveResult via_solver = solver->solve(inst);
+  const SboResult direct =
+      sbo_schedule(inst, Fraction(3, 2), *make_scheduler("lpt"));
+  EXPECT_EQ(via_solver.schedule, direct.schedule);
+  EXPECT_EQ(*via_solver.cmax_bound, direct.cmax_bound);
+  EXPECT_EQ(*via_solver.mmax_bound, direct.mmax_bound);
+  ASSERT_TRUE(via_solver.sbo.has_value());
+  EXPECT_EQ(via_solver.sbo->pi1, direct.pi1);
+  EXPECT_EQ(via_solver.sbo->pi2, direct.pi2);
+}
+
+TEST(SolverEquivalence, RlsSolverMatchesRlsSchedule) {
+  Rng rng(78);
+  const Instance inst = generate_dag_by_name("layered", 40, 3, {}, rng);
+  const SolveResult via_solver =
+      make_solver("rls:bottom,delta=5/2")->solve(inst);
+  const RlsResult direct =
+      rls_schedule(inst, Fraction(5, 2), PriorityPolicy::kBottomLevel);
+  ASSERT_TRUE(via_solver.feasible);
+  EXPECT_EQ(via_solver.schedule, direct.schedule);
+  EXPECT_EQ(via_solver.rls->marked_count, direct.marked_count);
+  EXPECT_EQ(via_solver.objectives, objectives(inst, direct.schedule));
+  EXPECT_EQ(*via_solver.sum_ci, sum_completion_times(inst, direct.schedule));
+}
+
+TEST(SolverEquivalence, TriSolverMatchesTriObjectiveSchedule) {
+  Rng rng(79);
+  GenParams gp;
+  gp.n = 25;
+  gp.m = 3;
+  const Instance inst = generate_uniform(gp, rng);
+  const SolveResult via_solver = make_solver("tri:spt,delta=3")->solve(inst);
+  const TriObjectiveResult direct = tri_objective_schedule(inst, Fraction(3));
+  ASSERT_TRUE(via_solver.feasible);
+  EXPECT_EQ(via_solver.schedule, direct.rls.schedule);
+  EXPECT_EQ(*via_solver.sum_ci, direct.objectives.sum_ci);
+  EXPECT_EQ(*via_solver.sumci_ratio, direct.sumci_ratio);
+}
+
+TEST(SolverEquivalence, ConstrainedSolversMatchDirectCalls) {
+  Rng rng(80);
+  GenParams gp;
+  gp.n = 40;
+  gp.m = 4;
+  const Instance inst = generate_uniform(gp, rng);
+  const Mem cap = (inst.storage_lower_bound_fraction() * Fraction(3)).ceil();
+
+  const SolveResult via_solver =
+      make_solver("constrained:rls")->solve(inst, {.memory_capacity = cap});
+  const ConstrainedResult direct = solve_constrained_rls(inst, cap);
+  ASSERT_TRUE(via_solver.feasible);
+  ASSERT_TRUE(direct.feasible);
+  EXPECT_EQ(via_solver.schedule, direct.schedule);
+  EXPECT_EQ(via_solver.delta, direct.delta_used);
+
+  const SolveResult sbo_solver =
+      make_solver("constrained:sbo")->solve(inst, {.memory_capacity = cap});
+  const ConstrainedResult sbo_direct = solve_constrained_sbo(
+      inst, cap, *make_scheduler("lpt"), *make_scheduler("lpt"));
+  ASSERT_TRUE(sbo_solver.feasible);
+  ASSERT_TRUE(sbo_direct.feasible);
+  EXPECT_EQ(sbo_solver.objectives, sbo_direct.objectives);
+}
+
+TEST(SolverOptions, ValidateFlagRunsTheValidator) {
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  const SolveResult r =
+      make_solver("rls:input,delta=3")->solve(inst, {.validate = true});
+  EXPECT_TRUE(r.feasible);  // a correct schedule stays feasible
+}
+
+TEST(SolverOptions, CapacityIsIgnoredByUnconstrainedSolvers) {
+  // SolveOptions::memory_capacity only binds constrained:* solvers; an
+  // unconstrained solve with validation must not be failed against it.
+  const Instance inst = make_instance({3, 2, 1}, {4, 5, 6}, 2);
+  const SolveResult r = make_solver("sbo:lpt,delta=1")
+                            ->solve(inst, {.memory_capacity = 1,
+                                           .validate = true});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.objectives.mmax, 1);
+}
+
+// ---------------------------------------------------------------------------
+// solve_batch.
+// ---------------------------------------------------------------------------
+
+std::vector<Instance> batch_instances(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  for (int i = 0; i < count; ++i) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(10, 40));
+    gp.m = static_cast<int>(rng.uniform_int(2, 6));
+    out.push_back(generate_uniform(gp, rng));
+  }
+  return out;
+}
+
+TEST(SolveBatch, MatchesSerialResultsInOrder) {
+  const std::vector<Instance> instances = batch_instances(24, 42);
+  const auto solver = make_solver("sbo:lpt,delta=1");
+  const std::vector<SolveResult> serial =
+      solve_batch(*solver, instances, {}, {.threads = 1});
+  const std::vector<SolveResult> parallel =
+      solve_batch(*solver, instances, {}, {.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].schedule, parallel[i].schedule) << "instance " << i;
+    EXPECT_EQ(serial[i].objectives, parallel[i].objectives);
+  }
+}
+
+TEST(SolveBatch, SpecOverloadAndEmptyInput) {
+  EXPECT_TRUE(solve_batch("rls:input,delta=3", {}).empty());
+  const std::vector<Instance> instances = batch_instances(3, 7);
+  const std::vector<SolveResult> results =
+      solve_batch("rls:input,delta=3", instances);
+  ASSERT_EQ(results.size(), 3u);
+  for (const SolveResult& r : results) EXPECT_TRUE(r.feasible);
+}
+
+TEST(SolveBatch, WorkerExceptionPropagates) {
+  // A precedence instance in an SBO batch throws inside a worker thread;
+  // the batch must rethrow on the caller, not crash or hang.
+  std::vector<Instance> instances = batch_instances(8, 9);
+  instances.push_back(small_dag_instance());
+  EXPECT_THROW(
+      solve_batch("sbo:lpt,delta=1", instances, {}, {.threads = 4}),
+      std::logic_error);
+}
+
+TEST(SolveBatch, PassesOptionsThrough) {
+  const std::vector<Instance> instances = batch_instances(6, 11);
+  std::vector<SolveResult> results;
+  ASSERT_NO_THROW(results = solve_batch("constrained:rls", instances,
+                                        {.memory_capacity = 1'000'000},
+                                        {.threads = 2}));
+  for (const SolveResult& r : results) EXPECT_TRUE(r.feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Generic front().
+// ---------------------------------------------------------------------------
+
+TEST(SolverFront, GeneralizesSboFront) {
+  Rng rng(90);
+  GenParams gp;
+  gp.n = 12;
+  gp.m = 2;
+  const Instance inst = generate_uniform(gp, rng);
+  const auto grid = delta_grid(Fraction(1, 8), Fraction(8), 9);
+  const ApproxFront generic = front(inst, "sbo:lpt", grid);
+  const ApproxFront legacy = sbo_front(inst, *make_scheduler("lpt"), 9);
+  ASSERT_EQ(generic.points.size(), legacy.points.size());
+  for (std::size_t i = 0; i < generic.points.size(); ++i) {
+    EXPECT_EQ(generic.points[i].value, legacy.points[i].value);
+    EXPECT_EQ(generic.points[i].delta, legacy.points[i].delta);
+  }
+  EXPECT_EQ(generic.runs, 9);
+}
+
+TEST(SolverFront, GeneralizesRlsFront) {
+  Rng rng(91);
+  const Instance inst = generate_dag_by_name("layered", 30, 3, {}, rng);
+  // Same grid construction as rls_front: Delta = 2 + geometric gap.
+  const Fraction hi(16);
+  std::vector<Fraction> grid;
+  for (const Fraction& gap :
+       delta_grid((hi - Fraction(2)) / Fraction(64), hi - Fraction(2), 9)) {
+    grid.push_back(Fraction(2) + gap);
+  }
+  const ApproxFront generic = front(inst, "rls:bottom", grid);
+  const ApproxFront legacy = rls_front(inst, 9, hi);
+  ASSERT_EQ(generic.points.size(), legacy.points.size());
+  for (std::size_t i = 0; i < generic.points.size(); ++i) {
+    EXPECT_EQ(generic.points[i].value, legacy.points[i].value);
+  }
+}
+
+TEST(SolverFront, RejectsFamiliesWithoutDeltaKnob) {
+  const Instance inst = make_instance({1, 2}, {2, 1}, 2);
+  const std::vector<Fraction> grid{Fraction(1)};
+  EXPECT_THROW(front(inst, "graham:lpt", grid), std::invalid_argument);
+  EXPECT_THROW(front(inst, "constrained:rls", grid), std::invalid_argument);
+}
+
+TEST(SolverFront, SkipsInfeasibleRuns) {
+  // Tight instance at small Delta: RLS runs below the guarantee zone drop
+  // out of the front instead of poisoning it.
+  const Instance tight = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const std::vector<Fraction> grid{Fraction(1), Fraction(3)};
+  const ApproxFront f = front(tight, "rls:input", grid);
+  EXPECT_EQ(f.runs, 2);
+  ASSERT_EQ(f.points.size(), 1u);
+  EXPECT_EQ(f.points.front().delta, Fraction(3));
+}
+
+}  // namespace
+}  // namespace storesched
