@@ -1,0 +1,241 @@
+// HOTPATH -- old-vs-new wall time of the solve hot paths.
+//
+// Measures the two engine rewrites this repo's perf trajectory tracks:
+//
+//   1. RLS: the incremental engine (rls_schedule_fast) against the seed's
+//      O(n^2 m) exact-Fraction rescan (rls_schedule_reference), at
+//      n in {1k, 5k, 20k} x m in {16, 256} on independent tasks plus one
+//      DAG cell. Every measured cell also asserts the two engines produce
+//      bit-identical schedules.
+//   2. Delta sweeps: sbo_front's ingredient-reuse sweep against the old
+//      one-full-SBO-run-per-grid-point loop.
+//
+// Methodology: median of k runs after one untimed warm-up run. Reference
+// cells whose estimated cost (n^2 m inner iterations) exceeds a budget are
+// skipped -- and reported as skipped, never silently -- so the bench stays
+// CI-sized; the n=5000, m=256 headline cell always runs.
+//
+//   ./bench_hotpath --json                 # writes BENCH_hotpath.json
+//   ./bench_hotpath --json --baseline=BENCH_hotpath.json
+//
+// With --baseline the bench exits non-zero if the measured headline
+// speedup falls below max(10, 0.2 * baseline speedup) -- the CI
+// regression gate. The committed BENCH_hotpath.json at the repo root is
+// the baseline; 0.2 absorbs cross-machine variance while still catching
+// any algorithmic regression (an accidental O(n^2) reintroduction drops
+// the ratio by orders of magnitude, not percent).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/dag_generators.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "core/front_approx.hpp"
+#include "core/rls.hpp"
+#include "core/sbo.hpp"
+
+namespace {
+
+using namespace storesched;
+
+Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  GenParams gp;
+  gp.n = n;
+  gp.m = m;
+  gp.p_max = 1000;
+  gp.s_max = 1000;
+  return generate_uniform(gp, rng);
+}
+
+/// Median wall time of k runs of fn(), after one untimed warm-up.
+template <typename Fn>
+double median_ms(int k, Fn&& fn) {
+  fn();  // warm-up
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) times.push_back(bench::time_ms(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Extracts the headline speedup from a committed BENCH_hotpath.json: the
+/// value of the "speedup" field in the record named "headline". The format
+/// is the library's own flat BenchReport output, so a string scan is
+/// enough -- no JSON parser dependency.
+double baseline_speedup(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read baseline " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::size_t record = text.find("\"name\": \"headline\"");
+  if (record == std::string::npos) {
+    throw std::runtime_error("baseline has no headline record: " + path);
+  }
+  const std::size_t key = text.find("\"speedup\": ", record);
+  const std::size_t line_end = text.find('}', record);
+  if (key == std::string::npos || key > line_end) {
+    throw std::runtime_error("baseline headline has no speedup: " + path);
+  }
+  return std::stod(text.substr(key + 11));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::banner;
+
+  banner("HOTPATH", "Old-vs-new wall time of the solve hot paths");
+  bench::BenchReport report("hotpath", argc, argv);
+
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) baseline_path = arg.substr(11);
+  }
+
+  // --- RLS: incremental engine vs the seed's O(n^2 m) rescan. ------------
+  // Budget for the reference engine, in estimated n^2 m inner iterations
+  // (~12 ns each): 2e10 ~ a few minutes. Only the 20k x 256 cell exceeds
+  // it; its skip is reported explicitly.
+  constexpr double kReferenceBudget = 2e10;
+  const Fraction delta(5, 2);  // memory-binding but always feasible
+
+  struct Cell {
+    std::size_t n;
+    int m;
+    bool dag;
+  };
+  const std::vector<Cell> cells{
+      {1000, 16, false},  {1000, 256, false}, {5000, 16, false},
+      {5000, 256, false}, {20000, 16, false}, {20000, 256, false},
+      {2000, 16, true},
+  };
+
+  std::cout << "\nRLS_Delta (delta = 5/2, input order): fast vs reference\n";
+  std::vector<std::vector<std::string>> rows;
+  double headline_speedup = 0.0;
+  std::uint64_t seed = 0x5eed;
+  for (const Cell& cell : cells) {
+    Instance inst = uniform_instance(cell.n, cell.m, seed++);
+    if (cell.dag) {
+      Rng rng(seed);
+      inst = generate_dag_by_name("layered", cell.n, cell.m, {}, rng);
+    }
+    const char* kind = cell.dag ? "dag" : "indep";
+
+    RlsResult fast_run;
+    const double fast_ms =
+        median_ms(5, [&] { fast_run = rls_schedule_fast(inst, delta); });
+
+    const double ref_cost = static_cast<double>(cell.n) *
+                            static_cast<double>(cell.n) *
+                            static_cast<double>(cell.m);
+    const bool ref_skipped = ref_cost > kReferenceBudget;
+    double ref_ms = 0.0;
+    bool identical = true;
+    if (!ref_skipped) {
+      // No warm-up for the reference engine: at these sizes a run takes
+      // seconds, so warm-up effects are noise but an extra run is not.
+      const int k = ref_cost > 1e9 ? 1 : 3;
+      RlsResult ref_run;
+      std::vector<double> times;
+      for (int i = 0; i < k; ++i) {
+        times.push_back(
+            bench::time_ms([&] { ref_run = rls_schedule_reference(inst, delta); }));
+      }
+      std::sort(times.begin(), times.end());
+      ref_ms = times[times.size() / 2];
+      identical = fast_run.feasible == ref_run.feasible &&
+                  fast_run.schedule == ref_run.schedule &&
+                  fast_run.marked == ref_run.marked;
+    }
+    const double speedup = ref_skipped || fast_ms <= 0 ? 0.0 : ref_ms / fast_ms;
+    if (!cell.dag && cell.n == 5000 && cell.m == 256) {
+      headline_speedup = speedup;
+    }
+
+    rows.push_back({std::to_string(cell.n), std::to_string(cell.m), kind,
+                    fmt(fast_ms, 3),
+                    ref_skipped ? "skipped (budget)" : fmt(ref_ms, 1),
+                    ref_skipped ? "n/a" : fmt(speedup, 1),
+                    ref_skipped ? "n/a" : (identical ? "yes" : "NO (bug!)")});
+    // "identical" is a claim about a comparison that ran: skipped cells
+    // report "n/a", never a default-true.
+    report.add("rls_cell",
+               {{"n", cell.n},
+                {"m", cell.m},
+                {"kind", kind},
+                {"fast_ms", fast_ms},
+                {"reference_ms", ref_ms},
+                {"reference_skipped", ref_skipped},
+                {"speedup", speedup},
+                {"identical", ref_skipped ? bench::JsonValue("n/a")
+                                          : bench::JsonValue(identical)}});
+    if (!identical) {
+      std::cout << "fast and reference engines disagree at n=" << cell.n
+                << " m=" << cell.m << " (bug!)\n";
+      return 1;
+    }
+  }
+  std::cout << markdown_table(
+      {"n", "m", "kind", "fast ms", "reference ms", "speedup", "identical"},
+      rows);
+
+  // --- Delta sweep: ingredient reuse vs one full SBO run per point. ------
+  std::cout << "\nsbo_front (33 grid points, n = 20000, m = 64, lpt):\n";
+  const Instance sweep_inst = uniform_instance(20000, 64, 0xf407);
+  const auto alg = make_scheduler("lpt");
+  const int steps = 33;
+
+  const double sweep_ms =
+      median_ms(3, [&] { sbo_front(sweep_inst, *alg, steps); });
+  const double loop_ms = median_ms(3, [&] {
+    // The old path: ingredients recomputed at every grid point, serially.
+    for (const Fraction& d :
+         delta_grid(Fraction(1, 8), Fraction(8), steps)) {
+      sbo_schedule(sweep_inst, d, *alg);
+    }
+  });
+  const double sweep_speedup = sweep_ms > 0 ? loop_ms / sweep_ms : 0.0;
+  std::vector<std::vector<std::string>> sweep_rows;
+  sweep_rows.push_back({"per-point full SBO (old)", fmt(loop_ms, 1), "1.00"});
+  sweep_rows.push_back(
+      {"ingredient-reuse sweep (new)", fmt(sweep_ms, 1), fmt(sweep_speedup, 2)});
+  std::cout << markdown_table({"sweep", "wall ms", "speedup"}, sweep_rows);
+  report.add("sbo_sweep", {{"n", 20000},
+                           {"m", 64},
+                           {"steps", steps},
+                           {"loop_ms", loop_ms},
+                           {"sweep_ms", sweep_ms},
+                           {"speedup", sweep_speedup}});
+
+  // --- Headline + regression gate. ---------------------------------------
+  std::cout << "\nheadline: RLS fast-vs-reference speedup at n=5000, m=256 = "
+            << fmt(headline_speedup, 1) << "x\n";
+  report.add("headline", {{"n", 5000},
+                          {"m", 256},
+                          {"speedup", headline_speedup},
+                          {"sweep_speedup", sweep_speedup}});
+  report.finish();
+
+  double floor = 10.0;  // the acceptance bar stands on its own
+  if (!baseline_path.empty()) {
+    const double base = baseline_speedup(baseline_path);
+    floor = std::max(floor, 0.2 * base);
+    std::cout << "baseline speedup " << fmt(base, 1) << "x -> regression floor "
+              << fmt(floor, 1) << "x\n";
+  }
+  if (headline_speedup < floor) {
+    std::cout << "HOTPATH REGRESSION: headline speedup " << fmt(headline_speedup, 1)
+              << "x below floor " << fmt(floor, 1) << "x\n";
+    return 1;
+  }
+  return 0;
+}

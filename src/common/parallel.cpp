@@ -1,0 +1,58 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace storesched {
+
+unsigned parallel_worker_count(std::size_t jobs, int threads) {
+  unsigned workers = threads > 0
+                         ? static_cast<unsigned>(threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(
+      workers, static_cast<unsigned>(std::max<std::size_t>(jobs, 1)));
+  return std::max(1u, workers);
+}
+
+void parallel_for(std::size_t jobs, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+
+  const unsigned workers = parallel_worker_count(jobs, threads);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace storesched

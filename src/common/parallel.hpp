@@ -1,0 +1,31 @@
+// Shared worker-pool helper for embarrassingly parallel index loops.
+//
+// Extracted from solve_batch() so every fan-out in the library -- batch
+// solving, Delta-grid front sweeps, benches -- shares one implementation
+// with the same guarantees:
+//   * never spawns more workers than there are jobs (a 2-job call on a
+//     32-core box uses 2 threads, not 32);
+//   * runs inline (no threads at all) when one worker suffices;
+//   * captures the first exception thrown by any job, cancels the
+//     remaining work, joins every worker, and rethrows on the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace storesched {
+
+/// Number of workers parallel_for() will actually use for `jobs` jobs when
+/// `threads` are requested (0 = std::thread::hardware_concurrency()).
+/// Always in [1, max(jobs, 1)]. Exposed so tests can pin the
+/// no-oversubscription invariant.
+unsigned parallel_worker_count(std::size_t jobs, int threads);
+
+/// Runs fn(i) for every i in [0, jobs), fanning out over at most
+/// parallel_worker_count(jobs, threads) std::thread workers. Jobs are
+/// claimed dynamically (atomic counter), so uneven job costs balance.
+/// fn must be safe to call concurrently from multiple threads.
+void parallel_for(std::size_t jobs, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace storesched

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "core/rls.hpp"
 #include "core/sbo.hpp"
 
@@ -49,19 +51,42 @@ std::vector<FrontPoint> pareto_filter_front(std::vector<FrontPoint> raw) {
   return front;
 }
 
-ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
-                      int steps) {
-  const auto grid = delta_grid(Fraction(1, 8), Fraction(8), steps);
+ApproxFront sweep_delta_grid(
+    const Instance& inst, std::span<const Fraction> grid,
+    const std::function<std::optional<Schedule>(const Fraction&)>& solve_at) {
+  // Results land at their grid index, so the collected front is identical
+  // to the serial per-Delta loop whatever the worker interleaving.
+  std::vector<std::optional<FrontPoint>> sweep(grid.size());
+  parallel_for(grid.size(), 0, [&](std::size_t i) {
+    std::optional<Schedule> sched = solve_at(grid[i]);
+    if (!sched) return;
+    const ObjectivePoint value = objectives(inst, *sched);
+    sweep[i] = FrontPoint{grid[i], std::move(*sched), value};
+  });
+
   ApproxFront result;
+  result.runs = static_cast<int>(grid.size());
   std::vector<FrontPoint> raw;
-  for (const Fraction& delta : grid) {
-    SboResult run = sbo_schedule(inst, delta, alg);
-    const ObjectivePoint value = objectives(inst, run.schedule);
-    raw.push_back({delta, std::move(run.schedule), value});
-    ++result.runs;
+  for (std::optional<FrontPoint>& pt : sweep) {
+    if (pt) raw.push_back(std::move(*pt));
   }
   result.points = pareto_filter_front(std::move(raw));
   return result;
+}
+
+ApproxFront sbo_sweep(const Instance& inst, const MakespanScheduler& alg1,
+                      const MakespanScheduler& alg2,
+                      std::span<const Fraction> grid) {
+  const SboIngredients ing = sbo_ingredients(inst, alg1, alg2);
+  return sweep_delta_grid(inst, grid, [&](const Fraction& delta) {
+    return std::optional<Schedule>(sbo_route(inst, ing, delta));
+  });
+}
+
+ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
+                      int steps) {
+  const auto grid = delta_grid(Fraction(1, 8), Fraction(8), steps);
+  return sbo_sweep(inst, alg, alg, grid);
 }
 
 ApproxFront rls_front(const Instance& inst, int steps, const Fraction& hi) {
@@ -69,20 +94,16 @@ ApproxFront rls_front(const Instance& inst, int steps, const Fraction& hi) {
     throw std::invalid_argument("rls_front: hi must exceed 2");
   }
   // Grid over (2, hi]: Delta = 2 + g with g geometric in [hi/64 - ish, hi-2].
-  const auto gaps = delta_grid((hi - Fraction(2)) / Fraction(64),
-                               hi - Fraction(2), steps);
-  ApproxFront result;
-  std::vector<FrontPoint> raw;
-  for (const Fraction& gap : gaps) {
-    const Fraction delta = Fraction(2) + gap;
-    RlsResult run = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
-    ++result.runs;
-    if (!run.feasible) continue;  // only possible at Delta <= 2
-    const ObjectivePoint value = objectives(inst, run.schedule);
-    raw.push_back({delta, std::move(run.schedule), value});
+  std::vector<Fraction> grid;
+  for (const Fraction& gap : delta_grid((hi - Fraction(2)) / Fraction(64),
+                                        hi - Fraction(2), steps)) {
+    grid.push_back(Fraction(2) + gap);
   }
-  result.points = pareto_filter_front(std::move(raw));
-  return result;
+  return sweep_delta_grid(inst, grid, [&](const Fraction& delta) {
+    RlsResult run = rls_schedule(inst, delta, PriorityPolicy::kBottomLevel);
+    if (!run.feasible) return std::optional<Schedule>();  // Delta <= 2 only
+    return std::optional<Schedule>(std::move(run.schedule));
+  });
 }
 
 double coverage_epsilon(const std::vector<FrontPoint>& front,

@@ -13,6 +13,9 @@
 // with the nearest Delta dominates ((1+Delta)rho1 c, (1+1/Delta)rho2 m').
 #pragma once
 
+#include <functional>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "algorithms/scheduler.hpp"
@@ -48,14 +51,34 @@ std::vector<Fraction> delta_grid(const Fraction& lo, const Fraction& hi,
 /// fronts below and the generic front() in core/solver.hpp.
 std::vector<FrontPoint> pareto_filter_front(std::vector<FrontPoint> raw);
 
+/// The Delta-sweep skeleton behind every front generator: runs
+/// solve_at(grid[i]) for each grid point, fanned out over the shared
+/// worker pool (common/parallel.hpp), skips infeasible points (nullopt),
+/// collects the rest in grid order and Pareto-filters them. runs equals
+/// the grid size.
+ApproxFront sweep_delta_grid(
+    const Instance& inst, std::span<const Fraction> grid,
+    const std::function<std::optional<Schedule>(const Fraction&)>& solve_at);
+
+/// SBO Delta sweep with the ingredient schedules hoisted out of the grid
+/// loop: alg1/alg2 run once, only the threshold routing is redone per
+/// point. Shared by sbo_front() and the sbo solver's delta_sweep().
+ApproxFront sbo_sweep(const Instance& inst, const MakespanScheduler& alg1,
+                      const MakespanScheduler& alg2,
+                      std::span<const Fraction> grid);
+
 /// Approximate front via SBO_Delta (independent tasks only).
-/// The grid defaults to [1/8, 8] with `steps` geometric points.
+/// The grid defaults to [1/8, 8] with `steps` geometric points. The
+/// Delta-independent ingredient schedules are computed once and only the
+/// threshold routing is redone per grid point, fanned out over the shared
+/// worker pool (common/parallel.hpp) -- identical points to the serial
+/// per-Delta loop, at a fraction of the cost.
 ApproxFront sbo_front(const Instance& inst, const MakespanScheduler& alg,
                       int steps = 17);
 
 /// Approximate front via RLS_Delta (independent or DAG instances).
 /// The grid spans (2, hi]; infeasible runs (possible only outside the
-/// guarantee zone) are skipped.
+/// guarantee zone) are skipped. Grid points run in parallel.
 ApproxFront rls_front(const Instance& inst, int steps = 17,
                       const Fraction& hi = Fraction(16));
 

@@ -1,9 +1,308 @@
 #include "core/rls.hpp"
 
+#include <cassert>
+#include <cstdlib>
 #include <limits>
+#include <queue>
+#include <set>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/rls_engine.hpp"
 
 namespace storesched {
+
+namespace {
+
+/// Instance-wide constants both engines share. The memory cap is hoisted
+/// out of the inner loops once per solve: tasks and memsize are integral,
+/// so the exact rational test  memsize + s <= Delta * LB  is equivalent to
+/// the single integer compare  memsize + s <= floor(Delta * LB).
+struct RlsContext {
+  std::vector<TaskId> order;      ///< rank -> task id
+  std::vector<std::size_t> rank;  ///< task id -> rank
+  Mem cap_floor = 0;              ///< floor(Delta * LB)
+};
+
+RlsContext make_context(const Instance& inst, const Fraction& delta,
+                        PriorityPolicy tie_break, RlsResult& result) {
+  result.lb = inst.storage_lower_bound_fraction();
+  result.cap = delta * result.lb;
+  result.marked.assign(static_cast<std::size_t>(inst.m()), false);
+  result.schedule = Schedule(inst);
+
+  RlsContext ctx;
+  ctx.order = priority_order(inst, tie_break);
+  ctx.rank.resize(inst.n());
+  for (std::size_t pos = 0; pos < ctx.order.size(); ++pos) {
+    ctx.rank[static_cast<std::size_t>(ctx.order[pos])] = pos;
+  }
+  ctx.cap_floor = result.cap.floor();
+  return ctx;
+}
+
+void mark_processor(RlsResult& result, ProcId q) {
+  if (!result.marked[static_cast<std::size_t>(q)]) {
+    result.marked[static_cast<std::size_t>(q)] = true;
+    ++result.marked_count;
+  }
+}
+
+/// Lemma 4 runtime check (valid for any Delta > 1; for Delta <= 2 the bound
+/// is >= m and trivially holds).
+void check_marked_bound(const RlsResult& result, const Fraction& delta,
+                        int m) {
+  if (Fraction(1) < delta) {
+    assert(result.marked_count <= rls_marked_bound(delta, m));
+  }
+  (void)result;
+  (void)m;
+}
+
+// ---------------------------------------------------------------------------
+// Fast engine, independent tasks.
+//
+// Every task is ready from the start, so a step's winner is the
+// lowest-rank task on the lowest load level that has memory headroom for
+// it. Processors live in a (load, id)-ordered set walked in equal-load
+// groups; a segment tree over ranks answers "highest-priority task with
+// s <= headroom" per group in O(log n). Processors walked past before the
+// winning group are exactly the strictly-less-loaded ones Lemma 4 marks.
+// Typical cost is O(n (log n + log m)); adversarially memory-tight
+// instances can lengthen the group walk toward O(m) per step, still far
+// below the reference's O(n m) per step.
+// ---------------------------------------------------------------------------
+
+void solve_independent(const Instance& inst, const RlsContext& ctx,
+                       RlsResult& result) {
+  const std::size_t n = inst.n();
+  const int m = inst.m();
+
+  std::vector<Time> load(static_cast<std::size_t>(m), 0);
+  std::vector<Mem> memsize(static_cast<std::size_t>(m), 0);
+  std::set<std::pair<Time, ProcId>> by_load;
+  std::multiset<Mem> mem_used;
+  for (ProcId q = 0; q < m; ++q) {
+    by_load.emplace(0, q);
+    mem_used.insert(0);
+  }
+
+  rls_detail::StorageTree by_rank(n);  // active = unscheduled, keyed by rank
+  rls_detail::StorageTree by_id(n);    // active = unscheduled, keyed by id
+  for (TaskId i = 0; i < static_cast<TaskId>(n); ++i) {
+    by_rank.set(ctx.rank[static_cast<std::size_t>(i)], inst.task(i).s);
+    by_id.set(static_cast<std::size_t>(i), inst.task(i).s);
+  }
+
+  for (std::size_t step = 0; step < n; ++step) {
+    // Infeasibility witness: the lowest task id whose storage exceeds every
+    // processor's headroom (budgets only shrink, so it can never be placed).
+    const Mem headroom_max = ctx.cap_floor - *mem_used.begin();
+    if (by_id.max_active() > headroom_max) {
+      result.feasible = false;
+      result.stuck_task =
+          static_cast<TaskId>(by_id.leftmost_gt(headroom_max));
+      return;
+    }
+
+    // Walk load levels upward until one has headroom for some task.
+    TaskId task = -1;
+    ProcId chosen = kNoProc;
+    Time level = 0;
+    for (auto it = by_load.begin(); it != by_load.end();) {
+      level = it->first;
+      auto group_end = it;
+      Mem group_headroom = std::numeric_limits<Mem>::min();
+      while (group_end != by_load.end() && group_end->first == level) {
+        group_headroom = std::max(
+            group_headroom,
+            ctx.cap_floor - memsize[static_cast<std::size_t>(group_end->second)]);
+        ++group_end;
+      }
+      const std::size_t pos = by_rank.leftmost_le(group_headroom);
+      if (pos != rls_detail::kNoPos) {
+        task = ctx.order[pos];
+        const Mem s = inst.task(task).s;
+        for (auto jt = it; jt != group_end; ++jt) {
+          if (ctx.cap_floor - memsize[static_cast<std::size_t>(jt->second)] >=
+              s) {
+            chosen = jt->second;
+            break;
+          }
+        }
+        break;
+      }
+      // No task fits this level: its processors are strictly less loaded
+      // than the eventual choice and were skipped for memory (Lemma 4).
+      for (auto jt = it; jt != group_end; ++jt) mark_processor(result, jt->second);
+      it = group_end;
+    }
+    assert(task != -1 && chosen != kNoProc);
+
+    result.schedule.assign(task, chosen, level);
+    const std::size_t qi = static_cast<std::size_t>(chosen);
+    by_load.erase({load[qi], chosen});
+    mem_used.erase(mem_used.find(memsize[qi]));
+    load[qi] = level + inst.task(task).p;
+    memsize[qi] += inst.task(task).s;
+    by_load.emplace(load[qi], chosen);
+    mem_used.insert(memsize[qi]);
+    by_rank.clear(ctx.rank[static_cast<std::size_t>(task)]);
+    by_id.clear(static_cast<std::size_t>(task));
+  }
+  result.feasible = true;
+}
+
+// ---------------------------------------------------------------------------
+// Fast engine, precedence-constrained tasks.
+//
+// Ready tasks cache their (processor, earliest start) decision; a lazy
+// min-heap keyed by (earliest start, rank) yields each step's winner. A
+// placement changes exactly one processor, so only the ready tasks whose
+// cached choice is that processor (tracked in per-processor buckets) are
+// recomputed -- every other cached decision provably still holds: the
+// updated processor got strictly worse on both load and headroom while all
+// others are untouched. Per-step cost is O(dirty * m) worst case but
+// O(log) typical; the ready set, not n, bounds the dirty set.
+// ---------------------------------------------------------------------------
+
+void solve_dag(const Instance& inst, const RlsContext& ctx,
+               RlsResult& result) {
+  const std::size_t n = inst.n();
+  const int m = inst.m();
+  const Dag& dag = inst.dag();
+
+  std::vector<Time> load(static_cast<std::size_t>(m), 0);
+  std::vector<Mem> memsize(static_cast<std::size_t>(m), 0);
+  std::set<std::pair<Time, ProcId>> by_load;
+  std::multiset<Mem> mem_used;
+  for (ProcId q = 0; q < m; ++q) {
+    by_load.emplace(0, q);
+    mem_used.insert(0);
+  }
+
+  std::vector<std::size_t> missing_preds(n, 0);
+  std::vector<Time> pred_finish(n, 0);
+  std::vector<bool> placed(n, false);
+  std::vector<bool> is_ready(n, false);
+  std::multiset<Mem> ready_s;
+
+  std::vector<ProcId> cached_proc(n, kNoProc);
+  std::vector<Time> cached_start(n, 0);
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<std::vector<TaskId>> bucket(static_cast<std::size_t>(m));
+  // (earliest start, rank, task, stamp); stale stamps are skipped on pop.
+  using HeapEntry = std::tuple<Time, std::size_t, TaskId, std::uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  const auto compute = [&](TaskId t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    const Mem s = inst.task(t).s;
+    ++stamp[ti];
+    cached_proc[ti] = kNoProc;
+    // Least-loaded (then lowest-id) processor with headroom for t.
+    for (const auto& [lvl, q] : by_load) {
+      if (ctx.cap_floor - memsize[static_cast<std::size_t>(q)] >= s) {
+        cached_proc[ti] = q;
+        cached_start[ti] = std::max(lvl, pred_finish[ti]);
+        bucket[static_cast<std::size_t>(q)].push_back(t);
+        heap.emplace(cached_start[ti], ctx.rank[ti], t, stamp[ti]);
+        return;
+      }
+    }
+    // Fits nowhere: the per-step infeasibility check below reports it (the
+    // max ready storage now exceeds the max headroom).
+  };
+
+  for (TaskId i = 0; i < static_cast<TaskId>(n); ++i) {
+    missing_preds[static_cast<std::size_t>(i)] = dag.in_degree(i);
+    if (missing_preds[static_cast<std::size_t>(i)] == 0) {
+      is_ready[static_cast<std::size_t>(i)] = true;
+      ready_s.insert(inst.task(i).s);
+      compute(i);
+    }
+  }
+
+  for (std::size_t step = 0; step < n; ++step) {
+    const Mem headroom_max = ctx.cap_floor - *mem_used.begin();
+    if (!ready_s.empty() && *ready_s.rbegin() > headroom_max) {
+      result.feasible = false;
+      for (TaskId i = 0; i < static_cast<TaskId>(n); ++i) {
+        const std::size_t ti = static_cast<std::size_t>(i);
+        if (is_ready[ti] && !placed[ti] && inst.task(i).s > headroom_max) {
+          result.stuck_task = i;
+          break;
+        }
+      }
+      return;
+    }
+
+    TaskId task = -1;
+    while (!heap.empty()) {
+      const auto [start, rk, t, st] = heap.top();
+      const std::size_t ti = static_cast<std::size_t>(t);
+      if (placed[ti] || st != stamp[ti]) {
+        heap.pop();
+        continue;
+      }
+      task = t;
+      break;
+    }
+    if (task == -1) {
+      // Cannot happen on an acyclic instance: some unscheduled task always
+      // has all predecessors scheduled.
+      throw std::logic_error("rls_schedule: no ready task on acyclic DAG");
+    }
+    heap.pop();
+
+    const std::size_t ti = static_cast<std::size_t>(task);
+    const ProcId chosen = cached_proc[ti];
+    const Time start = cached_start[ti];
+    const std::size_t qi = static_cast<std::size_t>(chosen);
+
+    // Lemma 4: every processor strictly less loaded than the choice was
+    // skipped for memory.
+    for (const auto& [lvl, q] : by_load) {
+      if (lvl >= load[qi]) break;
+      mark_processor(result, q);
+    }
+
+    result.schedule.assign(task, chosen, start);
+    placed[ti] = true;
+    is_ready[ti] = false;
+    ready_s.erase(ready_s.find(inst.task(task).s));
+    by_load.erase({load[qi], chosen});
+    mem_used.erase(mem_used.find(memsize[qi]));
+    load[qi] = start + inst.task(task).p;
+    memsize[qi] += inst.task(task).s;
+    by_load.emplace(load[qi], chosen);
+    mem_used.insert(memsize[qi]);
+
+    // Dirty-only recomputation: exactly the ready tasks whose cached
+    // choice is the processor that just changed.
+    std::vector<TaskId> dirty = std::move(bucket[qi]);
+    bucket[qi].clear();
+    for (const TaskId t : dirty) {
+      const std::size_t di = static_cast<std::size_t>(t);
+      if (!placed[di] && cached_proc[di] == chosen) compute(t);
+    }
+
+    for (const TaskId v : dag.succs(task)) {
+      const std::size_t vi = static_cast<std::size_t>(v);
+      pred_finish[vi] =
+          std::max(pred_finish[vi], start + inst.task(task).p);
+      if (--missing_preds[vi] == 0) {
+        is_ready[vi] = true;
+        ready_s.insert(inst.task(v).s);
+        compute(v);
+      }
+    }
+  }
+  result.feasible = true;
+}
+
+}  // namespace
 
 std::int64_t rls_marked_bound(const Fraction& delta, int m) {
   if (!(Fraction(1) < delta)) {
@@ -12,23 +311,14 @@ std::int64_t rls_marked_bound(const Fraction& delta, int m) {
   return (Fraction(m) / (delta - Fraction(1))).floor();
 }
 
-RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
-                       PriorityPolicy tie_break) {
+RlsResult rls_schedule_reference(const Instance& inst, const Fraction& delta,
+                                 PriorityPolicy tie_break) {
   if (!(Fraction(0) < delta)) {
     throw std::invalid_argument("rls_schedule: Delta must be > 0");
   }
 
   RlsResult result;
-  result.lb = inst.storage_lower_bound_fraction();
-  result.cap = delta * result.lb;
-  result.marked.assign(static_cast<std::size_t>(inst.m()), false);
-  result.schedule = Schedule(inst);
-
-  const std::vector<TaskId> order = priority_order(inst, tie_break);
-  std::vector<std::size_t> rank(inst.n());
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    rank[static_cast<std::size_t>(order[pos])] = pos;
-  }
+  const RlsContext ctx = make_context(inst, delta, tie_break, result);
 
   std::vector<Time> load(static_cast<std::size_t>(inst.m()), 0);
   std::vector<Mem> memsize(static_cast<std::size_t>(inst.m()), 0);
@@ -71,18 +361,6 @@ RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
         return result;
       }
 
-      // Analysis channel: every strictly-less-loaded processor was skipped
-      // for memory -- mark it (Lemma 4 counts these).
-      for (ProcId q = 0; q < inst.m(); ++q) {
-        if (load[static_cast<std::size_t>(q)] <
-            load[static_cast<std::size_t>(chosen)]) {
-          if (!result.marked[static_cast<std::size_t>(q)]) {
-            result.marked[static_cast<std::size_t>(q)] = true;
-            ++result.marked_count;
-          }
-        }
-      }
-
       // Earliest start: after every predecessor completes and after the
       // processor's current load.
       Time ready_time = load[static_cast<std::size_t>(chosen)];
@@ -96,8 +374,8 @@ RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
       const bool improves =
           ready_time < best_ready ||
           (ready_time == best_ready && best_task != -1 &&
-           rank[static_cast<std::size_t>(i)] <
-               rank[static_cast<std::size_t>(best_task)]);
+           ctx.rank[static_cast<std::size_t>(i)] <
+               ctx.rank[static_cast<std::size_t>(best_task)]);
       if (best_task == -1 || improves) {
         best_task = i;
         best_proc = chosen;
@@ -109,6 +387,17 @@ RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
       // Cannot happen on an acyclic instance: some unscheduled task always
       // has all predecessors scheduled.
       throw std::logic_error("rls_schedule: no ready task on acyclic DAG");
+    }
+
+    // Analysis channel (Lemma 4): every processor strictly less loaded
+    // than the placed task's choice was skipped for memory. Marks are
+    // recorded only for the task actually selected this step, not for
+    // every candidate scanned.
+    for (ProcId q = 0; q < inst.m(); ++q) {
+      if (load[static_cast<std::size_t>(q)] <
+          load[static_cast<std::size_t>(best_proc)]) {
+        mark_processor(result, q);
+      }
     }
 
     result.schedule.assign(best_task, best_proc, best_ready);
@@ -124,7 +413,34 @@ RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
   }
 
   result.feasible = true;
+  check_marked_bound(result, delta, inst.m());
   return result;
+}
+
+RlsResult rls_schedule_fast(const Instance& inst, const Fraction& delta,
+                            PriorityPolicy tie_break) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("rls_schedule: Delta must be > 0");
+  }
+
+  RlsResult result;
+  const RlsContext ctx = make_context(inst, delta, tie_break, result);
+  if (inst.has_precedence()) {
+    solve_dag(inst, ctx, result);
+  } else {
+    solve_independent(inst, ctx, result);
+  }
+  if (result.feasible) check_marked_bound(result, delta, inst.m());
+  return result;
+}
+
+RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
+                       PriorityPolicy tie_break) {
+  const char* env = std::getenv("STORESCHED_RLS_REFERENCE");
+  if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return rls_schedule_reference(inst, delta, tie_break);
+  }
+  return rls_schedule_fast(inst, delta, tie_break);
 }
 
 }  // namespace storesched

@@ -16,9 +16,20 @@
 // of Delta lower or equal to 2").
 //
 // The analysis channel records which processors were ever "marked" --
-// skipped because their memory budget could not take a candidate task --
-// so Lemma 4 (at most floor(m/(Delta-1)) marked processors) is a checkable
-// runtime property.
+// skipped for memory while a strictly less-loaded choice existed, recorded
+// for the task actually placed each step -- so Lemma 4 (at most
+// floor(m/(Delta-1)) marked processors) is a checkable runtime property,
+// asserted after every run with Delta > 1.
+//
+// Two interchangeable engines produce bit-identical results:
+//   * rls_schedule_fast      -- incremental engine (default): ready tasks in
+//     segment trees, processors in a (load, id)-ordered walk, dirty-only
+//     recomputation after each placement, and the Delta * LB cap hoisted to
+//     one integer compare. ~O(n (log n + log m)) on independent tasks.
+//   * rls_schedule_reference -- the paper-faithful O(n^2 m) rescan with
+//     exact Fraction arithmetic in the inner loop (the equivalence oracle).
+// rls_schedule() routes to the fast engine unless the environment variable
+// STORESCHED_RLS_REFERENCE is set to a non-empty value other than "0".
 #pragma once
 
 #include <optional>
@@ -60,11 +71,26 @@ struct RlsResult {
 ///                   infeasible, and SolveResult-level consumers (see
 ///                   core/solver.hpp) report a guarantee-zone diagnostic
 ///                   instead of ratios.
-/// Faithful O(n^2 m) implementation of Algorithm 2: the ready set is
-/// re-scanned after every placement. Deterministic for a fixed tie-break
-/// policy.
+/// Deterministic for a fixed tie-break policy. Dispatches to
+/// rls_schedule_fast() unless STORESCHED_RLS_REFERENCE is set (see above).
 RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
                        PriorityPolicy tie_break = PriorityPolicy::kInputOrder);
+
+/// The incremental engine behind rls_schedule(): ~O(n (log n + log m)) on
+/// independent tasks, ready-set-bounded incremental updates on DAGs.
+/// Bit-identical to rls_schedule_reference() on every input (schedule,
+/// marks, feasibility verdict, stuck task).
+RlsResult rls_schedule_fast(
+    const Instance& inst, const Fraction& delta,
+    PriorityPolicy tie_break = PriorityPolicy::kInputOrder);
+
+/// The seed's faithful O(n^2 m) implementation of Algorithm 2: the ready
+/// set is re-scanned after every placement, with exact Fraction arithmetic
+/// in the innermost memory test. Kept as the equivalence oracle for the
+/// fast engine and for bench_hotpath's old-vs-new measurements.
+RlsResult rls_schedule_reference(
+    const Instance& inst, const Fraction& delta,
+    PriorityPolicy tie_break = PriorityPolicy::kInputOrder);
 
 /// Lemma 4's bound on the number of marked processors:
 /// floor(m / (Delta - 1)). Requires Delta > 1.

@@ -1,0 +1,97 @@
+// Internal data structures for the incremental RLS engine (rls.cpp only).
+//
+// The seed's Algorithm 2 rescans all tasks x all processors after every
+// placement -- O(n^2 m) with exact-Fraction normalization in the innermost
+// compare. The fast engine replaces that rescan with:
+//
+//   * StorageTree -- a segment tree over a fixed position space (task
+//     ranks or task ids) holding each *active* task's storage size, with
+//     per-node min and max. Two descent queries drive the engine:
+//       - leftmost_le(h): lowest position whose s fits headroom h
+//         (= the highest-priority task that fits a processor group);
+//       - leftmost_gt(h): lowest position whose s exceeds h
+//         (= the first task id that fits *no* processor, Algorithm 2's
+//         infeasibility witness).
+//   * a processor order (std::set keyed by (load, id)) walked in groups of
+//     equal load, so the "least-loaded processor with memory headroom"
+//     choice touches only the load levels that are actually memory-tight
+//     (Lemma 4 bounds how many can be).
+//
+// All queries are integer-only: the Delta * LB memory cap is hoisted once
+// per solve to floor(Delta * LB) (tasks are integral, so the exact rational
+// test memsize + s <= Delta * LB is equivalent), keeping results
+// bit-identical to the exact-arithmetic reference path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace storesched::rls_detail {
+
+inline constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+class StorageTree {
+ public:
+  explicit StorageTree(std::size_t n) {
+    leaves_ = 1;
+    while (leaves_ < n) leaves_ <<= 1;
+    min_.assign(2 * leaves_, kInactiveMin);
+    max_.assign(2 * leaves_, kInactiveMax);
+  }
+
+  /// Activates position pos with storage size s (s >= 0).
+  void set(std::size_t pos, Mem s) { update(pos, s, s); }
+
+  /// Deactivates position pos (it no longer matches any query).
+  void clear(std::size_t pos) { update(pos, kInactiveMin, kInactiveMax); }
+
+  /// Largest active storage size; kInactiveMax when nothing is active.
+  Mem max_active() const { return max_[1]; }
+
+  /// Lowest active position with s <= h, or kNoPos.
+  std::size_t leftmost_le(Mem h) const {
+    if (min_[1] > h) return kNoPos;
+    std::size_t node = 1;
+    while (node < leaves_) {
+      node <<= 1;
+      if (min_[node] > h) ++node;
+    }
+    return node - leaves_;
+  }
+
+  /// Lowest active position with s > h, or kNoPos.
+  std::size_t leftmost_gt(Mem h) const {
+    if (max_[1] <= h) return kNoPos;
+    std::size_t node = 1;
+    while (node < leaves_) {
+      node <<= 1;
+      if (max_[node] <= h) ++node;
+    }
+    return node - leaves_;
+  }
+
+  static constexpr Mem kInactiveMax = std::numeric_limits<Mem>::min();
+
+ private:
+  static constexpr Mem kInactiveMin = std::numeric_limits<Mem>::max();
+
+  void update(std::size_t pos, Mem mn, Mem mx) {
+    std::size_t node = pos + leaves_;
+    min_[node] = mn;
+    max_[node] = mx;
+    for (node >>= 1; node >= 1; node >>= 1) {
+      min_[node] = std::min(min_[2 * node], min_[2 * node + 1]);
+      max_[node] = std::max(max_[2 * node], max_[2 * node + 1]);
+    }
+  }
+
+  std::size_t leaves_ = 1;
+  std::vector<Mem> min_;
+  std::vector<Mem> max_;
+};
+
+}  // namespace storesched::rls_detail

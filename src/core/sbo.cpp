@@ -8,24 +8,38 @@ namespace storesched {
 
 namespace {
 
-/// Exact test  p / C < (num/den) * s / M  <=>  p * den * M < num * s * C,
-/// with all quantities non-negative and C, M > 0.
-bool below_threshold(Time p, Time c, Mem s, Mem m, const Fraction& delta) {
-  const Int128 lhs = static_cast<Int128>(p) * delta.den() * m;
-  const Int128 rhs = static_cast<Int128>(delta.num()) * s * c;
-  return lhs < rhs;
-}
+/// The exact per-task threshold test
+///   p / C < (num/den) * s / M   <=>   p * (den * M) < s * (num * C)
+/// with the two cross-multiplied Int128 constants hoisted out of the loop
+/// (library inputs stay within ~2^40, so the remaining per-task product
+/// cannot overflow 128 bits). With C = 0 (all p zero) every makespan is 0,
+/// so pi_2 is safe; with M = 0 (all s zero) pi_1 is safe.
+struct ThresholdRouter {
+  ThresholdRouter(const SboIngredients& ing, const Fraction& delta)
+      : lhs_scale(static_cast<Int128>(delta.den()) * ing.m_ingredient),
+        rhs_scale(static_cast<Int128>(delta.num()) * ing.c_ingredient),
+        c(ing.c_ingredient),
+        m(ing.m_ingredient) {}
+
+  bool use_pi2(const Task& t) const {
+    if (c == 0) return true;
+    if (m == 0) return false;
+    return t.p * lhs_scale < t.s * rhs_scale;
+  }
+
+  Int128 lhs_scale;
+  Int128 rhs_scale;
+  Time c;
+  Mem m;
+};
 
 }  // namespace
 
-SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
-                       const MakespanScheduler& alg1,
-                       const MakespanScheduler& alg2) {
+SboIngredients sbo_ingredients(const Instance& inst,
+                               const MakespanScheduler& alg1,
+                               const MakespanScheduler& alg2) {
   if (inst.has_precedence()) {
     throw std::logic_error("sbo_schedule: independent tasks only");
-  }
-  if (!(Fraction(0) < delta)) {
-    throw std::invalid_argument("sbo_schedule: Delta must be > 0");
   }
 
   // Ingredient schedules: alg1 on processing times, alg2 on storage sizes.
@@ -38,42 +52,68 @@ SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
     s_weights.push_back(t.s);
   }
 
-  SboResult result;
-  result.pi1 = Schedule(inst);
-  result.pi2 = Schedule(inst);
+  SboIngredients ing;
+  ing.pi1 = Schedule(inst);
+  ing.pi2 = Schedule(inst);
   const auto a1 = alg1.assign(p_weights, inst.m());
   const auto a2 = alg2.assign(s_weights, inst.m());
   for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
-    result.pi1.assign(i, a1[static_cast<std::size_t>(i)]);
-    result.pi2.assign(i, a2[static_cast<std::size_t>(i)]);
+    ing.pi1.assign(i, a1[static_cast<std::size_t>(i)]);
+    ing.pi2.assign(i, a2[static_cast<std::size_t>(i)]);
+  }
+  ing.c_ingredient = cmax(inst, ing.pi1);
+  ing.m_ingredient = mmax(inst, ing.pi2);
+  return ing;
+}
+
+Schedule sbo_route(const Instance& inst, const SboIngredients& ing,
+                   const Fraction& delta) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("sbo_schedule: Delta must be > 0");
+  }
+  const ThresholdRouter router(ing, delta);
+  Schedule sched(inst);
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    sched.assign(
+        i, router.use_pi2(inst.task(i)) ? ing.pi2.proc(i) : ing.pi1.proc(i));
+  }
+  return sched;
+}
+
+SboResult sbo_combine(const Instance& inst, const SboIngredients& ing,
+                      const Fraction& delta) {
+  if (!(Fraction(0) < delta)) {
+    throw std::invalid_argument("sbo_schedule: Delta must be > 0");
   }
 
-  result.c_ingredient = cmax(inst, result.pi1);
-  result.m_ingredient = mmax(inst, result.pi2);
+  SboResult result;
+  result.pi1 = ing.pi1;
+  result.pi2 = ing.pi2;
+  result.c_ingredient = ing.c_ingredient;
+  result.m_ingredient = ing.m_ingredient;
 
-  // Combine by the Delta threshold. With C = 0 (all p zero) every makespan
-  // is 0, so pi_2 is safe; with M = 0 (all s zero) pi_1 is safe.
+  const ThresholdRouter router(ing, delta);
   result.schedule = Schedule(inst);
   result.routed_to_pi2.assign(inst.n(), false);
   for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
-    bool use_pi2 = false;
-    if (result.c_ingredient == 0) {
-      use_pi2 = true;
-    } else if (result.m_ingredient == 0) {
-      use_pi2 = false;
-    } else {
-      use_pi2 = below_threshold(inst.task(i).p, result.c_ingredient,
-                                inst.task(i).s, result.m_ingredient, delta);
-    }
+    const bool use_pi2 = router.use_pi2(inst.task(i));
     result.routed_to_pi2[static_cast<std::size_t>(i)] = use_pi2;
-    result.schedule.assign(i, use_pi2 ? result.pi2.proc(i) : result.pi1.proc(i));
+    result.schedule.assign(i, use_pi2 ? ing.pi2.proc(i) : ing.pi1.proc(i));
   }
 
   // Per-run value bounds from Properties 1-2.
-  result.cmax_bound = (Fraction(1) + delta) * Fraction(result.c_ingredient);
+  result.cmax_bound = (Fraction(1) + delta) * Fraction(ing.c_ingredient);
   result.mmax_bound =
-      (Fraction(1) + Fraction(1) / delta) * Fraction(result.m_ingredient);
+      (Fraction(1) + Fraction(1) / delta) * Fraction(ing.m_ingredient);
   return result;
+}
+
+SboResult sbo_schedule(const Instance& inst, const Fraction& delta,
+                       const MakespanScheduler& alg1,
+                       const MakespanScheduler& alg2) {
+  // Precondition order matches the seed: the precedence check (inside
+  // sbo_ingredients) fires before the Delta check (inside sbo_combine).
+  return sbo_combine(inst, sbo_ingredients(inst, alg1, alg2), delta);
 }
 
 SboResult sbo_schedule(const Instance& inst, const Fraction& delta,

@@ -40,6 +40,37 @@ struct SboResult {
   Fraction mmax_bound;
 };
 
+/// The Delta-independent half of an SBO run: the two ingredient schedules
+/// and their reference values. Computing these dominates SBO's cost, so
+/// Delta sweeps (front generation) compute them once and re-route per
+/// Delta via sbo_combine().
+struct SboIngredients {
+  Schedule pi1;           ///< alg1 on processing times
+  Schedule pi2;           ///< alg2 on storage sizes
+  Time c_ingredient = 0;  ///< C = Cmax(pi1)
+  Mem m_ingredient = 0;   ///< M = Mmax(pi2)
+};
+
+/// Runs the two ingredient schedulers (the Delta-independent work).
+/// Requires an independent-task instance; throws std::logic_error
+/// otherwise.
+SboIngredients sbo_ingredients(const Instance& inst,
+                               const MakespanScheduler& alg1,
+                               const MakespanScheduler& alg2);
+
+/// Routes each task by the Delta threshold against precomputed
+/// ingredients. Requires Delta > 0. sbo_schedule(inst, delta, a1, a2) ==
+/// sbo_combine(inst, sbo_ingredients(inst, a1, a2), delta) bit-exactly.
+SboResult sbo_combine(const Instance& inst, const SboIngredients& ing,
+                      const Fraction& delta);
+
+/// The combined assignment alone -- identical to
+/// sbo_combine(...).schedule without copying the ingredient schedules and
+/// routing vector into a full SboResult. The Delta-sweep hot path
+/// (sbo_sweep / front) uses this.
+Schedule sbo_route(const Instance& inst, const SboIngredients& ing,
+                   const Fraction& delta);
+
 /// Runs SBO_Delta with the two given sub-schedulers. Requires an
 /// independent-task instance and Delta > 0; throws std::invalid_argument /
 /// std::logic_error otherwise.

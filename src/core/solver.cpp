@@ -1,13 +1,10 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
+#include "common/parallel.hpp"
 #include "core/constrained.hpp"
 #include "core/theory.hpp"
 #include "core/triobjective.hpp"
@@ -197,23 +194,35 @@ class SboSolver final : public Solver {
 
   SolveResult solve(const Instance& inst,
                     const SolveOptions& options) const override {
+    return result_from_run(inst, delta_,
+                           sbo_schedule(inst, delta_, *alg1_, *alg2_),
+                           options);
+  }
+
+  ApproxFront delta_sweep(const Instance& inst,
+                          std::span<const Fraction> grid) const override {
+    // sbo_sweep hoists the ingredient schedules out of the grid loop.
+    return sbo_sweep(inst, *alg1_, *alg2_, grid);
+  }
+
+ private:
+  SolveResult result_from_run(const Instance& inst, const Fraction& delta,
+                              SboResult run,
+                              const SolveOptions& options) const {
     SolveResult result;
-    result.delta = delta_;
-    SboResult run = sbo_schedule(inst, delta_, *alg1_, *alg2_);
+    result.delta = delta;
     result.feasible = true;
     result.objectives = objectives(inst, run.schedule);
     result.cmax_bound = run.cmax_bound;
     result.mmax_bound = run.mmax_bound;
-    const Capabilities caps = capabilities(inst.m());
-    result.cmax_ratio = caps.cmax_ratio;
-    result.mmax_ratio = caps.mmax_ratio;
+    result.cmax_ratio = sbo_cmax_ratio(delta, alg1_->ratio(inst.m()));
+    result.mmax_ratio = sbo_mmax_ratio(delta, alg2_->ratio(inst.m()));
     result.schedule = run.schedule;
     result.sbo = std::move(run);
     maybe_validate(inst, options, /*timed=*/false, result);
     return result;
   }
 
- private:
   std::string alg1_spec_;
   std::string alg2_spec_;
   std::unique_ptr<MakespanScheduler> alg1_;
@@ -286,6 +295,15 @@ class RlsSolver final : public Solver {
     return result;
   }
 
+  ApproxFront delta_sweep(const Instance& inst,
+                          std::span<const Fraction> grid) const override {
+    return sweep_delta_grid(inst, grid, [&](const Fraction& delta) {
+      RlsResult run = rls_schedule(inst, delta, tie_break_);
+      if (!run.feasible) return std::optional<Schedule>();
+      return std::optional<Schedule>(std::move(run.schedule));
+    });
+  }
+
  private:
   PriorityPolicy tie_break_;
   Fraction delta_;
@@ -328,6 +346,15 @@ class TriSolver final : public Solver {
     }
     maybe_validate(inst, options, /*timed=*/true, result);
     return result;
+  }
+
+  ApproxFront delta_sweep(const Instance& inst,
+                          std::span<const Fraction> grid) const override {
+    return sweep_delta_grid(inst, grid, [&](const Fraction& delta) {
+      TriObjectiveResult run = tri_objective_schedule(inst, delta);
+      if (!run.rls.feasible) return std::optional<Schedule>();
+      return std::optional<Schedule>(std::move(run.rls.schedule));
+    });
   }
 
  private:
@@ -551,6 +578,14 @@ std::unique_ptr<Solver> build_solver(const std::string& family,
 
 }  // namespace
 
+ApproxFront Solver::delta_sweep(const Instance&,
+                                std::span<const Fraction>) const {
+  const std::string canonical = name();
+  const std::string family = canonical.substr(0, canonical.find(':'));
+  throw std::invalid_argument("front: solver family \"" + family +
+                              "\" has no Delta knob");
+}
+
 std::unique_ptr<Solver> make_solver(const std::string& spec) {
   const std::size_t colon = spec.find(':');
   const std::string family =
@@ -585,46 +620,9 @@ std::vector<SolveResult> solve_batch(const Solver& solver,
                                      const SolveOptions& options,
                                      const BatchOptions& batch) {
   std::vector<SolveResult> results(instances.size());
-  if (instances.empty()) return results;
-
-  unsigned workers = batch.threads > 0
-                         ? static_cast<unsigned>(batch.threads)
-                         : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min<unsigned>(workers,
-                               static_cast<unsigned>(instances.size()));
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < instances.size(); ++i) {
-      results[i] = solver.solve(instances[i], options);
-    }
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-
-  const auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= instances.size()) return;
-      try {
-        results[i] = solver.solve(instances[i], options);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  parallel_for(instances.size(), batch.threads, [&](std::size_t i) {
+    results[i] = solver.solve(instances[i], options);
+  });
   return results;
 }
 
@@ -637,31 +635,9 @@ std::vector<SolveResult> solve_batch(const std::string& spec,
 
 ApproxFront front(const Instance& inst, const std::string& solver_spec,
                   std::span<const Fraction> grid) {
-  // Parse once to validate the spec and learn the family; per grid point,
-  // rebuild the solver with the delta overridden.
-  const std::unique_ptr<Solver> probe = make_solver(solver_spec);
-  const std::string canonical = probe->name();
-  const std::string family = canonical.substr(0, canonical.find(':'));
-  if (family != "sbo" && family != "rls" && family != "tri") {
-    throw std::invalid_argument("front: solver family \"" + family +
-                                "\" has no Delta knob");
-  }
-  // The canonical spec always ends in "delta=<value>"; strip and replace.
-  const std::size_t delta_pos = canonical.rfind(",delta=");
-  const std::string base = canonical.substr(0, delta_pos);
-
-  ApproxFront result;
-  std::vector<FrontPoint> raw;
-  for (const Fraction& delta : grid) {
-    const std::unique_ptr<Solver> solver =
-        make_solver(base + ",delta=" + delta.to_string());
-    SolveResult run = solver->solve(inst);
-    ++result.runs;
-    if (!run.feasible) continue;  // e.g. RLS outside the guarantee zone
-    raw.push_back({delta, std::move(run.schedule), run.objectives});
-  }
-  result.points = pareto_filter_front(std::move(raw));
-  return result;
+  // Delta-tunable solvers override delta_sweep() (SBO reusing its
+  // ingredient schedules across the grid); knob-less families throw there.
+  return make_solver(solver_spec)->delta_sweep(inst, grid);
 }
 
 }  // namespace storesched

@@ -128,6 +128,16 @@ class Solver {
   /// immutable after construction; solve() is const and thread-safe.
   virtual SolveResult solve(const Instance& inst,
                             const SolveOptions& options = {}) const = 0;
+
+  /// Runs this configuration once per Delta in `grid` and Pareto-filters
+  /// the feasible points (the Section 6 sweep behind front()). Grid points
+  /// fan out over the shared worker pool, and Delta-independent work is
+  /// hoisted out of the sweep where the family allows it (SBO computes its
+  /// ingredient schedules once and only re-routes per Delta). The default
+  /// implementation throws std::invalid_argument: only Delta-tunable
+  /// families (sbo, rls, tri) override it.
+  virtual ApproxFront delta_sweep(const Instance& inst,
+                                  std::span<const Fraction> grid) const;
 };
 
 /// Builds a solver from a spec string (grammar above). Throws
@@ -142,14 +152,16 @@ std::vector<std::string> registered_solver_specs();
 
 /// Tuning for the batch runner.
 struct BatchOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). Never
+  /// more workers than instances are spawned either way (a 2-instance
+  /// batch on a 32-core box uses 2 threads).
   int threads = 0;
 };
 
 /// Solves many instances with one solver configuration, fanning the work
-/// out over std::thread workers (solvers are stateless; results land at
-/// their instance's index). A worker exception cancels the remaining work
-/// and rethrows on the caller.
+/// out over the shared worker pool (common/parallel.hpp; solvers are
+/// stateless; results land at their instance's index). A worker exception
+/// cancels the remaining work and rethrows on the caller.
 std::vector<SolveResult> solve_batch(const Solver& solver,
                                      std::span<const Instance> instances,
                                      const SolveOptions& options = {},
@@ -164,9 +176,10 @@ std::vector<SolveResult> solve_batch(const std::string& spec,
 /// Generic Delta-sweep front generation (Section 6 made operational for
 /// *any* Delta-tunable solver): runs the spec'd solver once per grid value,
 /// collects the feasible (Cmax, Mmax) points and Pareto-filters them.
-/// Generalizes sbo_front()/rls_front(), which are now thin wrappers.
-/// Throws std::invalid_argument for families without a Delta knob
-/// (graham, constrained).
+/// Delegates to Solver::delta_sweep(), so grid points run in parallel and
+/// Delta-independent work (SBO's ingredient schedules) is computed once
+/// per sweep, not once per point. Throws std::invalid_argument for
+/// families without a Delta knob (graham, constrained).
 ApproxFront front(const Instance& inst, const std::string& solver_spec,
                   std::span<const Fraction> grid);
 

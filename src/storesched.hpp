@@ -26,6 +26,7 @@
 #include "common/instance.hpp"
 #include "common/io.hpp"
 #include "common/paper_instances.hpp"
+#include "common/parallel.hpp"
 #include "common/pareto.hpp"
 #include "common/rng.hpp"
 #include "common/schedule.hpp"

@@ -150,6 +150,22 @@ TEST(Rls, DeterministicForFixedInputs) {
   EXPECT_EQ(a.marked_count, b.marked_count);
 }
 
+TEST(Rls, ReferenceEngineAgreesWithDefault) {
+  // The seed's O(n^2 m) scan stays in-tree as the equivalence oracle;
+  // test_hotpath_equivalence.cpp does the randomized sweep, this is the
+  // smoke check that both entry points exist and agree.
+  Rng rng(48);
+  const Instance inst = generate_uniform({.n = 30, .m = 4}, rng);
+  for (const Fraction delta : {Fraction(3, 2), Fraction(5, 2)}) {
+    const RlsResult fast = rls_schedule(inst, delta);
+    const RlsResult ref = rls_schedule_reference(inst, delta);
+    EXPECT_EQ(fast.feasible, ref.feasible);
+    EXPECT_EQ(fast.schedule, ref.schedule);
+    EXPECT_EQ(fast.marked, ref.marked);
+    EXPECT_EQ(fast.stuck_task, ref.stuck_task);
+  }
+}
+
 TEST(Rls, TieBreakPolicyChangesOrderNotFeasibility) {
   Rng rng(47);
   const Instance inst = generate_uniform(

@@ -11,6 +11,7 @@
 #include "common/dag.hpp"
 #include "common/dag_generators.hpp"
 #include "common/generators.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/constrained.hpp"
 #include "core/theory.hpp"
@@ -385,6 +386,46 @@ TEST(SolverFront, GeneralizesRlsFront) {
   ASSERT_EQ(generic.points.size(), legacy.points.size());
   for (std::size_t i = 0; i < generic.points.size(); ++i) {
     EXPECT_EQ(generic.points[i].value, legacy.points[i].value);
+  }
+}
+
+TEST(SolverFront, TriSweepMatchesPerPointSolves) {
+  Rng rng(92);
+  GenParams gp;
+  gp.n = 16;
+  gp.m = 3;
+  const Instance inst = generate_uniform(gp, rng);
+  const auto grid = delta_grid(Fraction(9, 4), Fraction(6), 7);
+  const ApproxFront swept = front(inst, "tri:spt", grid);
+  std::vector<FrontPoint> serial;
+  for (const Fraction& delta : grid) {
+    SolveResult run =
+        make_solver("tri:spt,delta=" + delta.to_string())->solve(inst);
+    if (!run.feasible) continue;
+    serial.push_back({delta, run.schedule, run.objectives});
+  }
+  const auto filtered = pareto_filter_front(std::move(serial));
+  ASSERT_EQ(swept.points.size(), filtered.size());
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(swept.points[i].value, filtered[i].value);
+    EXPECT_EQ(swept.points[i].delta, filtered[i].delta);
+  }
+}
+
+TEST(SolveBatch, NeverSpawnsMoreWorkersThanInstances) {
+  // The clamp lives in parallel_worker_count (common/parallel.hpp), which
+  // every batch and sweep goes through: a 2-instance batch on any box uses
+  // at most 2 workers.
+  EXPECT_LE(parallel_worker_count(2, 0), 2u);
+  EXPECT_LE(parallel_worker_count(2, 32), 2u);
+  const std::vector<Instance> instances = batch_instances(2, 13);
+  const std::vector<SolveResult> wide =
+      solve_batch("rls:input,delta=3", instances, {}, {.threads = 32});
+  const std::vector<SolveResult> serial =
+      solve_batch("rls:input,delta=3", instances, {}, {.threads = 1});
+  ASSERT_EQ(wide.size(), 2u);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ(wide[i].schedule, serial[i].schedule);
   }
 }
 
