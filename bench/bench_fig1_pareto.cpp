@@ -31,8 +31,7 @@ int main(int argc, char** argv) {
             << scale.storage_scale << " (eps = 1/" << eps_inv << ")\n";
 
   const ParetoEnumResult r = enumerate_pareto(inst);
-  std::cout << "assignments enumerated (after symmetry breaking): "
-            << r.enumerated << "\n\n";
+  std::cout << "enumeration work (search nodes): " << r.enumerated << "\n\n";
 
   std::vector<std::vector<std::string>> rows;
   for (const auto& pt : r.front) {

@@ -1,6 +1,6 @@
 // HOTPATH -- old-vs-new wall time of the solve hot paths.
 //
-// Measures the two engine rewrites this repo's perf trajectory tracks:
+// Measures the engine rewrites this repo's perf trajectory tracks:
 //
 //   1. RLS: the incremental engine (rls_schedule_fast) against the seed's
 //      O(n^2 m) exact-Fraction rescan (rls_schedule_reference), at
@@ -9,6 +9,11 @@
 //      bit-identical schedules.
 //   2. Delta sweeps: sbo_front's ingredient-reuse sweep against the old
 //      one-full-SBO-run-per-grid-point loop.
+//   3. Exact Pareto enumeration: the dominance-pruned branch and bound
+//      (enumerate_pareto_bb) against the seed's brute-force walker at
+//      n = 16, m = 3 -- the largest cell the walker still finishes in CI
+//      time -- asserting bit-identical fronts. bench_pareto_exact is the
+//      full scaling study; this one point keeps the win gated.
 //
 // Methodology: median of k runs after one untimed warm-up run. Reference
 // cells whose estimated cost (n^2 m inner iterations) exceeds a budget are
@@ -36,6 +41,7 @@
 #include "common/generators.hpp"
 #include "common/rng.hpp"
 #include "core/front_approx.hpp"
+#include "core/pareto_bb.hpp"
 #include "core/rls.hpp"
 #include "core/sbo.hpp"
 
@@ -53,22 +59,10 @@ Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
   return generate_uniform(gp, rng);
 }
 
-/// Median wall time of k runs of fn(), after one untimed warm-up.
-template <typename Fn>
-double median_ms(int k, Fn&& fn) {
-  fn();  // warm-up
-  std::vector<double> times;
-  times.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) times.push_back(bench::time_ms(fn));
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
-}
-
-/// Extracts the headline speedup from a committed BENCH_hotpath.json: the
-/// value of the "speedup" field in the record named "headline". The format
-/// is the library's own flat BenchReport output, so a string scan is
-/// enough -- no JSON parser dependency.
-double baseline_speedup(const std::string& path) {
+/// Extracts one numeric field of the "headline" record from a committed
+/// BENCH_hotpath.json. The format is the library's own flat BenchReport
+/// output, so a string scan is enough -- no JSON parser dependency.
+double baseline_field(const std::string& path, const std::string& field) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read baseline " + path);
   std::stringstream buffer;
@@ -78,12 +72,14 @@ double baseline_speedup(const std::string& path) {
   if (record == std::string::npos) {
     throw std::runtime_error("baseline has no headline record: " + path);
   }
-  const std::size_t key = text.find("\"speedup\": ", record);
+  const std::string needle = "\"" + field + "\": ";
+  const std::size_t key = text.find(needle, record);
   const std::size_t line_end = text.find('}', record);
   if (key == std::string::npos || key > line_end) {
-    throw std::runtime_error("baseline headline has no speedup: " + path);
+    throw std::runtime_error("baseline headline has no " + field + ": " +
+                             path);
   }
-  return std::stod(text.substr(key + 11));
+  return std::stod(text.substr(key + needle.size()));
 }
 
 }  // namespace
@@ -132,7 +128,8 @@ int main(int argc, char** argv) {
 
     RlsResult fast_run;
     const double fast_ms =
-        median_ms(5, [&] { fast_run = rls_schedule_fast(inst, delta); });
+        bench::median_ms(5, /*warmup=*/true,
+                   [&] { fast_run = rls_schedule_fast(inst, delta); });
 
     const double ref_cost = static_cast<double>(cell.n) *
                             static_cast<double>(cell.n) *
@@ -195,8 +192,9 @@ int main(int argc, char** argv) {
   const int steps = 33;
 
   const double sweep_ms =
-      median_ms(3, [&] { sbo_front(sweep_inst, *alg, steps); });
-  const double loop_ms = median_ms(3, [&] {
+      bench::median_ms(3, /*warmup=*/true,
+                       [&] { sbo_front(sweep_inst, *alg, steps); });
+  const double loop_ms = bench::median_ms(3, /*warmup=*/true, [&] {
     // The old path: ingredients recomputed at every grid point, serially.
     for (const Fraction& d :
          delta_grid(Fraction(1, 8), Fraction(8), steps)) {
@@ -216,25 +214,70 @@ int main(int argc, char** argv) {
                            {"sweep_ms", sweep_ms},
                            {"speedup", sweep_speedup}});
 
+  // --- Exact Pareto enumeration: branch and bound vs brute force. --------
+  std::cout << "\nexact Pareto front (n = 16, m = 3, uniform):\n";
+  const Instance pareto_inst = uniform_instance(16, 3, 0x9a7e70);
+  ParetoEnumResult bb_run;
+  ParetoEnumResult walker_run;
+  const double bb_ms =
+      bench::median_ms(3, /*warmup=*/true,
+                       [&] { bb_run = enumerate_pareto_bb(pareto_inst); });
+  // One walker run: seconds-scale, and the gate has 5x headroom anyway.
+  const double walker_ms = bench::time_ms(
+      [&] { walker_run = enumerate_pareto_reference(pareto_inst); });
+  const bool pareto_identical = bb_run.front == walker_run.front;
+  const double pareto_speedup = bb_ms > 0 ? walker_ms / bb_ms : 0.0;
+  std::vector<std::vector<std::string>> pareto_rows;
+  pareto_rows.push_back({"brute-force walker (old)", fmt(walker_ms, 1), "1.00"});
+  pareto_rows.push_back({"branch and bound (new)", fmt(bb_ms, 2),
+                         fmt(pareto_speedup, 1)});
+  std::cout << markdown_table({"engine", "wall ms", "speedup"}, pareto_rows);
+  report.add("pareto_cell", {{"n", 16},
+                             {"m", 3},
+                             {"bb_ms", bb_ms},
+                             {"walker_ms", walker_ms},
+                             {"front_size", bb_run.front.size()},
+                             {"speedup", pareto_speedup},
+                             {"identical", pareto_identical}});
+  if (!pareto_identical) {
+    std::cout << "branch-and-bound and walker fronts disagree (bug!)\n";
+    return 1;
+  }
+
   // --- Headline + regression gate. ---------------------------------------
   std::cout << "\nheadline: RLS fast-vs-reference speedup at n=5000, m=256 = "
-            << fmt(headline_speedup, 1) << "x\n";
+            << fmt(headline_speedup, 1) << "x; pareto b&b speedup at n=16 = "
+            << fmt(pareto_speedup, 1) << "x\n";
   report.add("headline", {{"n", 5000},
                           {"m", 256},
                           {"speedup", headline_speedup},
-                          {"sweep_speedup", sweep_speedup}});
+                          {"sweep_speedup", sweep_speedup},
+                          {"pareto_speedup", pareto_speedup}});
   report.finish();
 
   double floor = 10.0;  // the acceptance bar stands on its own
+  // The pareto cell sits where the walker is still runnable, so the
+  // measured gap is modest (the real win is reach -- see
+  // bench_pareto_exact); 1.5 guards the "b&b never loses to brute
+  // force" invariant with headroom for CI noise.
+  double pareto_floor = 1.5;
   if (!baseline_path.empty()) {
-    const double base = baseline_speedup(baseline_path);
+    const double base = baseline_field(baseline_path, "speedup");
     floor = std::max(floor, 0.2 * base);
-    std::cout << "baseline speedup " << fmt(base, 1) << "x -> regression floor "
-              << fmt(floor, 1) << "x\n";
+    const double pareto_base = baseline_field(baseline_path, "pareto_speedup");
+    pareto_floor = std::max(pareto_floor, 0.2 * pareto_base);
+    std::cout << "baseline speedups " << fmt(base, 1) << "x / "
+              << fmt(pareto_base, 1) << "x (pareto) -> regression floors "
+              << fmt(floor, 1) << "x / " << fmt(pareto_floor, 1) << "x\n";
   }
   if (headline_speedup < floor) {
     std::cout << "HOTPATH REGRESSION: headline speedup " << fmt(headline_speedup, 1)
               << "x below floor " << fmt(floor, 1) << "x\n";
+    return 1;
+  }
+  if (pareto_speedup < pareto_floor) {
+    std::cout << "HOTPATH REGRESSION: pareto speedup " << fmt(pareto_speedup, 1)
+              << "x below floor " << fmt(pareto_floor, 1) << "x\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,166 @@
+// PARETO_EXACT -- scaling of exact Pareto enumeration: branch and bound
+// vs the seed's brute-force walker.
+//
+// The walker visits every symmetry-reduced assignment (m^n-ish), so exact
+// fronts stop near n = 14. The dominance-pruned branch and bound
+// (core/pareto_bb.hpp) is measured here up to n = 50 so the "exact fronts
+// at n ~ 30-50" claim is a number, not an assertion:
+//
+//   * cells where both engines run assert bit-identical fronts and report
+//     the speedup;
+//   * walker cells past its budget are reported as skipped, never
+//     silently;
+//   * branch-and-bound cells are bounded by a node budget; a cell that
+//     exceeds it is reported as "budget" (none do at the default sizes).
+//
+//   ./bench_pareto_exact --json     # writes BENCH_pareto_exact.json
+//
+// Gate: the n = 30 cell must enumerate its exact front within the node
+// budget (the acceptance bar of the branch-and-bound rewrite); the bench
+// exits non-zero otherwise. CI runs this in the bench-smoke job.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/generators.hpp"
+#include "common/rng.hpp"
+#include "core/pareto_bb.hpp"
+
+namespace {
+
+using namespace storesched;
+
+/// Two weight families spanning the difficulty range: uniform p/s (fronts
+/// collapse toward one balanced point past n ~ 20, so the search mostly
+/// proves optimality) and anti-correlated p/s (rich fronts, the
+/// adversarial regime where the search has to earn every point).
+Instance make_cell_instance(const std::string& family, std::size_t n, int m,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  GenParams gp;
+  gp.n = n;
+  gp.m = m;
+  gp.p_max = 100;
+  gp.s_max = 100;
+  if (family == "anticorr") return generate_anticorrelated(gp, 0.3, rng);
+  return generate_uniform(gp, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::banner;
+
+  banner("PARETO_EXACT",
+         "Exact Pareto enumeration: branch and bound vs brute force");
+  bench::BenchReport report("pareto_exact", argc, argv);
+
+  // Walker cells whose symmetry-reduced assignment count (~m^(n-1))
+  // exceeds this are skipped; 3^13 * n ~ 2e7 leaf-work units is seconds.
+  constexpr double kWalkerBudget = 5e7;
+  // Node budget per branch-and-bound cell, sized so an over-budget cell
+  // fails in a few seconds and the bench stays CI-sized. The gate below
+  // requires the anticorr n = 30, m = 3 cell to finish inside it.
+  constexpr std::uint64_t kNodeBudget = 80'000'000;
+
+  struct Cell {
+    const char* family;
+    std::size_t n;
+    int m;
+  };
+  const std::vector<Cell> cells{
+      {"uniform", 14, 3},  {"uniform", 30, 4},  {"uniform", 50, 4},
+      {"anticorr", 10, 3}, {"anticorr", 12, 3}, {"anticorr", 14, 3},
+      {"anticorr", 20, 3}, {"anticorr", 30, 3}, {"anticorr", 40, 2},
+      {"anticorr", 50, 2}, {"anticorr", 40, 3}, {"anticorr", 50, 3},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  bool gate_ok = false;
+  std::uint64_t seed = 0xbb;
+  for (const Cell& cell : cells) {
+    const Instance inst = make_cell_instance(cell.family, cell.n, cell.m, seed++);
+
+    ParetoEnumResult bb;
+    bool bb_exceeded = false;
+    double bb_ms = 0.0;
+    try {
+      // No warm-up: enumeration runs are seconds-scale and warm-up
+      // effects are noise next to an extra full run.
+      bb_ms = bench::median_ms(cell.n <= 20 ? 3 : 1, /*warmup=*/false,
+                               [&] { bb = enumerate_pareto_bb(inst, kNodeBudget); });
+    } catch (const std::runtime_error&) {
+      bb_exceeded = true;
+    }
+
+    double walker_cost = static_cast<double>(cell.n);
+    for (std::size_t i = 1; i < cell.n; ++i) {
+      walker_cost = std::min(walker_cost * cell.m, 1e18);
+    }
+    const bool walker_skipped = walker_cost > kWalkerBudget || bb_exceeded;
+    double walker_ms = 0.0;
+    bool identical = true;
+    if (!walker_skipped) {
+      ParetoEnumResult ref;
+      walker_ms = bench::median_ms(
+          1, /*warmup=*/false,
+          [&] { ref = enumerate_pareto_reference(inst); });
+      identical = bb.front == ref.front;
+    }
+    const double speedup =
+        walker_skipped || bb_ms <= 0 ? 0.0 : walker_ms / bb_ms;
+    if (std::string(cell.family) == "anticorr" && cell.n == 30 &&
+        cell.m == 3 && !bb_exceeded) {
+      gate_ok = true;
+    }
+
+    rows.push_back(
+        {cell.family, std::to_string(cell.n), std::to_string(cell.m),
+         bb_exceeded ? "budget" : fmt(bb_ms, 2),
+         bb_exceeded ? "n/a" : std::to_string(bb.enumerated),
+         bb_exceeded ? "n/a" : std::to_string(bb.front.size()),
+         walker_skipped ? "skipped" : fmt(walker_ms, 1),
+         walker_skipped ? "n/a" : fmt(speedup, 1),
+         walker_skipped ? "n/a" : (identical ? "yes" : "NO (bug!)")});
+    report.add("pareto_cell",
+               {{"family", cell.family},
+                {"n", cell.n},
+                {"m", cell.m},
+                {"bb_ms", bb_ms},
+                {"bb_nodes", bb_exceeded ? std::int64_t{-1}
+                                         : static_cast<std::int64_t>(bb.enumerated)},
+                {"bb_exceeded", bb_exceeded},
+                {"front_size", bb_exceeded ? std::size_t{0} : bb.front.size()},
+                {"walker_ms", walker_ms},
+                {"walker_skipped", walker_skipped},
+                {"speedup", speedup},
+                {"identical", walker_skipped ? bench::JsonValue("n/a")
+                                             : bench::JsonValue(identical)}});
+    if (!identical) {
+      std::cout << "branch-and-bound and walker fronts disagree at n="
+                << cell.n << " m=" << cell.m << " (bug!)\n";
+      return 1;
+    }
+  }
+  std::cout << markdown_table({"family", "n", "m", "b&b ms", "nodes",
+                               "front", "walker ms", "speedup", "identical"},
+                              rows);
+
+  report.add("headline", {{"gate_family", "anticorr"},
+                          {"gate_n", 30},
+                          {"gate_m", 3},
+                          {"gate_ok", gate_ok},
+                          {"node_budget", static_cast<std::int64_t>(kNodeBudget)}});
+  report.finish();
+
+  if (!gate_ok) {
+    std::cout << "PARETO_EXACT GATE: the anticorr n=30, m=3 exact front did "
+                 "not finish inside the node budget\n";
+    return 1;
+  }
+  std::cout << "\ngate: anticorr n=30, m=3 exact front enumerated within "
+               "budget\n";
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   ./bench_foo --json=out.json   # writes to the given path
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -151,6 +152,20 @@ double time_ms(Fn&& fn) {
   fn();
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Median wall time of k timed runs of fn(). `warmup` adds one untimed
+/// run first -- use it for cache-sensitive micro-cells; skip it for
+/// seconds-scale runs where an extra execution costs more than the noise
+/// it removes.
+template <typename Fn>
+double median_ms(int k, bool warmup, Fn&& fn) {
+  if (warmup) fn();
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) times.push_back(time_ms(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
 }
 
 }  // namespace storesched::bench

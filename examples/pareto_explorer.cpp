@@ -34,7 +34,7 @@ int main(int argc, char**) {
 
   const ParetoEnumResult front = enumerate_pareto(inst);
   std::cout << "exact Pareto front (" << front.front.size() << " points, "
-            << front.enumerated << " assignments enumerated):\n\n";
+            << front.enumerated << " search nodes):\n\n";
   for (const auto& pt : front.front) {
     const Schedule timed = serialize_assignment(
         inst, front.schedules[static_cast<std::size_t>(pt.tag)]);

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Fails on broken intra-repo links in docs/*.md and README.md.
+#
+# Checks two link shapes:
+#   * markdown links  [text](target)  -- target resolved relative to the
+#     file's directory, fragment (#...) stripped; http(s)/mailto skipped;
+#   * path:line anchors in backticks, e.g. `src/core/sbo.cpp:17` -- the
+#     path must exist and have at least that many lines.
+#
+# Run from anywhere inside the repo: paths are resolved against the root.
+# Guards against vacuous passes: every globbed file must exist and be
+# readable, and the checked-link count is reported.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+files=(README.md docs/*.md)
+
+# Line count that also counts a final line without a trailing newline.
+count_lines() { grep -c '' "$1"; }
+
+for f in "${files[@]}"; do
+  if [ ! -r "$f" ]; then
+    echo "cannot read $f (missing file or unmatched glob)"
+    status=1
+    continue
+  fi
+  dir=$(dirname "$f")
+
+  # Markdown links.
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${link%%#*}
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "broken link in $f: ($link)"
+      status=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
+
+  # `path:line` anchors.
+  while IFS= read -r anchor; do
+    path=${anchor%%:*}
+    line=${anchor##*:}
+    checked=$((checked + 1))
+    if [ ! -f "$path" ]; then
+      echo "broken anchor in $f: $anchor (no such file)"
+      status=1
+    elif [ "$(count_lines "$path")" -lt "$line" ]; then
+      echo "broken anchor in $f: $anchor (file has fewer lines)"
+      status=1
+    fi
+  done < <(grep -o '`[A-Za-z0-9_./-]*\.\(cpp\|hpp\|md\|sh\|json\|yml\):[0-9]*`' "$f" | tr -d '`')
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "no intra-repo links found to check -- refusing a vacuous pass"
+  status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "docs links OK (${#files[@]} files, $checked links/anchors checked)"
+fi
+exit "$status"

@@ -1,0 +1,17 @@
+// Environment-variable toggles shared by the A/B engine dispatchers.
+#pragma once
+
+#include <cstdlib>
+
+namespace storesched {
+
+/// True iff the environment variable `name` is set to a non-empty value
+/// other than "0" -- the convention shared by STORESCHED_RLS_REFERENCE
+/// and STORESCHED_PARETO_REFERENCE (rls_schedule / enumerate_pareto).
+inline bool env_flag_set(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace storesched

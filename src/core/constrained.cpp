@@ -1,5 +1,6 @@
 #include "core/constrained.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/theory.hpp"
@@ -61,50 +62,84 @@ ConstrainedResult solve_constrained_sbo(const Instance& inst, Mem capacity,
 
   ConstrainedResult result;
 
-  // Probe one SBO run; keep it if it is capacity-feasible and improves.
-  const auto probe = [&](const Fraction& delta) {
-    const SboResult run = sbo_schedule(inst, delta, alg1, alg2);
-    const ObjectivePoint point = objectives(inst, run.schedule);
-    if (point.mmax > capacity) return;
-    if (!result.feasible || point.cmax < result.objectives.cmax) {
-      result.feasible = true;
-      result.objectives = point;
-      result.schedule = run.schedule;
-      result.delta_used = delta;
-      result.cmax_ratio = (Fraction(1) + delta) * alg1.ratio(inst.m());
-    }
-  };
+  // The Delta-independent ingredient schedules are computed once; every
+  // probe below is only the O(n) threshold re-route (mirroring front()'s
+  // ingredient-reuse sweep).
+  const SboIngredients ing = sbo_ingredients(inst, alg1, alg2);
+  const Time c_ing = ing.c_ingredient;
+  const Mem m_ing = ing.m_ingredient;
 
   // The memory-oriented ingredient alone is the most capacity-friendly
-  // schedule we can produce; if even it busts the budget, give up (tiny
-  // Delta routes everything to pi_2 anyway).
-  std::vector<std::int64_t> s_weights;
-  s_weights.reserve(inst.n());
-  for (const Task& t : inst.tasks()) s_weights.push_back(t.s);
-  const auto pi2_assign = alg2.assign(s_weights, inst.m());
-  const std::int64_t pi2_mmax =
-      partition_value(s_weights, pi2_assign, inst.m());
-  if (pi2_mmax > capacity) {
+  // schedule SBO can produce (every Delta above the last routing
+  // breakpoint yields exactly pi_2); if even it busts the budget, give up.
+  if (m_ing > capacity) {
     result.delta_used = Fraction(0);
     return result;
   }
 
+  // Probe one routing; keep it if it is capacity-feasible and improves.
+  // Returns the feasibility verdict so the binary search below can steer.
+  const auto probe = [&](const Fraction& delta) {
+    const Schedule sched = sbo_route(inst, ing, delta);
+    const ObjectivePoint point = objectives(inst, sched);
+    if (point.mmax > capacity) return false;
+    if (!result.feasible || point.cmax < result.objectives.cmax) {
+      result.feasible = true;
+      result.objectives = point;
+      result.schedule = sched;
+      result.delta_used = delta;
+      result.cmax_ratio = (Fraction(1) + delta) * alg1.ratio(inst.m());
+    }
+    return true;
+  };
+
   // Guaranteed parameter: (1 + 1/Delta) M <= capacity, i.e.
   // Delta >= M / (capacity - M); only available when capacity > M.
-  if (pi2_mmax > 0 && capacity > pi2_mmax) {
-    probe(Fraction(pi2_mmax, capacity - pi2_mmax));
+  if (m_ing > 0 && capacity > m_ing) {
+    probe(Fraction(m_ing, capacity - m_ing));
   }
-  // Paper's refinement: walk the parameter geometrically in both
-  // directions from the guaranteed point, keeping the best feasible run.
-  Fraction delta = result.feasible ? result.delta_used : Fraction(1);
-  Fraction up = delta;
-  Fraction down = delta;
-  for (int step = 0; step < refinements; ++step) {
-    up = up * Fraction(2);
-    down = down * Fraction(1, 2);
-    probe(up);
-    probe(down);
+
+  // The routing changes only at the task breakpoints
+  // Delta_i = p_i M / (s_i C) (task i joins pi_2 for Delta > Delta_i), so
+  // the paper's "binary search on the parameter" runs over the sorted
+  // distinct breakpoints. Measured Mmax-feasibility is NOT monotone in
+  // Delta -- the search is the paper's heuristic refinement ("tentatively
+  // improved"), bracketed by the guaranteed parameter above and the
+  // always-feasible pi_2 end below. `refinements` caps the probe count.
+  std::vector<Fraction> cuts;
+  if (c_ing > 0 && m_ing > 0) {
+    cuts.reserve(inst.n());
+    for (const Task& t : inst.tasks()) {
+      if (t.p <= 0 || t.s <= 0) continue;
+      cuts.push_back(Fraction(t.p) * Fraction(m_ing) /
+                     (Fraction(t.s) * Fraction(c_ing)));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
   }
+  // Any value above every breakpoint routes exactly pi_2 (computed
+  // regardless of `refinements`: the fallback below relies on it).
+  const Fraction past_last =
+      cuts.empty() ? Fraction(1) : cuts.back() + Fraction(1);
+  if (refinements > 0 && !cuts.empty()) {
+    cuts.push_back(past_last);
+    int lo = 0;
+    int hi = static_cast<int>(cuts.size()) - 1;
+    int probes_left = refinements;
+    while (lo <= hi && probes_left-- > 0) {
+      const int mid = lo + (hi - lo) / 2;
+      if (probe(cuts[static_cast<std::size_t>(mid)])) {
+        hi = mid - 1;  // feasible: push toward fewer pi_2 routings
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+
+  // Fallback: past the last breakpoint the routing is exactly pi_2, whose
+  // Mmax is m_ing <= capacity, so a feasible schedule always exists here
+  // (the seed's geometric walk could miss it, e.g. at capacity == M).
+  if (!result.feasible) probe(past_last);
   return result;
 }
 

@@ -45,10 +45,16 @@ ConstrainedResult solve_constrained_rls(const Instance& inst, Mem capacity,
                                         PriorityPolicy tie_break =
                                             PriorityPolicy::kInputOrder);
 
-/// Independent-task constrained solve via SBO: starts from the guaranteed
-/// parameter Delta* = M/(capacity - M) and probes `refinements` geometric
-/// steps of the parameter on both sides, keeping the feasible schedule with
-/// the best measured makespan (the paper's binary-search improvement).
+/// Independent-task constrained solve via SBO: the ingredient schedules
+/// are computed once (sbo_ingredients), then every probe is only the O(n)
+/// threshold re-route (sbo_route), the same hoisting front() uses for its
+/// Delta sweep. Starts from the guaranteed parameter
+/// Delta* = M/(capacity - M), then runs the paper's "binary search on the
+/// parameter" over the sorted distinct routing breakpoints
+/// Delta_i = p_i M / (s_i C) -- the only values where the routing (and
+/// hence the schedule) changes -- keeping the feasible schedule with the
+/// best measured makespan. `refinements` caps the number of probes;
+/// whenever Mmax(pi_2) <= capacity a feasible schedule is returned.
 /// `alg1`/`alg2` are the SBO ingredient schedulers.
 ConstrainedResult solve_constrained_sbo(const Instance& inst, Mem capacity,
                                         const MakespanScheduler& alg1,

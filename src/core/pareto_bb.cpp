@@ -1,0 +1,662 @@
+#include "core/pareto_bb.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "algorithms/partition.hpp"
+#include "common/fraction.hpp"
+#include "common/rng.hpp"
+
+namespace storesched {
+
+bool FrontStaircase::dominated(Time c, Mem m) const {
+  // Among entries with cmax <= c the last has the smallest mmax, so it
+  // alone decides.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), c,
+      [](Time value, const Entry& e) { return value < e.cmax; });
+  if (it == entries_.begin()) return false;
+  return std::prev(it)->mmax <= m;
+}
+
+bool FrontStaircase::can_improve(Time lb_c, Mem lb_m,
+                                 std::int64_t lb_cm) const {
+  // First entry with cmax > lb_c; everything before it is summarized by
+  // its predecessor (smallest mmax among entries with cmax <= lb_c).
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), lb_c,
+      [](Time value, const Entry& e) { return value < e.cmax; });
+  if (it == entries_.begin()) return true;  // nothing dominates c = lb_c yet
+  // Walk the staircase gaps: within [gap start, next entry's cmax) the
+  // dominance ceiling is prev->mmax, and the best c in the gap is the
+  // largest one (it minimizes the m forced by the combined bound).
+  for (auto prev = std::prev(it);; prev = it++) {
+    if (it == entries_.end()) {
+      // Unbounded gap: c free, so only the per-objective floor binds.
+      return lb_m < prev->mmax;
+    }
+    const Time c_best = it->cmax - 1;  // objectives are integral
+    const Mem m_need = std::max<std::int64_t>(lb_m, lb_cm - c_best);
+    if (m_need < prev->mmax) return true;
+  }
+}
+
+bool FrontStaircase::offer(Time c, Mem m, std::span<const ProcId> assign) {
+  if (dominated(c, m)) return false;
+  // Entries the new point dominates are the leading run of the cmax >= c
+  // suffix (mmax decreases along the staircase).
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), c,
+      [](const Entry& e, Time value) { return e.cmax < value; });
+  auto last = first;
+  while (last != entries_.end() && last->mmax >= m) ++last;
+  Entry entry{c, m, std::vector<ProcId>(assign.begin(), assign.end())};
+  if (first != last) {
+    *first = std::move(entry);
+    entries_.erase(first + 1, last);
+  } else {
+    entries_.insert(first, std::move(entry));
+  }
+  return true;
+}
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Lower bound on the final max subset sum when `remaining` weight can
+/// still be spread arbitrarily (fractionally) over the current loads:
+/// max(current max load, ceil of the water-fill level). `scratch` is
+/// caller-provided to keep the per-node cost allocation-free.
+std::int64_t fluid_bound(std::vector<std::int64_t>& scratch,
+                         std::span<const std::int64_t> load,
+                         std::int64_t remaining) {
+  scratch.assign(load.begin(), load.end());
+  std::sort(scratch.begin(), scratch.end());
+  const std::int64_t maxl = scratch.back();
+  if (remaining == 0) return maxl;
+  const int m = static_cast<int>(scratch.size());
+  std::int64_t prefix = 0;
+  for (int k = 1; k <= m; ++k) {
+    prefix += scratch[static_cast<std::size_t>(k - 1)];
+    // Water level over the k smallest loads: (remaining + prefix) / k.
+    // Valid at the first k where the level stays below the (k+1)-th load;
+    // the level >= k-th load holds there automatically.
+    const std::int64_t num = remaining + prefix;
+    if (k == m ||
+        num <= scratch[static_cast<std::size_t>(k)] * static_cast<std::int64_t>(k)) {
+      return std::max(maxl, ceil_div(num, k));
+    }
+  }
+  return maxl;  // unreachable: k == m always returns
+}
+
+struct BbState {
+  const Instance* inst = nullptr;
+  std::uint64_t limit = 0;
+  std::uint64_t nodes = 0;
+  std::size_t n = 0;
+  int m = 0;
+  std::int64_t c_star = 0;  // exact single-objective optima: global floors
+  std::int64_t m_star = 0;
+  std::int64_t c_ref = 1;  // axis normalizers for the child ordering
+  std::int64_t m_ref = 1;  // (the optima when known, Graham bounds else)
+
+  std::vector<TaskId> order;       // tasks by non-increasing normalized weight
+  std::vector<Time> suffix_max_p;  // over order[idx..], size n + 1
+  std::vector<Mem> suffix_max_s;
+  std::vector<std::int64_t> suffix_max_ps;  // max p + s over the suffix
+  std::vector<Time> suffix_sum_p;
+  std::vector<Mem> suffix_sum_s;
+
+  std::vector<std::int64_t> load;
+  std::vector<std::int64_t> mem;
+  std::vector<std::int64_t> combined;  // load[q] + mem[q], rebuilt per node
+  std::vector<std::int64_t> scratch_p;
+  std::vector<std::int64_t> scratch_s;
+  std::vector<std::int64_t> scratch_c;
+  std::vector<ProcId> assign;                 // by task id
+  std::vector<std::vector<ProcId>> children;  // per-depth candidate buffers
+  FrontStaircase front;
+
+  void dfs(std::size_t idx, int used) {
+    if (++nodes > limit) {
+      throw std::runtime_error("enumerate_pareto: enumeration limit hit");
+    }
+    if (idx == n) {
+      std::int64_t c = 0;
+      std::int64_t mm = 0;
+      for (int q = 0; q < used; ++q) {
+        c = std::max(c, load[static_cast<std::size_t>(q)]);
+        mm = std::max(mm, mem[static_cast<std::size_t>(q)]);
+      }
+      front.offer(c, mm, assign);
+      return;
+    }
+    // Per-objective lower bounds on any completion: the water-fill level of
+    // the remaining weight, the largest single remaining weight (it lands
+    // on some processor whole), and the exact single-objective optimum (a
+    // global floor; without it the search burns its budget re-proving
+    // "no schedule beats C*" in every subtree).
+    const std::int64_t lb_c = std::max(
+        {fluid_bound(scratch_p, load, suffix_sum_p[idx]), suffix_max_p[idx],
+         c_star});
+    const std::int64_t lb_m = std::max(
+        {fluid_bound(scratch_s, mem, suffix_sum_s[idx]), suffix_max_s[idx],
+         m_star});
+    // Combined bound: cmax + mmax >= max_q(load_q + mem_q) for every
+    // schedule, so the water-fill of the combined weight lower-bounds the
+    // objective sum. This is the bound with teeth on anti-correlated
+    // instances, where p + s is flat and neither axis bounds well alone.
+    for (int q = 0; q < m; ++q) {
+      combined[static_cast<std::size_t>(q)] =
+          load[static_cast<std::size_t>(q)] + mem[static_cast<std::size_t>(q)];
+    }
+    const std::int64_t lb_cm =
+        std::max(fluid_bound(scratch_c, combined,
+                             suffix_sum_p[idx] + suffix_sum_s[idx]),
+                 suffix_max_ps[idx]);
+    if (!front.can_improve(lb_c, lb_m, lb_cm)) return;
+
+    const Task& t = inst->task(order[idx]);
+    // Symmetry breaking: any non-empty processor or the first empty one.
+    const int reach = std::min(used + 1, m);
+    std::vector<ProcId>& cand = children[idx];
+    cand.resize(static_cast<std::size_t>(reach));
+    std::iota(cand.begin(), cand.end(), ProcId{0});
+    // Smallest normalized peak first: DFS dives toward doubly-balanced
+    // completions, which is what hands the dominance prune incumbents
+    // early (single-point fronts are found, not stumbled upon).
+    const auto child_key = [&](ProcId q) {
+      return std::max(
+          static_cast<Int128>(load[static_cast<std::size_t>(q)] + t.p) *
+              m_ref,
+          static_cast<Int128>(mem[static_cast<std::size_t>(q)] + t.s) *
+              c_ref);
+    };
+    std::sort(cand.begin(), cand.end(), [&](ProcId a, ProcId b) {
+      const Int128 ka = child_key(a);
+      const Int128 kb = child_key(b);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+    for (const ProcId q : cand) {
+      assign[static_cast<std::size_t>(order[idx])] = q;
+      load[static_cast<std::size_t>(q)] += t.p;
+      mem[static_cast<std::size_t>(q)] += t.s;
+      dfs(idx + 1, std::max(used, q + 1));
+      load[static_cast<std::size_t>(q)] -= t.p;
+      mem[static_cast<std::size_t>(q)] -= t.s;
+    }
+    assign[static_cast<std::size_t>(order[idx])] = kNoProc;
+  }
+};
+
+/// Offers one assignment's (Cmax, Mmax) point to the staircase.
+void offer_assignment(const Instance& inst, std::span<const ProcId> assign,
+                      FrontStaircase& front) {
+  std::vector<std::int64_t> load(static_cast<std::size_t>(inst.m()), 0);
+  std::vector<std::int64_t> mem(static_cast<std::size_t>(inst.m()), 0);
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    const Task& t = inst.task(static_cast<TaskId>(i));
+    load[static_cast<std::size_t>(assign[i])] += t.p;
+    mem[static_cast<std::size_t>(assign[i])] += t.s;
+  }
+  std::int64_t c = 0;
+  std::int64_t mm = 0;
+  for (int q = 0; q < inst.m(); ++q) {
+    c = std::max(c, load[static_cast<std::size_t>(q)]);
+    mm = std::max(mm, mem[static_cast<std::size_t>(q)]);
+  }
+  front.offer(c, mm, assign);
+}
+
+/// Seeds the incumbent staircase with cheap achievable points: LPT and
+/// MULTIFIT on each axis, and SBO threshold routings between each
+/// time/storage ingredient pair across a geometric Delta ladder (the
+/// Algorithm 1 recipe with C = Cmax(pi1), M = Mmax(pi2)). Every seed is a
+/// real assignment, so seeding cannot perturb the exact front -- it only
+/// lets the search prune earlier.
+void seed_front(const Instance& inst, FrontStaircase& front) {
+  std::vector<std::int64_t> wp;
+  std::vector<std::int64_t> ws;
+  wp.reserve(inst.n());
+  ws.reserve(inst.n());
+  for (const Task& t : inst.tasks()) {
+    wp.push_back(t.p);
+    ws.push_back(t.s);
+  }
+
+  const auto ladder = [&](const std::vector<ProcId>& pi1,
+                          const std::vector<ProcId>& pi2) {
+    const std::int64_t c_ing = partition_value(wp, pi1, inst.m());
+    const std::int64_t m_ing = partition_value(ws, pi2, inst.m());
+    if (c_ing == 0 || m_ing == 0) return;  // one objective is degenerate
+    // Delta ladder 2^-5 .. 2^5; route task i to pi2 iff p_i/C < Delta
+    // s_i/M, cross-multiplied in 128 bits exactly as core/sbo.cpp does.
+    std::vector<ProcId> mixed(inst.n());
+    for (int exp = -5; exp <= 5; ++exp) {
+      const std::int64_t num = exp >= 0 ? (std::int64_t{1} << exp) : 1;
+      const std::int64_t den = exp < 0 ? (std::int64_t{1} << -exp) : 1;
+      const Int128 lhs_scale = static_cast<Int128>(den) * m_ing;
+      const Int128 rhs_scale = static_cast<Int128>(num) * c_ing;
+      for (std::size_t i = 0; i < inst.n(); ++i) {
+        const Task& t = inst.task(static_cast<TaskId>(i));
+        mixed[i] = t.p * lhs_scale < t.s * rhs_scale ? pi2[i] : pi1[i];
+      }
+      offer_assignment(inst, mixed, front);
+    }
+  };
+
+  const std::vector<ProcId> lpt_p = lpt_assign(wp, inst.m());
+  const std::vector<ProcId> lpt_s = lpt_assign(ws, inst.m());
+  const std::vector<ProcId> mf_p = multifit_assign(wp, inst.m());
+  const std::vector<ProcId> mf_s = multifit_assign(ws, inst.m());
+  for (const auto* a : {&lpt_p, &lpt_s, &mf_p, &mf_s}) {
+    offer_assignment(inst, *a, front);
+  }
+  ladder(lpt_p, lpt_s);
+  ladder(mf_p, mf_s);
+}
+
+/// Greedy peak-reduction polish: repeatedly lower the normalized peak
+/// max(load * m_ref, mem * c_ref) of the worst processor with single-task
+/// moves, then pairwise swaps, until neither helps. Loads/mems are kept
+/// incrementally consistent with `assign`.
+void polish_assignment(const Instance& inst, std::int64_t c_ref,
+                       std::int64_t m_ref, std::vector<ProcId>& assign,
+                       std::vector<std::int64_t>& load,
+                       std::vector<std::int64_t>& mem) {
+  const int m = inst.m();
+  const auto n = static_cast<TaskId>(inst.n());
+  const auto pkey = [&](std::int64_t l, std::int64_t mm) {
+    return std::max(static_cast<Int128>(l) * m_ref,
+                    static_cast<Int128>(mm) * c_ref);
+  };
+  const auto at = [](std::vector<std::int64_t>& v, ProcId q) -> std::int64_t& {
+    return v[static_cast<std::size_t>(q)];
+  };
+  for (int pass = 0; pass < 64; ++pass) {
+    ProcId peak = 0;
+    for (ProcId q = 1; q < m; ++q) {
+      if (pkey(at(load, q), at(mem, q)) > pkey(at(load, peak), at(mem, peak))) {
+        peak = q;
+      }
+    }
+    const Int128 peak_key = pkey(at(load, peak), at(mem, peak));
+    bool improved = false;
+    for (TaskId i = 0; i < n && !improved; ++i) {
+      if (assign[static_cast<std::size_t>(i)] != peak) continue;
+      const Task& ti = inst.task(i);
+      for (ProcId q = 0; q < m && !improved; ++q) {
+        if (q == peak) continue;
+        // Move i off the peak processor...
+        if (std::max(pkey(at(load, peak) - ti.p, at(mem, peak) - ti.s),
+                     pkey(at(load, q) + ti.p, at(mem, q) + ti.s)) < peak_key) {
+          assign[static_cast<std::size_t>(i)] = q;
+          at(load, peak) -= ti.p;
+          at(mem, peak) -= ti.s;
+          at(load, q) += ti.p;
+          at(mem, q) += ti.s;
+          improved = true;
+        }
+      }
+      if (improved) break;
+      // ...or swap it with a task elsewhere.
+      for (TaskId j = 0; j < n && !improved; ++j) {
+        const ProcId q = assign[static_cast<std::size_t>(j)];
+        if (q == peak) continue;
+        const Task& tj = inst.task(j);
+        if (std::max(pkey(at(load, peak) - ti.p + tj.p,
+                          at(mem, peak) - ti.s + tj.s),
+                     pkey(at(load, q) + ti.p - tj.p,
+                          at(mem, q) + ti.s - tj.s)) < peak_key) {
+          assign[static_cast<std::size_t>(i)] = q;
+          assign[static_cast<std::size_t>(j)] = peak;
+          at(load, peak) += tj.p - ti.p;
+          at(mem, peak) += tj.s - ti.s;
+          at(load, q) += ti.p - tj.p;
+          at(mem, q) += ti.s - tj.s;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) return;
+  }
+}
+
+/// Randomized greedy dives: deterministic-seeded constructions in shuffled
+/// task order, each placing the task on the processor with the smallest
+/// resulting normalized peak max((load+p) * m_ref, (mem+s) * c_ref), then
+/// polished by peak-reduction moves/swaps. On instances whose front
+/// collapses to the doubly-balanced point (C*, M*) the tree search
+/// degenerates into blind satisfiability -- millions of nodes hunting one
+/// assignment -- while a few hundred polished dives usually hit it
+/// outright and let the root prune instead.
+void dive_seeds(const Instance& inst, std::int64_t c_ref, std::int64_t m_ref,
+                int max_trials, FrontStaircase& front) {
+  const std::size_t n = inst.n();
+  const int m = inst.m();
+  if (n == 0 || c_ref <= 0 || m_ref <= 0 || max_trials <= 0) return;
+  Rng rng(0xd1fe5eed);  // fixed seed: enumeration stays deterministic
+  std::vector<TaskId> order(n);
+  std::iota(order.begin(), order.end(), TaskId{0});
+  std::vector<std::int64_t> load(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> mem(static_cast<std::size_t>(m));
+  std::vector<ProcId> assign(n);
+
+  const auto rebuild_loads = [&] {
+    std::fill(load.begin(), load.end(), 0);
+    std::fill(mem.begin(), mem.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Task& t = inst.task(static_cast<TaskId>(i));
+      load[static_cast<std::size_t>(assign[i])] += t.p;
+      mem[static_cast<std::size_t>(assign[i])] += t.s;
+    }
+  };
+  const auto peak_key = [&] {
+    Int128 worst = 0;
+    for (int q = 0; q < m; ++q) {
+      worst = std::max(
+          worst,
+          std::max(static_cast<Int128>(load[static_cast<std::size_t>(q)]) *
+                       m_ref,
+                   static_cast<Int128>(mem[static_cast<std::size_t>(q)]) *
+                       c_ref));
+    }
+    return worst;
+  };
+
+  std::vector<ProcId> best_assign;
+  Int128 best_key = 0;
+  // The doubly-balanced target: every normalized peak at its floor.
+  const Int128 ideal = static_cast<Int128>(c_ref) * m_ref;
+  for (int trial = 0; trial < max_trials && !(best_key <= ideal && trial > 0);
+       ++trial) {
+    if (trial < 64 || trial % 64 == 0 || best_assign.empty()) {
+      // Fresh randomized greedy dive (Fisher-Yates order, least normalized
+      // peak placement).
+      for (std::size_t i = n; i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(order[i - 1], order[j]);
+      }
+      std::fill(load.begin(), load.end(), 0);
+      std::fill(mem.begin(), mem.end(), 0);
+      for (const TaskId id : order) {
+        const Task& t = inst.task(id);
+        ProcId best = 0;
+        Int128 key_best = 0;
+        for (ProcId q = 0; q < m; ++q) {
+          const Int128 key = std::max(
+              static_cast<Int128>(load[static_cast<std::size_t>(q)] + t.p) *
+                  m_ref,
+              static_cast<Int128>(mem[static_cast<std::size_t>(q)] + t.s) *
+                  c_ref);
+          if (q == 0 || key < key_best) {
+            best = q;
+            key_best = key;
+          }
+        }
+        assign[static_cast<std::size_t>(id)] = best;
+        load[static_cast<std::size_t>(best)] += t.p;
+        mem[static_cast<std::size_t>(best)] += t.s;
+      }
+    } else {
+      // Iterated local search: kick the best assignment (a handful of
+      // random reassignments) and re-polish from there.
+      assign = best_assign;
+      const int kicks = 2 + static_cast<int>(rng.uniform_int(
+                                0, 2 + static_cast<std::int64_t>(n) / 8));
+      for (int k = 0; k < kicks; ++k) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        assign[i] = static_cast<ProcId>(rng.uniform_int(0, m - 1));
+      }
+      rebuild_loads();
+    }
+    polish_assignment(inst, c_ref, m_ref, assign, load, mem);
+    offer_assignment(inst, assign, front);
+    const Int128 key = peak_key();
+    if (best_assign.empty() || key < best_key) {
+      best_assign = assign;
+      best_key = key;
+    }
+  }
+}
+
+/// Capped satisfiability probe for the ideal point: a DFS over the given
+/// task order with *hard* per-processor caps cmax <= c_cap and
+/// mmax <= m_cap (plus water-fill pruning against both), stopping at the
+/// first complete assignment. When the ideal point (C*, M*) is achievable
+/// -- the common case once n/m is large and weights are i.i.d. -- this
+/// resolves in thousands of nodes where the Pareto search would hunt for
+/// millions, and the found point then prunes the main search at the root.
+/// Returns true iff an assignment was found (and offered).
+class CappedProbe {
+ public:
+  CappedProbe(const Instance& inst, std::span<const TaskId> order,
+              std::int64_t c_cap, std::int64_t m_cap, std::uint64_t limit)
+      : inst_(&inst),
+        order_(order),
+        c_cap_(c_cap),
+        m_cap_(m_cap),
+        limit_(limit),
+        n_(inst.n()),
+        m_(inst.m()),
+        load_(static_cast<std::size_t>(inst.m()), 0),
+        mem_(static_cast<std::size_t>(inst.m()), 0),
+        assign_(inst.n(), kNoProc),
+        children_(inst.n()) {
+    suffix_sum_p_.assign(n_ + 1, 0);
+    suffix_sum_s_.assign(n_ + 1, 0);
+    for (std::size_t idx = n_; idx-- > 0;) {
+      const Task& t = inst.task(order_[idx]);
+      suffix_sum_p_[idx] = suffix_sum_p_[idx + 1] + t.p;
+      suffix_sum_s_[idx] = suffix_sum_s_[idx + 1] + t.s;
+    }
+  }
+
+  bool run(FrontStaircase& front) {
+    if (!dfs(0, 0)) return false;
+    offer_assignment(*inst_, assign_, front);
+    return true;
+  }
+
+ private:
+  bool dfs(std::size_t idx, int used) {
+    if (++nodes_ > limit_) return false;  // budget exhausted: give up
+    if (idx == n_) return true;
+    // Even spread of the remaining weight must fit under both caps.
+    if (fluid_bound(scratch_, load_, suffix_sum_p_[idx]) > c_cap_) return false;
+    if (fluid_bound(scratch_, mem_, suffix_sum_s_[idx]) > m_cap_) return false;
+    const Task& t = inst_->task(order_[idx]);
+    const int reach = std::min(used + 1, m_);
+    // Most-slack-first child order (same balanced steering as the main
+    // search; first-fit order stalls on exactly the instances that need
+    // this probe).
+    std::vector<ProcId>& cand = children_[idx];
+    cand.resize(static_cast<std::size_t>(reach));
+    std::iota(cand.begin(), cand.end(), ProcId{0});
+    const auto key = [&](ProcId q) {
+      const auto uq = static_cast<std::size_t>(q);
+      return std::max(static_cast<Int128>(load_[uq] + t.p) * m_cap_,
+                      static_cast<Int128>(mem_[uq] + t.s) * c_cap_);
+    };
+    std::sort(cand.begin(), cand.end(), [&](ProcId a, ProcId b) {
+      const Int128 ka = key(a);
+      const Int128 kb = key(b);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+    for (const ProcId q : cand) {
+      const auto uq = static_cast<std::size_t>(q);
+      if (load_[uq] + t.p > c_cap_ || mem_[uq] + t.s > m_cap_) continue;
+      assign_[static_cast<std::size_t>(order_[idx])] = q;
+      load_[uq] += t.p;
+      mem_[uq] += t.s;
+      if (dfs(idx + 1, std::max(used, q + 1))) return true;
+      load_[uq] -= t.p;
+      mem_[uq] -= t.s;
+    }
+    assign_[static_cast<std::size_t>(order_[idx])] = kNoProc;
+    return false;
+  }
+
+  const Instance* inst_;
+  std::span<const TaskId> order_;
+  std::int64_t c_cap_;
+  std::int64_t m_cap_;
+  std::uint64_t limit_;
+  std::uint64_t nodes_ = 0;
+  std::size_t n_;
+  int m_;
+  std::vector<std::int64_t> load_;
+  std::vector<std::int64_t> mem_;
+  std::vector<std::int64_t> suffix_sum_p_;
+  std::vector<std::int64_t> suffix_sum_s_;
+  std::vector<std::int64_t> scratch_;
+  std::vector<ProcId> assign_;
+  std::vector<std::vector<ProcId>> children_;  // per-depth candidate buffers
+};
+
+/// Exact single-objective optimum of one axis via the specialized
+/// branch and bound, offered to the staircase as a seed. Returns the
+/// optimal value as a sound global floor for that axis, or 0 (no floor)
+/// if the sub-search blows its node budget -- a heuristic value must
+/// never be used as a floor, it could over-prune true Pareto points.
+std::int64_t exact_axis_optimum(const Instance& inst,
+                                std::span<const std::int64_t> weights,
+                                std::uint64_t node_limit,
+                                FrontStaircase& front) {
+  try {
+    const std::vector<ProcId> best =
+        exact_bnb_assign(weights, inst.m(), node_limit);
+    offer_assignment(inst, best, front);
+    return partition_value(weights, best, inst.m());
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+ParetoEnumResult enumerate_pareto_bb(const Instance& inst,
+                                     std::uint64_t limit) {
+  if (inst.has_precedence()) {
+    throw std::logic_error("enumerate_pareto: independent tasks only");
+  }
+  if (inst.n() == 0) {
+    ParetoEnumResult empty;
+    empty.front.push_back({{0, 0}, 0});
+    empty.schedules.emplace_back(inst);
+    empty.enumerated = 1;
+    return empty;
+  }
+
+  BbState st;
+  st.inst = &inst;
+  st.limit = limit;
+  st.n = inst.n();
+  st.m = inst.m();
+  st.order.resize(st.n);
+  std::iota(st.order.begin(), st.order.end(), TaskId{0});
+  // Non-increasing *normalized* weight max(p_i / total_p, s_i / total_s),
+  // cross-multiplied exactly: heavy decisions on either axis happen high
+  // in the tree. (Raw p + s would be flat on anti-correlated instances.)
+  const Int128 total_p = inst.total_work();
+  const Int128 total_s = inst.total_storage();
+  const auto norm_key = [&](TaskId id) {
+    const Task& t = inst.task(id);
+    return static_cast<Int128>(t.p) * total_s +
+           static_cast<Int128>(t.s) * total_p;
+  };
+  std::sort(st.order.begin(), st.order.end(), [&](TaskId a, TaskId b) {
+    const Int128 ka = norm_key(a);
+    const Int128 kb = norm_key(b);
+    if (ka != kb) return ka > kb;
+    const Task& ta = inst.task(a);
+    const Task& tb = inst.task(b);
+    if (ta.p + ta.s != tb.p + tb.s) return ta.p + ta.s > tb.p + tb.s;
+    return a < b;
+  });
+  st.suffix_max_p.assign(st.n + 1, 0);
+  st.suffix_max_s.assign(st.n + 1, 0);
+  st.suffix_max_ps.assign(st.n + 1, 0);
+  st.suffix_sum_p.assign(st.n + 1, 0);
+  st.suffix_sum_s.assign(st.n + 1, 0);
+  for (std::size_t idx = st.n; idx-- > 0;) {
+    const Task& t = inst.task(st.order[idx]);
+    st.suffix_max_p[idx] = std::max(st.suffix_max_p[idx + 1], t.p);
+    st.suffix_max_s[idx] = std::max(st.suffix_max_s[idx + 1], t.s);
+    st.suffix_max_ps[idx] = std::max(st.suffix_max_ps[idx + 1], t.p + t.s);
+    st.suffix_sum_p[idx] = st.suffix_sum_p[idx + 1] + t.p;
+    st.suffix_sum_s[idx] = st.suffix_sum_s[idx + 1] + t.s;
+  }
+  st.load.assign(static_cast<std::size_t>(st.m), 0);
+  st.mem.assign(static_cast<std::size_t>(st.m), 0);
+  st.combined.assign(static_cast<std::size_t>(st.m), 0);
+  st.assign.assign(st.n, kNoProc);
+  st.children.resize(st.n);
+
+  seed_front(inst, st.front);
+  {
+    // Exact per-axis optima: seeds for the staircase ends and sound global
+    // floors for the per-objective bounds. Their specialized sub-searches
+    // get a slice of the node budget; on the (rare) blowout the floor is
+    // simply dropped, so exactness is never at stake.
+    std::vector<std::int64_t> wp;
+    std::vector<std::int64_t> ws;
+    wp.reserve(st.n);
+    ws.reserve(st.n);
+    for (const Task& t : inst.tasks()) {
+      wp.push_back(t.p);
+      ws.push_back(t.s);
+    }
+    const std::uint64_t axis_limit = std::max<std::uint64_t>(limit / 8, 1);
+    st.c_star = exact_axis_optimum(inst, wp, axis_limit, st.front);
+    st.m_star = exact_axis_optimum(inst, ws, axis_limit, st.front);
+    st.c_ref = std::max<std::int64_t>(
+        st.c_star > 0 ? st.c_star : partition_lower_bound(wp, st.m), 1);
+    st.m_ref = std::max<std::int64_t>(
+        st.m_star > 0 ? st.m_star : partition_lower_bound(ws, st.m), 1);
+    // Hunt the ideal point (C*, M*): cheap randomized dives first, then
+    // the capped satisfiability probe if they missed. If either lands it,
+    // the whole enumeration collapses to a root prune.
+    if (!st.front.dominated(st.c_ref, st.m_ref)) {
+      // Trial count scales with the caller's limit so a small limit means
+      // a genuinely small total work bound, not just a small main search.
+      const int trials = static_cast<int>(
+          std::min<std::uint64_t>(2048, limit / 256));
+      dive_seeds(inst, st.c_ref, st.m_ref, trials, st.front);
+    }
+    if (!st.front.dominated(st.c_ref, st.m_ref)) {
+      // The probe gets a generous slice: its capped nodes are much
+      // cheaper than main-search nodes and a hit erases the whole tree.
+      CappedProbe probe(inst, st.order, st.c_ref, st.m_ref,
+                        std::max<std::uint64_t>(limit / 2, 1));
+      probe.run(st.front);
+    }
+  }
+  st.dfs(0, 0);
+
+  ParetoEnumResult result;
+  result.enumerated = st.nodes;
+  for (const FrontStaircase::Entry& entry : st.front.entries()) {
+    Schedule sched(inst);
+    for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+      sched.assign(i, entry.assign[static_cast<std::size_t>(i)]);
+    }
+    result.front.push_back({{entry.cmax, entry.mmax},
+                            static_cast<std::int64_t>(result.schedules.size())});
+    result.schedules.push_back(std::move(sched));
+  }
+  return result;
+}
+
+}  // namespace storesched

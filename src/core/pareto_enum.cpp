@@ -3,6 +3,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/env.hpp"
+#include "core/pareto_bb.hpp"
+
 namespace storesched {
 
 Time ParetoEnumResult::optimal_cmax() const {
@@ -84,7 +87,8 @@ struct EnumState {
 
 }  // namespace
 
-ParetoEnumResult enumerate_pareto(const Instance& inst, std::uint64_t limit) {
+ParetoEnumResult enumerate_pareto_reference(const Instance& inst,
+                                            std::uint64_t limit) {
   if (inst.has_precedence()) {
     throw std::logic_error("enumerate_pareto: independent tasks only");
   }
@@ -117,6 +121,13 @@ ParetoEnumResult enumerate_pareto(const Instance& inst, std::uint64_t limit) {
     result.schedules.push_back(std::move(sched));
   }
   return result;
+}
+
+ParetoEnumResult enumerate_pareto(const Instance& inst, std::uint64_t limit) {
+  if (env_flag_set("STORESCHED_PARETO_REFERENCE")) {
+    return enumerate_pareto_reference(inst, limit);
+  }
+  return enumerate_pareto_bb(inst, limit);
 }
 
 }  // namespace storesched

@@ -1,7 +1,6 @@
 #include "core/rls.hpp"
 
 #include <cassert>
-#include <cstdlib>
 #include <limits>
 #include <queue>
 #include <set>
@@ -9,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/env.hpp"
 #include "core/rls_engine.hpp"
 
 namespace storesched {
@@ -436,8 +436,7 @@ RlsResult rls_schedule_fast(const Instance& inst, const Fraction& delta,
 
 RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
                        PriorityPolicy tie_break) {
-  const char* env = std::getenv("STORESCHED_RLS_REFERENCE");
-  if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+  if (env_flag_set("STORESCHED_RLS_REFERENCE")) {
     return rls_schedule_reference(inst, delta, tie_break);
   }
   return rls_schedule_fast(inst, delta, tie_break);

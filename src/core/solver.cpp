@@ -470,6 +470,52 @@ class ConstrainedSboSolver final : public Solver {
   int refinements_;
 };
 
+class ParetoExactSolver final : public Solver {
+ public:
+  explicit ParetoExactSolver(std::uint64_t limit) : limit_(limit) {}
+
+  std::string name() const override {
+    if (limit_ == kParetoEnumDefaultLimit) return "pareto:exact";
+    return "pareto:exact,limit=" + std::to_string(limit_);
+  }
+
+  Capabilities capabilities(int) const override {
+    Capabilities caps;
+    caps.exact_front = true;
+    // Ratios describe the *returned schedule* (the Cmax-optimal front
+    // end), so only cmax_ratio is claimed. The Mmax-optimal end -- and
+    // every other exact trade-off -- rides in SolveResult::pareto; no
+    // single returned schedule can promise both.
+    caps.cmax_ratio = Fraction(1);
+    return caps;
+  }
+
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options) const override {
+    // enumerate_pareto honors STORESCHED_PARETO_REFERENCE (A/B debugging)
+    // and throws std::logic_error on precedence instances, honoring
+    // supports_precedence = false.
+    ParetoEnumResult run = enumerate_pareto(inst, limit_);
+    SolveResult result;
+    result.feasible = true;
+    // The returned schedule is the Cmax-optimal front end; the whole
+    // trade-off menu rides in the extras channel.
+    const auto& best = run.front.front();
+    result.schedule = run.schedules[static_cast<std::size_t>(best.tag)];
+    result.objectives = best.value;
+    result.cmax_ratio = Fraction(1);  // the representative is Cmax-optimal
+    result.diagnostics = "exact front with " +
+                         std::to_string(run.front.size()) +
+                         " points in SolveResult::pareto";
+    result.pareto = std::move(run);
+    maybe_validate(inst, options, /*timed=*/false, result);
+    return result;
+  }
+
+ private:
+  std::uint64_t limit_;
+};
+
 class GrahamSolver final : public Solver {
  public:
   explicit GrahamSolver(PriorityPolicy policy) : policy_(policy) {}
@@ -573,6 +619,27 @@ std::unique_ptr<Solver> build_solver(const std::string& family,
     reject_leftovers(body, family);
     return std::make_unique<GrahamSolver>(policy);
   }
+  if (family == "pareto") {
+    if (!body.positional.empty() && body.positional != "exact") {
+      bad_spec("pareto solver only supports exact enumeration, got",
+               body.positional);
+    }
+    std::uint64_t limit = kParetoEnumDefaultLimit;
+    if (const std::optional<std::string> raw = take_option(body, "limit")) {
+      if (raw->empty() ||
+          raw->find_first_not_of("0123456789") != std::string::npos) {
+        bad_spec("malformed limit value", *raw);
+      }
+      try {
+        limit = std::stoull(*raw);
+      } catch (const std::exception&) {
+        bad_spec("malformed limit value", *raw);
+      }
+      if (limit == 0) bad_spec("malformed limit value", *raw);
+    }
+    reject_leftovers(body, family);
+    return std::make_unique<ParetoExactSolver>(limit);
+  }
   bad_spec("unknown solver family", family);
 }
 
@@ -612,6 +679,7 @@ std::vector<std::string> registered_solver_specs() {
   for (const PolicyName& entry : kPolicies) {
     specs.push_back("graham:" + std::string(entry.spec));
   }
+  specs.push_back("pareto:exact");
   return specs;
 }
 

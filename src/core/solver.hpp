@@ -25,6 +25,12 @@
 //                               capacity comes from SolveOptions
 //   graham:POLICY               memory-blind Graham list scheduling
 //                               (baseline; ratio 2 - 1/m, no memory bound)
+//   pareto:exact[,limit=N]      exact Pareto enumeration (branch and
+//                               bound, core/pareto_bb.hpp); the whole
+//                               front rides in SolveResult::pareto and the
+//                               returned schedule is the Cmax-optimal
+//                               front end. N caps the search nodes
+//                               (default kParetoEnumDefaultLimit).
 //
 // F is an exact fraction ("3", "3/2"). Every solver prints a canonical
 // spec from name() that round-trips through make_solver(); the canonical
@@ -52,6 +58,7 @@
 #include "common/instance.hpp"
 #include "common/schedule.hpp"
 #include "core/front_approx.hpp"
+#include "core/pareto_enum.hpp"
 #include "core/rls.hpp"
 #include "core/sbo.hpp"
 
@@ -65,6 +72,8 @@ struct Capabilities {
   bool timed_output = false;         ///< schedules carry start times
   bool produces_sum_ci = false;      ///< reports the third objective
   bool needs_capacity = false;       ///< requires SolveOptions::memory_capacity
+  bool exact_front = false;          ///< solve() fills SolveResult::pareto
+                                     ///< with the exact Pareto front
   std::optional<Fraction> cmax_ratio;
   std::optional<Fraction> mmax_ratio;
   std::optional<Fraction> sumci_ratio;
@@ -109,6 +118,9 @@ struct SolveResult {
   /// Extras channels: the producing algorithm's full native result.
   std::optional<SboResult> sbo;
   std::optional<RlsResult> rls;
+  /// pareto:exact only: the whole exact front with one representative
+  /// schedule per point (Capabilities::exact_front announces it).
+  std::optional<ParetoEnumResult> pareto;
 };
 
 /// Polymorphic solver: one configured algorithm from the paper.

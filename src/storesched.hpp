@@ -20,6 +20,7 @@
 // Value types, exact rationals, instances, schedules.
 #include "common/dag.hpp"
 #include "common/dag_generators.hpp"
+#include "common/env.hpp"
 #include "common/fraction.hpp"
 #include "common/gantt.hpp"
 #include "common/generators.hpp"
@@ -44,6 +45,7 @@
 #include "core/constrained.hpp"
 #include "core/front_approx.hpp"
 #include "core/impossibility.hpp"
+#include "core/pareto_bb.hpp"
 #include "core/pareto_enum.hpp"
 #include "core/rls.hpp"
 #include "core/sbo.hpp"

@@ -132,6 +132,26 @@ TEST(ConstrainedSbo, RefinementNeverHurts) {
   }
 }
 
+TEST(ConstrainedSbo, FeasibleAtExactPi2CapacityEvenWithoutRefinements) {
+  // capacity == Mmax(pi_2): the guaranteed parameter needs capacity > M
+  // and is unavailable, but routing past the last breakpoint is exactly
+  // pi_2 and must be found by the fallback probe -- with refinements = 0
+  // too (regression: the fallback once probed Delta = 1 instead of a
+  // value past the last breakpoint and came back infeasible).
+  const Instance inst =
+      make_instance({20, 19, 2, 1}, {8, 0, 8, 9}, 2);
+  const LptSchedulerAlg lpt;
+  const auto s = testing::s_weights(inst);
+  const Mem pi2_mmax =
+      partition_value(s, lpt.assign(s, inst.m()), inst.m());
+  for (const int refinements : {0, 16}) {
+    const ConstrainedResult r =
+        solve_constrained_sbo(inst, pi2_mmax, lpt, lpt, refinements);
+    ASSERT_TRUE(r.feasible) << "refinements=" << refinements;
+    EXPECT_LE(r.objectives.mmax, pi2_mmax);
+  }
+}
+
 TEST(ConstrainedSbo, LooseCapacityApproachesPureMakespan) {
   // With practically infinite capacity the best probed schedule should get
   // close to the single-objective LPT makespan.

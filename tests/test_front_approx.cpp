@@ -104,6 +104,27 @@ TEST(Coverage, ExactFrontCoveredWithinGuarantee) {
   }
 }
 
+TEST(Coverage, LargerExactFrontsViaBranchAndBound) {
+  // Exact fronts at n = 20 (far past the brute-force walker's reach; the
+  // dispatcher routes to the branch-and-bound engine) sharpen the coverage
+  // study at sizes the approximate front is actually used at.
+  Rng rng(115);
+  const LptSchedulerAlg lpt;
+  for (int trial = 0; trial < 3; ++trial) {
+    GenParams gp;
+    gp.n = 20;
+    gp.m = 3;
+    const Instance inst = generate_uniform(gp, rng);
+    const auto exact = enumerate_pareto(inst);
+    ASSERT_TRUE(is_valid_front(exact.front));
+    const ApproxFront approx = sbo_front(inst, lpt, 17);
+    const double eps = coverage_epsilon(approx.points, exact.front);
+    EXPECT_GE(eps, 1.0);
+    const double cap = 2.0 * lpt.ratio(3).to_double() + 1e-9;
+    EXPECT_LE(eps, cap) << "trial " << trial;
+  }
+}
+
 TEST(Coverage, IdenticalFrontsHaveEpsilonOne) {
   std::vector<FrontPoint> front;
   FrontPoint a;
