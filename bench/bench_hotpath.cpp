@@ -22,6 +22,7 @@
 //
 //   ./bench_hotpath --json                 # writes BENCH_hotpath.json
 //   ./bench_hotpath --json --baseline=BENCH_hotpath.json
+//   ./bench_hotpath --json --baseline=BENCH_hotpath.json --trend
 //
 // With --baseline the bench exits non-zero if the measured headline
 // speedup falls below max(10, 0.2 * baseline speedup) -- the CI
@@ -29,6 +30,14 @@
 // the baseline; 0.2 absorbs cross-machine variance while still catching
 // any algorithmic regression (an accidental O(n^2) reintroduction drops
 // the ratio by orders of magnitude, not percent).
+//
+// --trend (requires --baseline) is the fast CI mode: the slow reference
+// engines are NOT re-measured -- their wall times are read from the
+// committed baseline and divided by freshly measured fast-engine times, so
+// the same speedup floors gate in seconds instead of minutes. The
+// fast-vs-reference identicality assertions cannot run in this mode (the
+// test suite's equivalence oracles cover that); a baseline must therefore
+// come from a full run -- never commit a --trend JSON as the baseline.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -59,27 +68,52 @@ Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
   return generate_uniform(gp, rng);
 }
 
-/// Extracts one numeric field of the "headline" record from a committed
-/// BENCH_hotpath.json. The format is the library's own flat BenchReport
-/// output, so a string scan is enough -- no JSON parser dependency.
-double baseline_field(const std::string& path, const std::string& field) {
+/// Loads a committed BENCH_hotpath.json whole. The format is the library's
+/// own flat BenchReport output (one record object per line), so string
+/// scans below are enough -- no JSON parser dependency.
+std::string read_baseline(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read baseline " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const std::size_t record = text.find("\"name\": \"headline\"");
-  if (record == std::string::npos) {
-    throw std::runtime_error("baseline has no headline record: " + path);
+  return buffer.str();
+}
+
+/// The text of the first record named `name` that contains every needle
+/// (needles pin record keys, e.g. "\"n\": 5000,"). Throws when absent.
+std::string baseline_record(const std::string& text, const std::string& name,
+                            const std::vector<std::string>& needles) {
+  std::size_t at = 0;
+  const std::string name_needle = "\"name\": \"" + name + "\"";
+  while ((at = text.find(name_needle, at)) != std::string::npos) {
+    const std::size_t end = text.find('}', at);
+    if (end == std::string::npos) break;
+    const std::string record = text.substr(at, end - at);
+    bool all = true;
+    for (const std::string& needle : needles) {
+      if (record.find(needle) == std::string::npos) all = false;
+    }
+    if (all) return record;
+    at = end;
   }
+  throw std::runtime_error("baseline has no matching \"" + name + "\" record");
+}
+
+/// One numeric field out of a baseline_record() slice.
+double record_field(const std::string& record, const std::string& field) {
   const std::string needle = "\"" + field + "\": ";
-  const std::size_t key = text.find(needle, record);
-  const std::size_t line_end = text.find('}', record);
-  if (key == std::string::npos || key > line_end) {
-    throw std::runtime_error("baseline headline has no " + field + ": " +
-                             path);
+  const std::size_t key = record.find(needle);
+  if (key == std::string::npos) {
+    throw std::runtime_error("baseline record has no field " + field);
   }
-  return std::stod(text.substr(key + needle.size()));
+  return std::stod(record.substr(key + needle.size()));
+}
+
+/// Needles pinning the rls_cell record for one (n, m, kind) cell.
+std::vector<std::string> cell_needles(std::size_t n, int m, const char* kind) {
+  return {"\"n\": " + std::to_string(n) + ",",
+          "\"m\": " + std::to_string(m) + ",",
+          "\"kind\": \"" + std::string(kind) + "\""};
 }
 
 }  // namespace
@@ -88,12 +122,42 @@ int main(int argc, char** argv) {
   using bench::banner;
 
   banner("HOTPATH", "Old-vs-new wall time of the solve hot paths");
-  bench::BenchReport report("hotpath", argc, argv);
-
+  // Argument validation runs before the BenchReport exists: its
+  // destructor writes BENCH_hotpath.json on --json runs, and an
+  // empty-records report must never clobber a committed baseline on a
+  // usage error.
   std::string baseline_path;
+  bool trend = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0) baseline_path = arg.substr(11);
+    if (arg == "--trend") trend = true;
+  }
+  if (trend && baseline_path.empty()) {
+    std::cout << "--trend gates against committed reference timings and "
+                 "requires --baseline=PATH\n";
+    return 1;
+  }
+  const std::string baseline_text =
+      baseline_path.empty() ? std::string() : read_baseline(baseline_path);
+  // A --trend run copies the baseline's reference timings verbatim, so
+  // accepting one AS the baseline would freeze the gate on stale numbers
+  // forever. Full runs record "trend": false in their headline.
+  if (!baseline_text.empty() &&
+      baseline_record(baseline_text, "headline", {}).find("\"trend\": true") !=
+          std::string::npos) {
+    std::cout << "baseline " << baseline_path
+              << " was produced by a --trend run; re-measure with a full "
+                 "run (bench-full) before committing it as the baseline\n";
+    return 1;
+  }
+
+  bench::BenchReport report("hotpath", argc, argv);
+
+  if (trend) {
+    std::cout << "\n[trend mode] reference engines are not re-measured; "
+                 "speedups divide baseline reference times by fresh "
+                 "fast-engine times\n";
   }
 
   // --- RLS: incremental engine vs the seed's O(n^2 m) rescan. ------------
@@ -134,10 +198,17 @@ int main(int argc, char** argv) {
     const double ref_cost = static_cast<double>(cell.n) *
                             static_cast<double>(cell.n) *
                             static_cast<double>(cell.m);
-    const bool ref_skipped = ref_cost > kReferenceBudget;
+    bool ref_skipped = ref_cost > kReferenceBudget;
     double ref_ms = 0.0;
     bool identical = true;
-    if (!ref_skipped) {
+    if (trend) {
+      // Trend mode: the committed baseline supplies the reference time.
+      const std::string record = baseline_record(
+          baseline_text, "rls_cell", cell_needles(cell.n, cell.m, kind));
+      ref_skipped =
+          record.find("\"reference_skipped\": true") != std::string::npos;
+      if (!ref_skipped) ref_ms = record_field(record, "reference_ms");
+    } else if (!ref_skipped) {
       // No warm-up for the reference engine: at these sizes a run takes
       // seconds, so warm-up effects are noise but an extra run is not.
       const int k = ref_cost > 1e9 ? 1 : 3;
@@ -158,13 +229,17 @@ int main(int argc, char** argv) {
       headline_speedup = speedup;
     }
 
+    const std::string ref_label = ref_skipped ? "skipped (budget)"
+                                  : trend     ? "baseline"
+                                              : fmt(ref_ms, 1);
     rows.push_back({std::to_string(cell.n), std::to_string(cell.m), kind,
-                    fmt(fast_ms, 3),
-                    ref_skipped ? "skipped (budget)" : fmt(ref_ms, 1),
+                    fmt(fast_ms, 3), ref_label,
                     ref_skipped ? "n/a" : fmt(speedup, 1),
-                    ref_skipped ? "n/a" : (identical ? "yes" : "NO (bug!)")});
+                    ref_skipped || trend ? "n/a"
+                                         : (identical ? "yes" : "NO (bug!)")});
     // "identical" is a claim about a comparison that ran: skipped cells
-    // report "n/a", never a default-true.
+    // (and trend mode, where the reference never runs) report "n/a",
+    // never a default-true.
     report.add("rls_cell",
                {{"n", cell.n},
                 {"m", cell.m},
@@ -173,8 +248,8 @@ int main(int argc, char** argv) {
                 {"reference_ms", ref_ms},
                 {"reference_skipped", ref_skipped},
                 {"speedup", speedup},
-                {"identical", ref_skipped ? bench::JsonValue("n/a")
-                                          : bench::JsonValue(identical)}});
+                {"identical", ref_skipped || trend ? bench::JsonValue("n/a")
+                                                   : bench::JsonValue(identical)}});
     if (!identical) {
       std::cout << "fast and reference engines disagree at n=" << cell.n
                 << " m=" << cell.m << " (bug!)\n";
@@ -194,13 +269,17 @@ int main(int argc, char** argv) {
   const double sweep_ms =
       bench::median_ms(3, /*warmup=*/true,
                        [&] { sbo_front(sweep_inst, *alg, steps); });
-  const double loop_ms = bench::median_ms(3, /*warmup=*/true, [&] {
-    // The old path: ingredients recomputed at every grid point, serially.
-    for (const Fraction& d :
-         delta_grid(Fraction(1, 8), Fraction(8), steps)) {
-      sbo_schedule(sweep_inst, d, *alg);
-    }
-  });
+  const double loop_ms =
+      trend ? record_field(baseline_record(baseline_text, "sbo_sweep", {}),
+                           "loop_ms")
+            : bench::median_ms(3, /*warmup=*/true, [&] {
+                // The old path: ingredients recomputed at every grid
+                // point, serially.
+                for (const Fraction& d :
+                     delta_grid(Fraction(1, 8), Fraction(8), steps)) {
+                  sbo_schedule(sweep_inst, d, *alg);
+                }
+              });
   const double sweep_speedup = sweep_ms > 0 ? loop_ms / sweep_ms : 0.0;
   std::vector<std::vector<std::string>> sweep_rows;
   sweep_rows.push_back({"per-point full SBO (old)", fmt(loop_ms, 1), "1.00"});
@@ -223,12 +302,17 @@ int main(int argc, char** argv) {
       bench::median_ms(3, /*warmup=*/true,
                        [&] { bb_run = enumerate_pareto_bb(pareto_inst); });
   // One walker run: seconds-scale, and the gate has 5x headroom anyway.
-  const double walker_ms = bench::time_ms(
-      [&] { walker_run = enumerate_pareto_reference(pareto_inst); });
-  const bool pareto_identical = bb_run.front == walker_run.front;
+  // Trend mode reads the committed walker time instead.
+  const double walker_ms =
+      trend ? record_field(baseline_record(baseline_text, "pareto_cell", {}),
+                           "walker_ms")
+            : bench::time_ms(
+                  [&] { walker_run = enumerate_pareto_reference(pareto_inst); });
+  const bool pareto_identical = trend || bb_run.front == walker_run.front;
   const double pareto_speedup = bb_ms > 0 ? walker_ms / bb_ms : 0.0;
   std::vector<std::vector<std::string>> pareto_rows;
-  pareto_rows.push_back({"brute-force walker (old)", fmt(walker_ms, 1), "1.00"});
+  pareto_rows.push_back({"brute-force walker (old)",
+                         trend ? "baseline" : fmt(walker_ms, 1), "1.00"});
   pareto_rows.push_back({"branch and bound (new)", fmt(bb_ms, 2),
                          fmt(pareto_speedup, 1)});
   std::cout << markdown_table({"engine", "wall ms", "speedup"}, pareto_rows);
@@ -238,7 +322,9 @@ int main(int argc, char** argv) {
                              {"walker_ms", walker_ms},
                              {"front_size", bb_run.front.size()},
                              {"speedup", pareto_speedup},
-                             {"identical", pareto_identical}});
+                             {"identical", trend ? bench::JsonValue("n/a")
+                                                 : bench::JsonValue(
+                                                       pareto_identical)}});
   if (!pareto_identical) {
     std::cout << "branch-and-bound and walker fronts disagree (bug!)\n";
     return 1;
@@ -252,7 +338,8 @@ int main(int argc, char** argv) {
                           {"m", 256},
                           {"speedup", headline_speedup},
                           {"sweep_speedup", sweep_speedup},
-                          {"pareto_speedup", pareto_speedup}});
+                          {"pareto_speedup", pareto_speedup},
+                          {"trend", trend}});
   report.finish();
 
   double floor = 10.0;  // the acceptance bar stands on its own
@@ -262,9 +349,11 @@ int main(int argc, char** argv) {
   // force" invariant with headroom for CI noise.
   double pareto_floor = 1.5;
   if (!baseline_path.empty()) {
-    const double base = baseline_field(baseline_path, "speedup");
+    const std::string headline =
+        baseline_record(baseline_text, "headline", {});
+    const double base = record_field(headline, "speedup");
     floor = std::max(floor, 0.2 * base);
-    const double pareto_base = baseline_field(baseline_path, "pareto_speedup");
+    const double pareto_base = record_field(headline, "pareto_speedup");
     pareto_floor = std::max(pareto_floor, 0.2 * pareto_base);
     std::cout << "baseline speedups " << fmt(base, 1) << "x / "
               << fmt(pareto_base, 1) << "x (pareto) -> regression floors "

@@ -8,11 +8,19 @@
 //
 // The headline section measures solve_batch(): the std::thread fan-out over
 // an instance set versus the equivalent serial loop, the number the
-// ROADMAP's batch-throughput goal tracks. Run with --json to record the
-// trajectory (BENCH_scaling.json).
+// ROADMAP's batch-throughput goal tracks. The streaming cell pits
+// solve_stream (bounded in-flight window, core/stream.hpp) against
+// solve_batch (everything materialized) at one million tiny instances: the
+// peak-RSS delta must scale with the window, not the batch. Run with
+// --json to record the trajectory (BENCH_scaling.json).
 #include <iostream>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_util.hpp"
 #include "common/dag_generators.hpp"
@@ -20,6 +28,7 @@
 #include "common/rng.hpp"
 #include "core/pareto_enum.hpp"
 #include "core/solver.hpp"
+#include "core/stream.hpp"
 
 namespace {
 
@@ -33,6 +42,32 @@ Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
   gp.p_max = 1000;
   gp.s_max = 1000;
   return generate_uniform(gp, rng);
+}
+
+/// The i-th tiny instance of the streaming cell (4 tasks, 2 processors),
+/// generated on demand so the streaming side never materializes the set.
+Instance tiny_instance(std::uint64_t i) {
+  Rng rng(0x5712ea3 + i);
+  std::vector<Task> tasks(4);
+  for (Task& t : tasks) {
+    t.p = rng.uniform_int(1, 9);
+    t.s = rng.uniform_int(1, 9);
+  }
+  return Instance(std::move(tasks), 2);
+}
+
+/// Process-lifetime peak RSS in MiB (0.0 when unavailable). Monotonic by
+/// definition, so phases must run low-water first: stream, then batch.
+double peak_rss_mb() {
+#if defined(__unix__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux (BSD/macOS report bytes; this cell only
+    // gates on Linux CI where the benches run).
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+#endif
+  return 0.0;
 }
 
 }  // namespace
@@ -164,6 +199,114 @@ int main(int argc, char** argv) {
     std::cout << "solve_batch speedup below 2x on " << cores
               << " cores (bug!)\n";
   }
+
+  // --- Streaming: solve_stream vs solve_batch at 1M tiny instances. ------
+  // The point of the cell is the memory envelope, not the solver: the
+  // streaming side generates instances on demand and folds results into a
+  // checksum, so its peak RSS is O(window); the batch side materializes
+  // 1M instances plus 1M SolveResults. peak_rss_mb() is monotonic, so the
+  // low-water stream phase must run before the batch phase.
+  const std::size_t stream_count = 1'000'000;
+  const std::size_t stream_window = 256;
+  const auto tiny_solver = make_solver("graham:lpt");
+  std::cout << "\nsolve_stream vs solve_batch (" << stream_count
+            << " tiny instances, n = 4, m = 2, graham:lpt, window = "
+            << stream_window << "):\n";
+
+  const double rss_start_mb = peak_rss_mb();
+  std::size_t cursor = 0;
+  GeneratorSource stream_source(
+      [&]() -> std::optional<Instance> {
+        if (cursor >= stream_count) return std::nullopt;
+        return tiny_instance(cursor++);
+      },
+      stream_count);
+  std::int64_t stream_cmax = 0;
+  std::int64_t stream_mmax = 0;
+  CallbackSink checksum_sink([&](std::size_t, SolveResult r) {
+    stream_cmax += r.objectives.cmax;
+    stream_mmax += r.objectives.mmax;
+  });
+  StreamOptions stream_opts;
+  stream_opts.window = stream_window;
+  stream_opts.ordered = false;
+  StreamStats stream_stats;
+  const double stream_ms = time_ms([&] {
+    stream_stats =
+        solve_stream(*tiny_solver, stream_source, checksum_sink, {}, stream_opts);
+  });
+  const double rss_stream_mb = peak_rss_mb();
+
+  std::vector<Instance> tiny_batch;
+  tiny_batch.reserve(stream_count);
+  for (std::size_t i = 0; i < stream_count; ++i) {
+    tiny_batch.push_back(tiny_instance(i));
+  }
+  std::int64_t batch_cmax = 0;
+  std::int64_t batch_mmax = 0;
+  double tiny_batch_ms = 0.0;
+  {
+    std::vector<SolveResult> results;
+    tiny_batch_ms =
+        time_ms([&] { results = solve_batch(*tiny_solver, tiny_batch); });
+    for (const SolveResult& r : results) {
+      batch_cmax += r.objectives.cmax;
+      batch_mmax += r.objectives.mmax;
+    }
+  }
+  const double rss_batch_mb = peak_rss_mb();
+
+  const double stream_delta_mb = rss_stream_mb - rss_start_mb;
+  const double batch_delta_mb = rss_batch_mb - rss_stream_mb;
+  const bool stream_identical =
+      stream_cmax == batch_cmax && stream_mmax == batch_mmax &&
+      stream_stats.delivered == stream_count;
+  const double stream_throughput =
+      stream_ms > 0 ? 1000.0 * static_cast<double>(stream_count) / stream_ms
+                    : 0.0;
+  const double tiny_batch_throughput =
+      tiny_batch_ms > 0
+          ? 1000.0 * static_cast<double>(stream_count) / tiny_batch_ms
+          : 0.0;
+
+  std::vector<std::vector<std::string>> stream_rows;
+  stream_rows.push_back({"solve_stream (window=" +
+                             std::to_string(stream_window) + ")",
+                         fmt(stream_ms, 0), fmt(stream_throughput / 1000, 1),
+                         fmt(stream_delta_mb, 1)});
+  stream_rows.push_back({"solve_batch (materialized)", fmt(tiny_batch_ms, 0),
+                         fmt(tiny_batch_throughput / 1000, 1),
+                         fmt(batch_delta_mb, 1)});
+  std::cout << markdown_table(
+      {"runner", "wall ms", "k inst/s", "peak RSS delta MiB"}, stream_rows);
+  std::cout << "(stream max in flight: " << stream_stats.max_in_flight
+            << "; objectives checksum identical: "
+            << (stream_identical ? "yes" : "NO (bug!)") << ")\n";
+  report.add("stream_vs_batch",
+             {{"instances", stream_count},
+              {"window", stream_window},
+              {"spec", std::string("graham:lpt")},
+              {"stream_ms", stream_ms},
+              {"batch_ms", tiny_batch_ms},
+              {"stream_throughput_per_s", stream_throughput},
+              {"batch_throughput_per_s", tiny_batch_throughput},
+              {"stream_peak_rss_delta_mb", stream_delta_mb},
+              {"batch_peak_rss_delta_mb", batch_delta_mb},
+              {"max_in_flight", stream_stats.max_in_flight},
+              {"identical_objectives", stream_identical}});
+
+  // Memory gate: the streaming envelope must be bounded by the window, not
+  // the batch. The batch side allocates hundreds of MiB for 1M instances +
+  // results; 64 MiB absorbs allocator noise when RSS readings are tiny.
+  const bool stream_rss_ok =
+      rss_batch_mb == 0.0 ||
+      stream_delta_mb <= std::max(64.0, 0.25 * batch_delta_mb);
+  if (!stream_rss_ok) {
+    std::cout << "solve_stream peak RSS delta " << fmt(stream_delta_mb, 1)
+              << " MiB is not bounded by the window (batch delta "
+              << fmt(batch_delta_mb, 1) << " MiB) (bug!)\n";
+  }
+
   report.finish();
-  return identical && speedup_ok ? 0 : 1;
+  return identical && speedup_ok && stream_identical && stream_rss_ok ? 0 : 1;
 }

@@ -12,7 +12,9 @@
 //   3. constrained: workers have a fixed scratch quota -- use the SBO-driven
 //      solver with the paper's binary-search refinement (Section 7);
 //   4. throughput: overnight the grid re-plans many independent productions
-//      at once -- fan them out with solve_batch().
+//      at once -- stream them through solve_stream() with a bounded
+//      in-flight window, generating each production on demand (O(window)
+//      memory however many sites re-plan).
 //
 //   $ ./examples/grid_physics
 #include <iostream>
@@ -84,23 +86,34 @@ int main() {
     std::cout << "no feasible schedule found\n";
   }
 
-  // 4. Nightly re-planning: many productions, one solver, all cores.
-  std::vector<Instance> productions;
-  for (int site = 0; site < 8; ++site) {
-    Rng site_rng(100 + static_cast<std::uint64_t>(site));
-    productions.push_back(
-        generate_physics_batch(/*n=*/500, /*m=*/32, /*alpha=*/1.2, site_rng));
-  }
-  const std::vector<SolveResult> plans =
-      solve_batch("sbo:multifit,delta=1", productions);
-  std::cout << "\nnightly re-plan of " << plans.size()
-            << " site productions (solve_batch):\n";
+  // 4. Nightly re-planning: many productions, one solver, all cores --
+  // streamed, so only the in-flight window is ever resident. Each site's
+  // instance is generated when the pipeline pulls it and its plan is
+  // reduced to a table row as soon as it is delivered (in site order).
+  constexpr std::size_t kSites = 8;
+  std::size_t next_site = 0;
+  GeneratorSource productions(
+      [&]() -> std::optional<Instance> {
+        if (next_site >= kSites) return std::nullopt;
+        Rng site_rng(100 + next_site++);
+        return generate_physics_batch(/*n=*/500, /*m=*/32, /*alpha=*/1.2,
+                                      site_rng);
+      },
+      kSites);
   std::vector<std::vector<std::string>> site_rows;
-  for (std::size_t site = 0; site < plans.size(); ++site) {
+  CallbackSink plan_sink([&](std::size_t site, SolveResult plan) {
     site_rows.push_back({std::to_string(site),
-                         std::to_string(plans[site].objectives.cmax),
-                         std::to_string(plans[site].objectives.mmax)});
-  }
+                         std::to_string(plan.objectives.cmax),
+                         std::to_string(plan.objectives.mmax)});
+  });
+  const auto nightly_solver = make_solver("sbo:multifit,delta=1");
+  StreamOptions nightly;
+  nightly.window = 4;
+  const StreamStats nightly_stats =
+      solve_stream(*nightly_solver, productions, plan_sink, {}, nightly);
+  std::cout << "\nnightly re-plan of " << nightly_stats.delivered
+            << " site productions (solve_stream, window=4, max "
+            << nightly_stats.max_in_flight << " in flight):\n";
   std::cout << markdown_table({"site", "makespan (min)", "storage (MB)"},
                               site_rows);
   return fit.feasible ? 0 : 1;

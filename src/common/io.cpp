@@ -1,9 +1,14 @@
 #include "common/io.hpp"
 
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace storesched {
 
@@ -144,6 +149,190 @@ Instance from_text(const std::string& text) {
   TaskId v = 0;
   while (is >> u >> v) dag.add_edge(u, v);
   return Instance(std::move(tasks), m, std::move(dag));
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string instance_to_jsonl(const Instance& inst) {
+  std::ostringstream os;
+  os << "{\"m\":" << inst.m() << ",\"tasks\":[";
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << inst.task(i).p << ',' << inst.task(i).s << ']';
+  }
+  os << ']';
+  if (inst.has_precedence()) {
+    os << ",\"edges\":[";
+    bool first = true;
+    const Dag& dag = inst.dag();
+    for (TaskId u = 0; u < static_cast<TaskId>(inst.n()); ++u) {
+      for (const TaskId v : dag.succs(u)) {
+        if (!first) os << ',';
+        os << '[' << u << ',' << v << ']';
+        first = false;
+      }
+    }
+    os << ']';
+  }
+  os << '}';
+  return os.str();
+}
+
+namespace {
+
+/// Minimal cursor over the fixed instance-line schema. Not a general JSON
+/// parser: objects of known keys, arrays of integer pairs, nothing else.
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("instance_from_jsonl: " + what + " at byte " +
+                             std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\r' || text[pos] == '\n')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::int64_t parse_int() {
+    skip_ws();
+    const std::size_t begin = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (pos == begin || (pos == begin + 1 && text[begin] == '-')) {
+      fail("expected integer");
+    }
+    try {
+      return std::stoll(text.substr(begin, pos - begin));
+    } catch (const std::exception&) {
+      pos = begin;
+      fail("integer out of range");
+    }
+  }
+
+  std::string parse_key() {
+    expect('"');
+    const std::size_t begin = pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') fail("escapes are not allowed in keys");
+      ++pos;
+    }
+    if (pos == text.size()) fail("unterminated key");
+    return text.substr(begin, pos++ - begin);
+  }
+
+  /// [[a,b],[c,d],...] -> flat pair list. May be empty.
+  std::vector<std::pair<std::int64_t, std::int64_t>> parse_pairs() {
+    std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+    expect('[');
+    if (consume(']')) return pairs;
+    do {
+      expect('[');
+      const std::int64_t a = parse_int();
+      expect(',');
+      const std::int64_t b = parse_int();
+      expect(']');
+      pairs.emplace_back(a, b);
+    } while (consume(','));
+    expect(']');
+    return pairs;
+  }
+};
+
+}  // namespace
+
+Instance instance_from_jsonl(const std::string& line) {
+  JsonCursor cur{line};
+  std::optional<int> m;
+  std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>> task_pairs;
+  std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>> edge_pairs;
+
+  cur.expect('{');
+  if (!cur.consume('}')) {
+    do {
+      const std::string key = cur.parse_key();
+      cur.expect(':');
+      if (key == "m") {
+        const std::int64_t v = cur.parse_int();
+        if (v < 1 || v > std::numeric_limits<int>::max()) {
+          cur.fail("m out of range");
+        }
+        m = static_cast<int>(v);
+      } else if (key == "tasks") {
+        task_pairs = cur.parse_pairs();
+      } else if (key == "edges") {
+        edge_pairs = cur.parse_pairs();
+      } else {
+        cur.fail("unknown key \"" + key + "\"");
+      }
+    } while (cur.consume(','));
+    cur.expect('}');
+  }
+  cur.skip_ws();
+  if (cur.pos != line.size()) cur.fail("trailing garbage");
+  if (!m) cur.fail("missing \"m\"");
+  if (!task_pairs) cur.fail("missing \"tasks\"");
+
+  std::vector<Task> tasks;
+  tasks.reserve(task_pairs->size());
+  for (const auto& [p, s] : *task_pairs) tasks.push_back({p, s});
+  const auto n = static_cast<std::int64_t>(tasks.size());
+  try {
+    if (!edge_pairs) return Instance(std::move(tasks), *m);
+    Dag dag(tasks.size());
+    for (const auto& [u, v] : *edge_pairs) {
+      if (u < 0 || u >= n || v < 0 || v >= n) {
+        throw std::invalid_argument("edge [" + std::to_string(u) + "," +
+                                    std::to_string(v) +
+                                    "] references a task outside [0, " +
+                                    std::to_string(n) + ")");
+      }
+      dag.add_edge(static_cast<TaskId>(u), static_cast<TaskId>(v));
+    }
+    return Instance(std::move(tasks), *m, std::move(dag));
+  } catch (const std::invalid_argument& e) {
+    // Instance/Dag validation reports as std::invalid_argument; the wire
+    // contract is one exception type for any malformed line.
+    throw std::runtime_error(std::string("instance_from_jsonl: ") + e.what());
+  }
 }
 
 std::string fmt(double v, int decimals) {

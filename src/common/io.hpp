@@ -47,6 +47,24 @@ std::string to_text(const Instance& inst);
 /// input. Round-trips exactly with to_text.
 Instance from_text(const std::string& text);
 
+/// Escapes `text` for embedding inside a JSON string literal (the
+/// surrounding quotes are not included).
+std::string json_escape(const std::string& text);
+
+/// Serializes an instance as one compact JSON object -- the line format of
+/// the streaming JSONL wire protocol (core/stream.hpp, storesched_cli):
+///   {"m":3,"tasks":[[p,s],...],"edges":[[u,v],...]}
+/// "edges" is omitted for independent instances (and kept, possibly empty,
+/// for precedence instances). Round-trips through instance_from_jsonl().
+std::string instance_to_jsonl(const Instance& inst);
+
+/// Parses an instance_to_jsonl() object. Whitespace between tokens and any
+/// key order are accepted; "m" and "tasks" are required. Throws
+/// std::runtime_error naming the offending token on malformed input,
+/// unknown keys, or an invalid instance (bad m, negative weights, cyclic
+/// or out-of-range edges).
+Instance instance_from_jsonl(const std::string& line);
+
 /// Formats a double with the given number of decimals (fixed notation).
 std::string fmt(double v, int decimals = 3);
 

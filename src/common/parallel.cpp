@@ -28,29 +28,45 @@ void parallel_for(std::size_t jobs, int threads,
     return;
   }
 
+  // The crew owns spawn/join/first-exception-capture; this loop only adds
+  // the dynamically claimed index range and the cancel-on-failure flag.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-
-  const auto worker = [&] {
+  run_worker_crew(workers, [&](unsigned) {
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs) return;
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
-        return;
+        throw;
       }
     }
-  };
+  });
+}
 
+void run_worker_crew(unsigned workers,
+                     const std::function<void(unsigned)>& body) {
+  if (workers <= 1) {
+    body(0);
+    return;
+  }
+
+  std::exception_ptr error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        body(t);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
   for (std::thread& t : pool) t.join();
   if (error) std::rethrow_exception(error);
 }

@@ -28,4 +28,15 @@ unsigned parallel_worker_count(std::size_t jobs, int threads);
 void parallel_for(std::size_t jobs, int threads,
                   const std::function<void(std::size_t)>& fn);
 
+/// Spawns `workers` std::thread workers all running body(worker_id) and
+/// joins every one of them. This is the raw crew under long-lived
+/// coordinated loops (the streaming solve driver) where the jobs are not a
+/// pre-counted index range; use parallel_for for ordinary index fan-outs.
+/// With workers <= 1 the body runs inline on the calling thread. The body
+/// is expected to do its own error handling; if one does throw, the first
+/// exception is captured, every worker is still joined, and it rethrows on
+/// the caller.
+void run_worker_crew(unsigned workers,
+                     const std::function<void(unsigned)>& body);
+
 }  // namespace storesched

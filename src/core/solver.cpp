@@ -1,11 +1,12 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
-#include "common/parallel.hpp"
 #include "core/constrained.hpp"
+#include "core/stream.hpp"
 #include "core/theory.hpp"
 #include "core/triobjective.hpp"
 
@@ -192,8 +193,8 @@ class SboSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     return result_from_run(inst, delta_,
                            sbo_schedule(inst, delta_, *alg1_, *alg2_),
                            options);
@@ -287,8 +288,8 @@ class RlsSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     SolveResult result;
     fill_from_rls(inst, delta_, rls_schedule(inst, delta_, tie_break_), result);
     maybe_validate(inst, options, /*timed=*/true, result);
@@ -334,8 +335,8 @@ class TriSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     // tri_objective_schedule() throws std::logic_error on precedence
     // instances, honoring supports_precedence = false.
     TriObjectiveResult run = tri_objective_schedule(inst, delta_);
@@ -406,8 +407,8 @@ class ConstrainedRlsSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     const Mem capacity = require_capacity(options, "constrained:rls");
     SolveResult result;
     fill_from_constrained(inst, capacity,
@@ -450,8 +451,8 @@ class ConstrainedSboSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     const Mem capacity = require_capacity(options, "constrained:sbo");
     SolveResult result;
     fill_from_constrained(
@@ -490,8 +491,8 @@ class ParetoExactSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     // enumerate_pareto honors STORESCHED_PARETO_REFERENCE (A/B debugging)
     // and throws std::logic_error on precedence instances, honoring
     // supports_precedence = false.
@@ -533,8 +534,8 @@ class GrahamSolver final : public Solver {
     return caps;
   }
 
-  SolveResult solve(const Instance& inst,
-                    const SolveOptions& options) const override {
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
     SolveResult result;
     result.feasible = true;
     result.schedule = graham_list_schedule(inst, policy_);
@@ -645,6 +646,35 @@ std::unique_ptr<Solver> build_solver(const std::string& family,
 
 }  // namespace
 
+SolveResult Solver::solve(const Instance& inst,
+                          const SolveOptions& options) const {
+  if (options.cancel && options.cancel->cancelled()) {
+    SolveResult result;
+    result.diagnostics = "cancelled before solve";
+    return result;
+  }
+  if (!options.deadline) return do_solve(inst, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  SolveResult result = do_solve(inst, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (elapsed > *options.deadline) {
+    result.feasible = false;
+    if (!result.diagnostics.empty()) result.diagnostics += "; ";
+    result.diagnostics +=
+        "deadline exceeded: solve took " +
+        std::to_string(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count()) +
+        " us against a budget of " +
+        std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                           *options.deadline)
+                           .count()) +
+        " us";
+  }
+  return result;
+}
+
 ApproxFront Solver::delta_sweep(const Instance&,
                                 std::span<const Fraction>) const {
   const std::string canonical = name();
@@ -688,9 +718,16 @@ std::vector<SolveResult> solve_batch(const Solver& solver,
                                      const SolveOptions& options,
                                      const BatchOptions& batch) {
   std::vector<SolveResult> results(instances.size());
-  parallel_for(instances.size(), batch.threads, [&](std::size_t i) {
-    results[i] = solver.solve(instances[i], options);
-  });
+  if (instances.empty()) return results;
+  SpanSource source(instances);
+  VectorSink sink(results);
+  StreamOptions stream;
+  stream.threads = batch.threads;
+  // The whole batch is in memory already and VectorSink stores by index,
+  // so backpressure and reordering would only add latency: window = batch.
+  stream.window = instances.size();
+  stream.ordered = false;
+  solve_stream(solver, source, sink, options, stream);
   return results;
 }
 

@@ -46,6 +46,7 @@
 // Delta > 1).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <span>
@@ -79,6 +80,8 @@ struct Capabilities {
   std::optional<Fraction> sumci_ratio;
 };
 
+class CancelToken;  // core/stream.hpp
+
 /// Per-solve inputs that are not part of the solver configuration.
 struct SolveOptions {
   /// Hard per-processor memory capacity; required by constrained:* solvers
@@ -87,6 +90,15 @@ struct SolveOptions {
   /// When set, validate_schedule() runs on every feasible result and a
   /// violation turns the result infeasible with the message in diagnostics.
   bool validate = false;
+  /// Per-solve wall-clock budget, checked cooperatively at the solve
+  /// boundary: a run whose elapsed time exceeds the budget comes back
+  /// infeasible with the cause in diagnostics (the algorithm itself is
+  /// never interrupted mid-flight). Absent = no deadline, no clock reads.
+  std::optional<std::chrono::nanoseconds> deadline;
+  /// Cooperative cancellation (core/stream.hpp). A solve that observes a
+  /// cancelled token before starting returns infeasible immediately;
+  /// solve_stream additionally stops pulling instances from its source.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// Unified output of any solver. Subsumes the per-algorithm result structs:
@@ -138,8 +150,15 @@ class Solver {
   /// unsupported (capabilities().supports_precedence honored) and
   /// std::invalid_argument when required options are missing. Solvers are
   /// immutable after construction; solve() is const and thread-safe.
-  virtual SolveResult solve(const Instance& inst,
-                            const SolveOptions& options = {}) const = 0;
+  ///
+  /// Non-virtual: this is the control envelope around the family's
+  /// do_solve() -- it honors SolveOptions::cancel (a pre-cancelled token
+  /// returns infeasible without running) and SolveOptions::deadline (an
+  /// over-budget run is demoted to infeasible with the cause in
+  /// diagnostics). With neither option set it forwards verbatim, so
+  /// results are bit-identical to the pre-envelope API.
+  SolveResult solve(const Instance& inst,
+                    const SolveOptions& options = {}) const;
 
   /// Runs this configuration once per Delta in `grid` and Pareto-filters
   /// the feasible points (the Section 6 sweep behind front()). Grid points
@@ -150,6 +169,11 @@ class Solver {
   /// families (sbo, rls, tri) override it.
   virtual ApproxFront delta_sweep(const Instance& inst,
                                   std::span<const Fraction> grid) const;
+
+ protected:
+  /// The family's actual solve, wrapped by the public solve() envelope.
+  virtual SolveResult do_solve(const Instance& inst,
+                               const SolveOptions& options) const = 0;
 };
 
 /// Builds a solver from a spec string (grammar above). Throws
@@ -171,9 +195,14 @@ struct BatchOptions {
 };
 
 /// Solves many instances with one solver configuration, fanning the work
-/// out over the shared worker pool (common/parallel.hpp; solvers are
-/// stateless; results land at their instance's index). A worker exception
-/// cancels the remaining work and rethrows on the caller.
+/// out over a worker crew (solvers are stateless; results land at their
+/// instance's index). A thin wrapper over solve_stream (core/stream.hpp)
+/// with an in-memory source and sink -- use solve_stream directly when the
+/// batch should not be materialized (O(window) memory instead of
+/// O(batch)). A worker exception cancels the remaining work and rethrows
+/// on the caller with the failing instance's index attached to the
+/// message (the original std::logic_error / std::invalid_argument /
+/// std::runtime_error type is preserved).
 std::vector<SolveResult> solve_batch(const Solver& solver,
                                      std::span<const Instance> instances,
                                      const SolveOptions& options = {},

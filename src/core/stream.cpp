@@ -1,0 +1,312 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <istream>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/io.hpp"
+#include "common/parallel.hpp"
+
+namespace storesched {
+
+// ---------------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Instance> SpanSource::next() {
+  if (cursor_ >= instances_.size()) return nullptr;
+  // Non-owning alias into the caller's span (which outlives the run by
+  // contract): the in-memory batch path never copies an instance.
+  return std::shared_ptr<const Instance>(std::shared_ptr<const Instance>(),
+                                         &instances_[cursor_++]);
+}
+
+std::shared_ptr<const Instance> GeneratorSource::next() {
+  std::optional<Instance> inst = fn_();
+  if (!inst) return nullptr;
+  return std::make_shared<const Instance>(std::move(*inst));
+}
+
+std::shared_ptr<const Instance> JsonlInstanceSource::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      return std::make_shared<const Instance>(instance_from_jsonl(line));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("line " + std::to_string(line_number_) + ": " +
+                               e.what());
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+void VectorSink::consume(std::size_t index, SolveResult result) {
+  if (index >= results_.size()) {
+    throw std::logic_error("VectorSink: index " + std::to_string(index) +
+                           " outside the presized " +
+                           std::to_string(results_.size()) + " results");
+  }
+  results_[index] = std::move(result);
+}
+
+std::string result_to_jsonl(std::size_t index, const SolveResult& result,
+                            const JsonlResultOptions& options) {
+  std::ostringstream os;
+  os << "{\"index\":" << index
+     << ",\"feasible\":" << (result.feasible ? "true" : "false");
+  if (result.feasible) {
+    os << ",\"cmax\":" << result.objectives.cmax
+       << ",\"mmax\":" << result.objectives.mmax;
+    if (result.sum_ci) os << ",\"sum_ci\":" << *result.sum_ci;
+  }
+  os << ",\"delta\":\"" << result.delta.to_string() << '"';
+  const auto fraction_field = [&](const char* key,
+                                  const std::optional<Fraction>& value) {
+    if (value) os << ",\"" << key << "\":\"" << value->to_string() << '"';
+  };
+  fraction_field("cmax_bound", result.cmax_bound);
+  fraction_field("mmax_bound", result.mmax_bound);
+  fraction_field("cmax_ratio", result.cmax_ratio);
+  fraction_field("mmax_ratio", result.mmax_ratio);
+  fraction_field("sumci_ratio", result.sumci_ratio);
+  if (!result.diagnostics.empty()) {
+    os << ",\"diagnostics\":\"" << json_escape(result.diagnostics) << '"';
+  }
+  if (options.include_schedule && result.feasible) {
+    os << ",\"proc\":[";
+    for (std::size_t i = 0; i < result.schedule.n(); ++i) {
+      os << (i ? "," : "") << result.schedule.proc(static_cast<TaskId>(i));
+    }
+    os << ']';
+    if (result.schedule.timed()) {
+      os << ",\"start\":[";
+      for (std::size_t i = 0; i < result.schedule.n(); ++i) {
+        os << (i ? "," : "") << result.schedule.start(static_cast<TaskId>(i));
+      }
+      os << ']';
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+void JsonlResultSink::consume(std::size_t index, SolveResult result) {
+  out_ << result_to_jsonl(index, result, options_) << '\n';
+  if (!out_) throw std::runtime_error("JsonlResultSink: write failed");
+}
+
+// ---------------------------------------------------------------------------
+// The driver.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rethrows `error` with the instance index attached to the message,
+/// preserving the standard exception type where there is one (the
+/// solve_batch contract: an SBO batch hitting a DAG instance still throws
+/// std::logic_error, now naming the instance).
+[[noreturn]] void rethrow_with_index(std::size_t index,
+                                     const std::exception_ptr& error) {
+  const std::string prefix =
+      "solve_stream: instance " + std::to_string(index) + ": ";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(prefix + e.what());
+  } catch (const std::logic_error& e) {
+    throw std::logic_error(prefix + e.what());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(prefix + e.what());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(prefix + e.what());
+  } catch (...) {
+    throw std::runtime_error(prefix + "unknown exception");
+  }
+}
+
+/// One worker to rule them out: with a single worker the pipeline runs
+/// inline -- no threads, no locks, a deterministic pull/solve/deliver loop.
+StreamStats run_inline(const Solver& solver, InstanceSource& source,
+                       ResultSink& sink, const SolveOptions& options,
+                       const CancelToken* cancel) {
+  StreamStats stats;
+  for (std::size_t index = 0;; ++index) {
+    if (cancel && cancel->cancelled()) {
+      stats.cancelled = true;
+      return stats;
+    }
+    std::shared_ptr<const Instance> inst;
+    SolveResult result;
+    try {
+      inst = source.next();
+      if (!inst) return stats;
+      ++stats.pulled;
+      stats.max_in_flight = std::max<std::size_t>(stats.max_in_flight, 1);
+      result = solver.solve(*inst, options);
+      const bool feasible = result.feasible;
+      sink.consume(index, std::move(result));
+      ++stats.delivered;
+      if (feasible) ++stats.feasible;
+    } catch (...) {
+      rethrow_with_index(index, std::current_exception());
+    }
+  }
+}
+
+/// Shared pipeline state; every field is guarded by `mu`.
+struct PipelineState {
+  std::mutex mu;
+  /// One condition for both "a window slot freed up" and "state changed"
+  /// (failure, cancellation, source exhausted).
+  std::condition_variable cv;
+
+  std::size_t next_index = 0;    ///< index the next pull will get
+  std::size_t in_flight = 0;     ///< pulled but not yet delivered
+  bool source_done = false;
+  bool failed = false;
+  std::exception_ptr error;
+  std::size_t error_index = 0;
+
+  std::size_t next_deliver = 0;             ///< ordered mode: delivery head
+  std::map<std::size_t, SolveResult> done;  ///< ordered mode: out-of-order buffer
+
+  StreamStats stats;
+};
+
+/// Records the first failure and wakes everyone. Lock must be held.
+void record_failure(PipelineState& state, std::size_t index,
+                    std::exception_ptr error) {
+  if (!state.failed) {
+    state.failed = true;
+    state.error = std::move(error);
+    state.error_index = index;
+  }
+  state.cv.notify_all();
+}
+
+/// Hands one completed result to the sink (immediately in as-completed
+/// mode; via the reorder buffer in ordered mode). Lock must be held --
+/// sinks are not required to be thread-safe, and a sink that blocks here
+/// IS the backpressure. Returns false after recording a sink failure.
+bool deliver(PipelineState& state, ResultSink& sink, bool ordered,
+             std::size_t index, SolveResult result) {
+  const auto emit = [&](std::size_t i, SolveResult r) {
+    const bool feasible = r.feasible;
+    try {
+      sink.consume(i, std::move(r));
+    } catch (...) {
+      record_failure(state, i, std::current_exception());
+      return false;
+    }
+    --state.in_flight;
+    ++state.stats.delivered;
+    if (feasible) ++state.stats.feasible;
+    return true;
+  };
+
+  if (!ordered) return emit(index, std::move(result));
+
+  state.done.emplace(index, std::move(result));
+  while (!state.done.empty() &&
+         state.done.begin()->first == state.next_deliver) {
+    auto node = state.done.extract(state.done.begin());
+    if (!emit(node.key(), std::move(node.mapped()))) return false;
+    ++state.next_deliver;
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamStats solve_stream(const Solver& solver, InstanceSource& source,
+                         ResultSink& sink, const SolveOptions& options,
+                         const StreamOptions& stream) {
+  const CancelToken* cancel = stream.cancel.get();
+  // Right-size the crew: never more workers than instances (when the
+  // source knows its size) and never more than the window has slots for.
+  const std::size_t hint =
+      source.size_hint().value_or(std::numeric_limits<std::size_t>::max());
+  unsigned workers = parallel_worker_count(hint, stream.threads);
+  const std::size_t window =
+      stream.window > 0 ? stream.window : std::size_t{4} * workers;
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, window));
+
+  if (workers <= 1) {
+    return run_inline(solver, source, sink, options, cancel);
+  }
+
+  PipelineState state;
+  const auto cancelled = [&] { return cancel && cancel->cancelled(); };
+
+  run_worker_crew(workers, [&](unsigned) {
+    for (;;) {
+      std::unique_lock<std::mutex> lock(state.mu);
+      // wait_for, not wait: an external thread cancelling the token has no
+      // way to notify, so waiters re-check on a coarse timeout.
+      while (!state.failed && !state.source_done && !cancelled() &&
+             state.in_flight >= window) {
+        state.cv.wait_for(lock, std::chrono::milliseconds(20));
+      }
+      if (state.failed || state.source_done) return;
+      if (cancelled()) {
+        state.stats.cancelled = true;
+        return;
+      }
+
+      // Pull under the lock: sources are single-consumer by contract.
+      std::shared_ptr<const Instance> inst;
+      try {
+        inst = source.next();
+      } catch (...) {
+        record_failure(state, state.next_index, std::current_exception());
+        return;
+      }
+      if (!inst) {
+        state.source_done = true;
+        state.cv.notify_all();
+        return;
+      }
+      const std::size_t index = state.next_index++;
+      ++state.in_flight;
+      ++state.stats.pulled;
+      state.stats.max_in_flight =
+          std::max(state.stats.max_in_flight, state.in_flight);
+      lock.unlock();
+
+      SolveResult result;
+      try {
+        result = solver.solve(*inst, options);
+      } catch (...) {
+        lock.lock();
+        record_failure(state, index, std::current_exception());
+        return;
+      }
+
+      lock.lock();
+      if (state.failed) return;
+      if (!deliver(state, sink, stream.ordered, index, std::move(result))) {
+        return;
+      }
+      state.cv.notify_all();
+    }
+  });
+
+  if (state.failed) rethrow_with_index(state.error_index, state.error);
+  return state.stats;
+}
+
+}  // namespace storesched

@@ -1,0 +1,224 @@
+// Streaming solve pipeline: sources, sinks, and a backpressured driver.
+//
+// solve_batch() materializes a std::vector<SolveResult> for the whole run
+// -- O(batch) memory and no way to shard a million-instance study across
+// processes. This module is the streaming redesign of that surface:
+//
+//   auto solver = make_solver("rls:input,delta=3");
+//   JsonlInstanceSource source(std::cin);
+//   JsonlResultSink sink(std::cout);
+//   StreamStats stats = solve_stream(*solver, source, sink);
+//
+// An InstanceSource yields instances one at a time (in-memory spans,
+// generator callbacks, JSONL text); a ResultSink consumes indexed results.
+// The driver fans solves out over a bounded in-flight window of worker
+// threads: at most StreamOptions::window instances are pulled-but-not-yet-
+// delivered at any moment, so peak memory is O(window), never O(batch).
+// Delivery is in input order by default, or as-completed for minimum
+// latency (every result carries its input index either way). Cancellation
+// is cooperative via CancelToken; per-solve wall-clock deadlines ride in
+// SolveOptions::deadline and surface as infeasible-with-diagnostics.
+//
+// solve_batch() is now a thin wrapper over this driver (bit-identical
+// results to the historical implementation); tools/storesched_cli.cpp is
+// the JSONL service front-end that makes multi-process sharding a shell
+// pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/solver.hpp"
+
+namespace storesched {
+
+/// Cooperative cancellation flag, shared between the caller and a running
+/// pipeline (and, via SolveOptions::cancel, individual solves). Thread-safe;
+/// request_cancel() is sticky.
+class CancelToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Pull-based instance stream. Sources are consumed by exactly one
+/// pipeline at a time; the driver serializes next() calls, so
+/// implementations need not be thread-safe.
+class InstanceSource {
+ public:
+  virtual ~InstanceSource() = default;
+
+  /// The next instance, or nullptr when the stream is exhausted. The
+  /// pointee must stay valid until the solve consuming it completes:
+  /// owning sources (generator, JSONL) return shared ownership, while
+  /// SpanSource hands out non-owning aliases into the caller's span --
+  /// no per-instance copy on the in-memory solve_batch path. May throw
+  /// (e.g. on malformed input); the pipeline stops and rethrows.
+  virtual std::shared_ptr<const Instance> next() = 0;
+
+  /// Total number of instances when known up front (spans, counted
+  /// generators); lets the driver right-size its worker crew.
+  virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+};
+
+/// Push-based result consumer. The driver serializes consume() calls
+/// (implementations need not be thread-safe) and never calls it twice for
+/// the same index. `index` is the 0-based position of the instance in its
+/// source's order.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void consume(std::size_t index, SolveResult result) = 0;
+};
+
+/// Source over an in-memory instance span (the solve_batch shape). Yields
+/// non-owning aliases: the span must outlive the pipeline run.
+class SpanSource final : public InstanceSource {
+ public:
+  explicit SpanSource(std::span<const Instance> instances)
+      : instances_(instances) {}
+  std::shared_ptr<const Instance> next() override;
+  std::optional<std::size_t> size_hint() const override {
+    return instances_.size();
+  }
+
+ private:
+  std::span<const Instance> instances_;
+  std::size_t cursor_ = 0;
+};
+
+/// Source over a generator callback: fn() returns instances until it
+/// returns nullopt. Pass `count` when the total is known so the driver can
+/// right-size its worker crew.
+class GeneratorSource final : public InstanceSource {
+ public:
+  explicit GeneratorSource(std::function<std::optional<Instance>()> fn,
+                           std::optional<std::size_t> count = std::nullopt)
+      : fn_(std::move(fn)), count_(count) {}
+  std::shared_ptr<const Instance> next() override;
+  std::optional<std::size_t> size_hint() const override { return count_; }
+
+ private:
+  std::function<std::optional<Instance>()> fn_;
+  std::optional<std::size_t> count_;
+};
+
+/// Source over instance JSONL text (one instance_from_jsonl() object per
+/// line; blank lines skipped). Malformed lines throw std::runtime_error
+/// naming the 1-based line number.
+class JsonlInstanceSource final : public InstanceSource {
+ public:
+  explicit JsonlInstanceSource(std::istream& in) : in_(in) {}
+  std::shared_ptr<const Instance> next() override;
+
+ private:
+  std::istream& in_;
+  std::size_t line_number_ = 0;
+};
+
+/// Sink that stores each result at its index in a caller-owned vector
+/// (presized to the expected count; out-of-range indices throw).
+class VectorSink final : public ResultSink {
+ public:
+  explicit VectorSink(std::vector<SolveResult>& results) : results_(results) {}
+  void consume(std::size_t index, SolveResult result) override;
+
+ private:
+  std::vector<SolveResult>& results_;
+};
+
+/// Sink that forwards each indexed result to a callback.
+class CallbackSink final : public ResultSink {
+ public:
+  explicit CallbackSink(std::function<void(std::size_t, SolveResult)> fn)
+      : fn_(std::move(fn)) {}
+  void consume(std::size_t index, SolveResult result) override {
+    fn_(index, std::move(result));
+  }
+
+ private:
+  std::function<void(std::size_t, SolveResult)> fn_;
+};
+
+/// What a JSONL result line carries beyond the always-present core fields
+/// (see result_to_jsonl below).
+struct JsonlResultOptions {
+  /// Emit the assignment ("proc") and, for timed schedules, start times
+  /// ("start") of feasible results. Off by default: at service scale the
+  /// objectives are the payload and schedules dominate the line size.
+  bool include_schedule = false;
+};
+
+/// One result as a single JSONL line (no trailing newline):
+///   {"index":I,"feasible":B,"cmax":C,"mmax":M,"delta":"F", ...}
+/// Optional fields (sum_ci, bounds, ratios, diagnostics, schedule) are
+/// omitted when absent. Infeasible results carry only index/feasible/
+/// delta/diagnostics.
+std::string result_to_jsonl(std::size_t index, const SolveResult& result,
+                            const JsonlResultOptions& options = {});
+
+/// Sink that writes one result_to_jsonl() line per result to a stream.
+class JsonlResultSink final : public ResultSink {
+ public:
+  explicit JsonlResultSink(std::ostream& out,
+                           const JsonlResultOptions& options = {})
+      : out_(out), options_(options) {}
+  void consume(std::size_t index, SolveResult result) override;
+
+ private:
+  std::ostream& out_;
+  JsonlResultOptions options_;
+};
+
+/// Tuning for the streaming driver.
+struct StreamOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). Never
+  /// more workers than the window, or than the source's size_hint.
+  int threads = 0;
+  /// Bound on in-flight instances (pulled from the source but not yet
+  /// delivered to the sink) -- the backpressure knob and the peak-memory
+  /// bound. 0 means 4x the worker count.
+  std::size_t window = 0;
+  /// Deliver results in input order (buffering at most `window` completed
+  /// results behind a straggler) or immediately as each solve completes.
+  bool ordered = true;
+  /// When set, the driver stops pulling new instances once the token is
+  /// cancelled; already-solving instances finish and are delivered.
+  std::shared_ptr<const CancelToken> cancel;
+};
+
+/// What a pipeline run did. `max_in_flight` is the observed high-water of
+/// pulled-but-undelivered instances -- always <= the window.
+struct StreamStats {
+  std::size_t pulled = 0;     ///< instances taken from the source
+  std::size_t delivered = 0;  ///< results handed to the sink
+  std::size_t feasible = 0;   ///< delivered results with feasible == true
+  std::size_t max_in_flight = 0;
+  bool cancelled = false;  ///< the run stopped on a CancelToken
+};
+
+/// Drives instances from `source` through `solver` into `sink` with a
+/// bounded in-flight window (see StreamOptions). Exceptions thrown by a
+/// solve, the source, or the sink cancel the remaining work and rethrow on
+/// the caller with the offending instance index attached to the message
+/// (original std::logic_error / std::invalid_argument / std::runtime_error
+/// types are preserved). With one worker the pipeline runs inline on the
+/// calling thread -- no threads, deterministic pull/solve/deliver order.
+StreamStats solve_stream(const Solver& solver, InstanceSource& source,
+                         ResultSink& sink, const SolveOptions& options = {},
+                         const StreamOptions& stream = {});
+
+}  // namespace storesched

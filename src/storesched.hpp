@@ -57,6 +57,9 @@
 // The unified solver API (registry, SolveResult, solve_batch, front).
 #include "core/solver.hpp"
 
+// The streaming pipeline (sources, sinks, solve_stream, JSONL wire format).
+#include "core/stream.hpp"
+
 // Execution backends.
 #include "sim/event_sim.hpp"
 #include "sim/online.hpp"

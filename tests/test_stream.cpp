@@ -1,0 +1,419 @@
+// Tests for the streaming solve pipeline (core/stream.hpp): batch/stream
+// equivalence, bounded-window backpressure, ordered vs as-completed
+// delivery, cooperative cancellation, per-solve deadlines, worker-exception
+// attribution, and the JSONL wire format.
+#include "core/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/dag.hpp"
+#include "common/generators.hpp"
+#include "common/io.hpp"
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "test_util.hpp"
+
+namespace storesched {
+namespace {
+
+using testing::make_instance;
+
+std::vector<Instance> random_instances(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  for (int i = 0; i < count; ++i) {
+    GenParams gp;
+    gp.n = static_cast<std::size_t>(rng.uniform_int(8, 30));
+    gp.m = static_cast<int>(rng.uniform_int(2, 5));
+    out.push_back(generate_uniform(gp, rng));
+  }
+  return out;
+}
+
+Instance small_dag_instance() {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  return Instance({{2, 1}, {3, 2}, {1, 1}}, 2, dag);
+}
+
+// ---------------------------------------------------------------------------
+// Batch/stream equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEquivalence, MatchesSolveBatchBitIdentically) {
+  const std::vector<Instance> instances = random_instances(30, 0xe1);
+  for (const char* spec : {"sbo:lpt,delta=1", "rls:input,delta=3"}) {
+    const auto solver = make_solver(spec);
+    const std::vector<SolveResult> expected =
+        solve_batch(*solver, instances, {}, {.threads = 1});
+    for (const bool ordered : {true, false}) {
+      std::vector<SolveResult> streamed(instances.size());
+      SpanSource source(instances);
+      VectorSink sink(streamed);
+      StreamOptions stream;
+      stream.threads = 4;
+      stream.window = 3;  // tighter than the batch: backpressure engaged
+      stream.ordered = ordered;
+      const StreamStats stats =
+          solve_stream(*solver, source, sink, {}, stream);
+      EXPECT_EQ(stats.pulled, instances.size());
+      EXPECT_EQ(stats.delivered, instances.size());
+      for (std::size_t i = 0; i < instances.size(); ++i) {
+        EXPECT_EQ(expected[i].schedule, streamed[i].schedule)
+            << spec << " instance " << i << " ordered=" << ordered;
+        EXPECT_EQ(expected[i].objectives, streamed[i].objectives);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: the window bounds pulled-but-undelivered instances.
+// ---------------------------------------------------------------------------
+
+TEST(StreamBackpressure, WindowBoundsInFlight) {
+  // A slow head-of-line instance in ordered mode is the worst case: the
+  // fast tail completes and buffers behind it, and only the window may
+  // absorb that. Both source and sink run under the driver lock, so the
+  // plain counters below are race-free by the pipeline's own contract.
+  constexpr std::size_t kCount = 80;
+  constexpr std::size_t kWindow = 4;
+  std::size_t pulled = 0;
+  std::size_t delivered = 0;
+  std::size_t max_outstanding = 0;
+
+  Rng rng(0xb9);
+  GenParams slow;
+  slow.n = 3000;
+  slow.m = 4;
+  const Instance head = generate_uniform(slow, rng);
+
+  GeneratorSource source(
+      [&]() -> std::optional<Instance> {
+        if (pulled >= kCount) return std::nullopt;
+        ++pulled;
+        if (pulled == 1) return head;
+        return make_instance({1, 2, 3}, {3, 2, 1}, 2);
+      },
+      kCount);
+  CallbackSink sink([&](std::size_t, SolveResult) {
+    max_outstanding = std::max(max_outstanding, pulled - delivered);
+    ++delivered;
+  });
+
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = kWindow;
+  stream.ordered = true;
+  const StreamStats stats =
+      solve_stream(*make_solver("rls:input,delta=3"), source, sink, {}, stream);
+
+  EXPECT_EQ(stats.pulled, kCount);
+  EXPECT_EQ(stats.delivered, kCount);
+  EXPECT_LE(stats.max_in_flight, kWindow);
+  EXPECT_LE(max_outstanding, kWindow);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery modes.
+// ---------------------------------------------------------------------------
+
+TEST(StreamOrdering, OrderedDeliversInInputOrder) {
+  const std::vector<Instance> instances = random_instances(40, 0x0d);
+  SpanSource source(instances);
+  std::vector<std::size_t> indices;
+  CallbackSink sink(
+      [&](std::size_t index, SolveResult) { indices.push_back(index); });
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = 5;
+  stream.ordered = true;
+  solve_stream(*make_solver("sbo:lpt,delta=1"), source, sink, {}, stream);
+  ASSERT_EQ(indices.size(), instances.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+}
+
+TEST(StreamOrdering, AsCompletedDeliversEveryIndexExactlyOnce) {
+  const std::vector<Instance> instances = random_instances(40, 0xac);
+  SpanSource source(instances);
+  std::vector<std::size_t> indices;
+  CallbackSink sink(
+      [&](std::size_t index, SolveResult) { indices.push_back(index); });
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = 5;
+  stream.ordered = false;
+  solve_stream(*make_solver("sbo:lpt,delta=1"), source, sink, {}, stream);
+  ASSERT_EQ(indices.size(), instances.size());
+  const std::set<std::size_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), instances.size());
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(StreamCancel, MidRunStopsPullingButDeliversInFlight) {
+  constexpr std::size_t kCount = 300;
+  for (const int threads : {1, 4}) {
+    auto token = std::make_shared<CancelToken>();
+    std::size_t pulled = 0;
+    GeneratorSource source(
+        [&]() -> std::optional<Instance> {
+          if (pulled >= kCount) return std::nullopt;
+          ++pulled;
+          return make_instance({2, 1, 3}, {1, 3, 2}, 2);
+        },
+        kCount);
+    std::size_t delivered = 0;
+    CallbackSink sink([&](std::size_t, SolveResult) {
+      if (++delivered == 10) token->request_cancel();
+    });
+    StreamOptions stream;
+    stream.threads = threads;
+    stream.window = 4;
+    stream.cancel = token;
+    const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                           source, sink, {}, stream);
+    EXPECT_TRUE(stats.cancelled) << "threads=" << threads;
+    EXPECT_GE(stats.delivered, 10u);
+    EXPECT_LT(stats.pulled, kCount);  // stopped pulling well short of the end
+    // Nothing pulled is ever dropped: in-flight work is still delivered.
+    EXPECT_EQ(stats.pulled, stats.delivered);
+    EXPECT_EQ(stats.pulled, pulled);
+  }
+}
+
+TEST(StreamCancel, PreCancelledTokenShortCircuitsSolve) {
+  auto token = std::make_shared<CancelToken>();
+  token->request_cancel();
+  SolveOptions options;
+  options.cancel = token;
+  const SolveResult r = make_solver("sbo:lpt,delta=1")
+                            ->solve(make_instance({1, 2}, {2, 1}, 2), options);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.diagnostics.find("cancelled"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-solve deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(StreamDeadline, ExpiredBudgetSurfacesAsInfeasibleWithDiagnostics) {
+  SolveOptions options;
+  options.deadline = std::chrono::nanoseconds(0);  // every solve overruns
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  const SolveResult direct = make_solver("rls:input,delta=3")->solve(inst, options);
+  EXPECT_FALSE(direct.feasible);
+  EXPECT_NE(direct.diagnostics.find("deadline exceeded"), std::string::npos);
+
+  const std::vector<Instance> instances = random_instances(8, 0xd1);
+  SpanSource source(instances);
+  std::size_t infeasible = 0;
+  CallbackSink sink([&](std::size_t, SolveResult r) {
+    if (!r.feasible) ++infeasible;
+    EXPECT_NE(r.diagnostics.find("deadline exceeded"), std::string::npos);
+  });
+  StreamOptions stream;
+  stream.threads = 2;
+  const StreamStats stats = solve_stream(*make_solver("sbo:lpt,delta=1"),
+                                         source, sink, options, stream);
+  EXPECT_EQ(stats.feasible, 0u);
+  EXPECT_EQ(infeasible, instances.size());
+}
+
+TEST(StreamDeadline, GenerousBudgetChangesNothing) {
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  const auto solver = make_solver("rls:input,delta=3");
+  SolveOptions options;
+  options.deadline = std::chrono::minutes(10);
+  const SolveResult with = solver->solve(inst, options);
+  const SolveResult without = solver->solve(inst);
+  ASSERT_TRUE(with.feasible);
+  EXPECT_EQ(with.schedule, without.schedule);
+  EXPECT_EQ(with.diagnostics, without.diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// Failure attribution.
+// ---------------------------------------------------------------------------
+
+TEST(StreamErrors, WorkerExceptionNamesTheFailingInstance) {
+  // An SBO batch hitting a precedence instance throws std::logic_error;
+  // the pipeline must preserve the type and attach the instance index.
+  std::vector<Instance> instances = random_instances(12, 0xfe);
+  instances[7] = small_dag_instance();
+  for (const int threads : {1, 4}) {
+    SpanSource source(instances);
+    std::vector<SolveResult> results(instances.size());
+    VectorSink sink(results);
+    StreamOptions stream;
+    stream.threads = threads;
+    try {
+      solve_stream(*make_solver("sbo:lpt,delta=1"), source, sink, {}, stream);
+      FAIL() << "expected std::logic_error (threads=" << threads << ")";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("instance 7"), std::string::npos)
+          << "message does not name the instance: " << e.what();
+    }
+  }
+}
+
+TEST(StreamErrors, SolveBatchNamesTheFailingInstanceToo) {
+  std::vector<Instance> instances = random_instances(10, 0xfb);
+  instances.push_back(small_dag_instance());  // index 10
+  try {
+    solve_batch("sbo:lpt,delta=1", instances, {}, {.threads = 4});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("instance 10"), std::string::npos)
+        << "message does not name the instance: " << e.what();
+  }
+}
+
+TEST(StreamErrors, VectorSinkRejectsOutOfRangeIndex) {
+  std::vector<SolveResult> results(2);
+  VectorSink sink(results);
+  EXPECT_THROW(sink.consume(2, SolveResult{}), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL wire format.
+// ---------------------------------------------------------------------------
+
+TEST(Jsonl, InstanceRoundTripsIndependentAndDag) {
+  const Instance indep = make_instance({5, 1, 4}, {1, 9, 2}, 3);
+  const Instance back = instance_from_jsonl(instance_to_jsonl(indep));
+  ASSERT_EQ(back.n(), indep.n());
+  EXPECT_EQ(back.m(), indep.m());
+  EXPECT_FALSE(back.has_precedence());
+  for (TaskId i = 0; i < static_cast<TaskId>(indep.n()); ++i) {
+    EXPECT_EQ(back.task(i), indep.task(i));
+  }
+
+  const Instance dag = small_dag_instance();
+  const Instance dag_back = instance_from_jsonl(instance_to_jsonl(dag));
+  ASSERT_TRUE(dag_back.has_precedence());
+  EXPECT_EQ(dag_back.dag(), dag.dag());
+  EXPECT_EQ(dag_back.m(), dag.m());
+}
+
+TEST(Jsonl, ParserAcceptsWhitespaceAndAnyKeyOrder) {
+  const Instance inst = instance_from_jsonl(
+      " { \"tasks\" : [ [3, 1] , [2,2] ] , \"m\" : 2 } ");
+  EXPECT_EQ(inst.n(), 2u);
+  EXPECT_EQ(inst.m(), 2);
+  EXPECT_EQ(inst.task(0).p, 3);
+}
+
+TEST(Jsonl, ParserRejectsMalformedLinesNamingTheProblem) {
+  EXPECT_THROW(instance_from_jsonl("{\"m\":2}"), std::runtime_error);
+  EXPECT_THROW(instance_from_jsonl("{\"tasks\":[[1,2]]}"), std::runtime_error);
+  EXPECT_THROW(instance_from_jsonl("{\"m\":0,\"tasks\":[[1,2]]}"),
+               std::runtime_error);
+  EXPECT_THROW(instance_from_jsonl("{\"m\":2,\"tasks\":[[1,2]],\"zap\":1}"),
+               std::runtime_error);
+  EXPECT_THROW(instance_from_jsonl("{\"m\":2,\"tasks\":[[1,2]]} trailing"),
+               std::runtime_error);
+  // Out-of-range edge and cycle both fail instance validation.
+  EXPECT_THROW(
+      instance_from_jsonl("{\"m\":2,\"tasks\":[[1,2],[2,1]],\"edges\":[[0,5]]}"),
+      std::runtime_error);
+  EXPECT_THROW(instance_from_jsonl(
+                   "{\"m\":2,\"tasks\":[[1,2],[2,1]],\"edges\":[[0,1],[1,0]]}"),
+               std::runtime_error);
+}
+
+TEST(Jsonl, SourceSkipsBlankLinesAndNamesTheMalformedLine) {
+  std::istringstream good(
+      "{\"m\":2,\"tasks\":[[1,2],[3,4]]}\n"
+      "\n"
+      "   \n"
+      "{\"m\":3,\"tasks\":[[5,6]]}\n");
+  JsonlInstanceSource source(good);
+  ASSERT_NE(source.next(), nullptr);
+  const std::shared_ptr<const Instance> second = source.next();
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->m(), 3);
+  EXPECT_EQ(source.next(), nullptr);
+
+  std::istringstream bad(
+      "{\"m\":2,\"tasks\":[[1,2]]}\n"
+      "\n"
+      "not json\n");
+  JsonlInstanceSource bad_source(bad);
+  ASSERT_NE(bad_source.next(), nullptr);
+  try {
+    bad_source.next();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Jsonl, ResultLinesCarryTheCoreFields) {
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  const SolveResult r = make_solver("rls:input,delta=3")->solve(inst);
+  ASSERT_TRUE(r.feasible);
+
+  const std::string line = result_to_jsonl(5, r);
+  EXPECT_NE(line.find("\"index\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"feasible\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"cmax\":"), std::string::npos);
+  EXPECT_NE(line.find("\"mmax\":"), std::string::npos);
+  EXPECT_NE(line.find("\"delta\":\"3\""), std::string::npos);
+  EXPECT_EQ(line.find("\"proc\""), std::string::npos);  // opt-in only
+
+  const std::string with_schedule =
+      result_to_jsonl(5, r, {.include_schedule = true});
+  EXPECT_NE(with_schedule.find("\"proc\":["), std::string::npos);
+  EXPECT_NE(with_schedule.find("\"start\":["), std::string::npos);
+
+  SolveResult infeasible;
+  infeasible.diagnostics = "a \"quoted\" cause";
+  const std::string bad = result_to_jsonl(0, infeasible);
+  EXPECT_NE(bad.find("\"feasible\":false"), std::string::npos);
+  EXPECT_EQ(bad.find("\"cmax\""), std::string::npos);
+  EXPECT_NE(bad.find("a \\\"quoted\\\" cause"), std::string::npos);
+}
+
+TEST(Jsonl, SinkAndSourceComposeIntoAPipeline) {
+  // instances -> JSONL text -> JsonlInstanceSource -> solve_stream ->
+  // JsonlResultSink -> one line per instance, in order.
+  const std::vector<Instance> instances = random_instances(6, 0x10);
+  std::ostringstream instance_text;
+  for (const Instance& inst : instances) {
+    instance_text << instance_to_jsonl(inst) << '\n';
+  }
+  std::istringstream in(instance_text.str());
+  std::ostringstream out;
+  JsonlInstanceSource source(in);
+  JsonlResultSink sink(out);
+  StreamOptions stream;
+  stream.threads = 2;
+  const StreamStats stats = solve_stream(*make_solver("sbo:lpt,delta=1"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, instances.size());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"index\":" + std::to_string(count)),
+              std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, instances.size());
+}
+
+}  // namespace
+}  // namespace storesched

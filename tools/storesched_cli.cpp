@@ -1,0 +1,392 @@
+// storesched_cli -- JSONL solve service for shell-pipeline sharding.
+//
+// Reads one instance per line on stdin (the instance_to_jsonl() format,
+// common/io.hpp) and streams one result per line on stdout via the bounded
+// solve_stream pipeline (core/stream.hpp), so a million-instance study is
+// a shell pipeline with O(window) memory per process:
+//
+//   ./storesched_cli --gen=1000000 > instances.jsonl
+//   split -n l/8 instances.jsonl shard.
+//   for s in shard.*; do
+//     ./storesched_cli --spec=rls:input,delta=3 < "$s" > "$s.out" &
+//   done; wait
+//
+// Modes:
+//   --spec=SPEC                solve stdin JSONL -> stdout JSONL (default)
+//   --gen=COUNT                emit COUNT synthetic instances as JSONL
+//   --check --spec=S --expect=F  re-solve stdin in-process (solve_batch) and
+//                              diff objectives against the result JSONL in F
+//   --list-specs               print the canonical solver registry
+//
+// Exit status: 0 on success; 1 on usage errors, malformed input (naming the
+// line), or --check mismatches. Wire format details: docs/SOLVER_SPECS.md.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "storesched.hpp"
+
+namespace {
+
+using namespace storesched;
+
+struct CliOptions {
+  std::string spec;
+  std::optional<Mem> capacity;
+  bool validate = false;
+  std::optional<double> deadline_ms;
+  int threads = 0;
+  std::size_t window = 0;
+  bool ordered = true;
+  bool include_schedule = false;
+  std::string input_path;   // empty = stdin
+  std::string output_path;  // empty = stdout
+
+  // --gen mode.
+  std::optional<std::size_t> gen_count;
+  std::size_t gen_n = 20;
+  int gen_m = 4;
+  std::string gen_kind = "uniform";  // or a DAG family via --gen-dag
+  std::string gen_dag;
+  std::uint64_t seed = 1;
+
+  // --check mode.
+  bool check = false;
+  std::string expect_path;
+
+  bool list_specs = false;
+  bool help = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: storesched_cli --spec=SPEC [options] < in.jsonl > out.jsonl\n"
+        "       storesched_cli --gen=COUNT [--gen-n=N] [--gen-m=M]\n"
+        "                      [--gen-kind=KIND | --gen-dag=FAMILY] [--seed=S]\n"
+        "       storesched_cli --check --spec=SPEC --expect=RESULTS.jsonl\n"
+        "       storesched_cli --list-specs\n"
+        "\n"
+        "Solve mode (default): one instance JSON object per input line, one\n"
+        "result JSON object per output line; O(window) memory, any input size.\n"
+        "  --spec=SPEC        solver spec (docs/SOLVER_SPECS.md)\n"
+        "  --capacity=N       memory capacity for constrained:* solvers\n"
+        "  --validate         validate every feasible schedule\n"
+        "  --deadline-ms=X    per-solve wall-clock budget (0 = none);\n"
+        "                     over-budget solves come back infeasible with\n"
+        "                     the cause in diagnostics\n"
+        "  --threads=N        worker threads (0 = hardware)\n"
+        "  --window=N         in-flight window (0 = 4x workers)\n"
+        "  --as-completed     emit results as they finish (default: in input\n"
+        "                     order); lines carry their input index either way\n"
+        "  --schedule         include \"proc\" (and \"start\") in result lines\n"
+        "  --input=P/--output=P  read/write files instead of stdin/stdout\n"
+        "\n"
+        "Gen mode: KIND in {uniform, correlated, anticorrelated, bimodal},\n"
+        "or --gen-dag in {layered, random, forkjoin, cholesky, fft, soc}.\n"
+        "\n"
+        "Check mode: re-solves the input instances in-process (solve_batch)\n"
+        "and diffs feasibility + (Cmax, Mmax) against --expect; exits 1 on\n"
+        "any mismatch. Accepts --capacity/--threads; --expect lines may be\n"
+        "in any order (they carry indices).\n";
+}
+
+std::int64_t parse_int_flag(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("malformed value for " + flag + ": \"" + value +
+                             "\"");
+  }
+}
+
+/// For count/size flags, where a negative would wrap to a huge size_t
+/// (--gen=-1 must not stream 1.8e19 instances).
+std::int64_t parse_count_flag(const std::string& flag,
+                              const std::string& value) {
+  const std::int64_t v = parse_int_flag(flag, value);
+  if (v < 0) {
+    throw std::runtime_error(flag.substr(0, flag.find('=')) +
+                             " must be non-negative, got " + value);
+  }
+  return v;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+    } else if (arg == "--list-specs") {
+      cli.list_specs = true;
+    } else if (arg.rfind("--spec=", 0) == 0) {
+      cli.spec = value_of("--spec=");
+    } else if (arg.rfind("--capacity=", 0) == 0) {
+      cli.capacity = parse_int_flag(arg, value_of("--capacity="));
+    } else if (arg == "--validate") {
+      cli.validate = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      cli.deadline_ms =
+          static_cast<double>(parse_count_flag(arg, value_of("--deadline-ms=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads =
+          static_cast<int>(parse_int_flag(arg, value_of("--threads=")));
+    } else if (arg.rfind("--window=", 0) == 0) {
+      cli.window =
+          static_cast<std::size_t>(parse_count_flag(arg, value_of("--window=")));
+    } else if (arg == "--as-completed") {
+      cli.ordered = false;
+    } else if (arg == "--schedule") {
+      cli.include_schedule = true;
+    } else if (arg.rfind("--input=", 0) == 0) {
+      cli.input_path = value_of("--input=");
+    } else if (arg.rfind("--output=", 0) == 0) {
+      cli.output_path = value_of("--output=");
+    } else if (arg.rfind("--gen=", 0) == 0) {
+      cli.gen_count =
+          static_cast<std::size_t>(parse_count_flag(arg, value_of("--gen=")));
+    } else if (arg.rfind("--gen-n=", 0) == 0) {
+      cli.gen_n =
+          static_cast<std::size_t>(parse_count_flag(arg, value_of("--gen-n=")));
+    } else if (arg.rfind("--gen-m=", 0) == 0) {
+      cli.gen_m = static_cast<int>(parse_int_flag(arg, value_of("--gen-m=")));
+    } else if (arg.rfind("--gen-kind=", 0) == 0) {
+      cli.gen_kind = value_of("--gen-kind=");
+    } else if (arg.rfind("--gen-dag=", 0) == 0) {
+      cli.gen_dag = value_of("--gen-dag=");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cli.seed =
+          static_cast<std::uint64_t>(parse_int_flag(arg, value_of("--seed=")));
+    } else if (arg == "--check") {
+      cli.check = true;
+    } else if (arg.rfind("--expect=", 0) == 0) {
+      cli.expect_path = value_of("--expect=");
+    } else {
+      throw std::runtime_error("unknown flag \"" + arg +
+                               "\" (--help for usage)");
+    }
+  }
+  return cli;
+}
+
+SolveOptions solve_options_from(const CliOptions& cli) {
+  SolveOptions options;
+  options.memory_capacity = cli.capacity;
+  options.validate = cli.validate;
+  // 0 means "no deadline", matching the tool's --threads=0/--window=0
+  // use-the-default convention (a 0 ns budget would fail every solve).
+  if (cli.deadline_ms && *cli.deadline_ms > 0) {
+    options.deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double, std::milli>(*cli.deadline_ms));
+  }
+  return options;
+}
+
+int run_gen(const CliOptions& cli, std::ostream& out) {
+  Rng rng(cli.seed);
+  for (std::size_t i = 0; i < *cli.gen_count; ++i) {
+    Instance inst = [&] {
+      if (!cli.gen_dag.empty()) {
+        return generate_dag_by_name(cli.gen_dag, cli.gen_n, cli.gen_m, {},
+                                    rng);
+      }
+      GenParams gp;
+      gp.n = cli.gen_n;
+      gp.m = cli.gen_m;
+      return generate_by_name(cli.gen_kind, gp, rng);
+    }();
+    out << instance_to_jsonl(inst) << '\n';
+  }
+  // Same invariant as run_solve: a truncated instance file must not
+  // exit 0, or a sharded study silently runs on fewer instances.
+  out.flush();
+  if (!out) throw std::runtime_error("writing instances failed");
+  return 0;
+}
+
+int run_solve(const CliOptions& cli, std::istream& in, std::ostream& out) {
+  const auto solver = make_solver(cli.spec);
+  JsonlInstanceSource source(in);
+  JsonlResultSink sink(out, {.include_schedule = cli.include_schedule});
+  StreamOptions stream;
+  stream.threads = cli.threads;
+  stream.window = cli.window;
+  stream.ordered = cli.ordered;
+  const StreamStats stats =
+      solve_stream(*solver, source, sink, solve_options_from(cli), stream);
+  // A result line lost to a failed final flush must not exit 0: a
+  // downstream shard merge would silently drop it.
+  out.flush();
+  if (!out) throw std::runtime_error("writing results failed");
+  std::cerr << "[storesched_cli] " << solver->name() << ": " << stats.delivered
+            << " results (" << stats.feasible << " feasible), max "
+            << stats.max_in_flight << " in flight\n";
+  return 0;
+}
+
+/// Scans a result JSONL line for "key":<integer>. Returns nullopt when the
+/// key is absent (e.g. cmax on an infeasible line).
+std::optional<std::int64_t> scan_int_field(const std::string& line,
+                                           const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return std::stoll(line.substr(at + needle.size()));
+}
+
+int run_check(const CliOptions& cli, std::istream& in) {
+  // Expected objectives, keyed by index (shards may emit out of order).
+  std::ifstream expect(cli.expect_path);
+  if (!expect) {
+    throw std::runtime_error("cannot read --expect=" + cli.expect_path);
+  }
+  struct Expected {
+    bool feasible = false;
+    std::int64_t cmax = 0;
+    std::int64_t mmax = 0;
+  };
+  std::vector<std::optional<Expected>> expected;
+  std::string line;
+  while (std::getline(expect, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::optional<std::int64_t> index = scan_int_field(line, "index");
+    if (!index || *index < 0) {
+      throw std::runtime_error("--expect line without an index: " + line);
+    }
+    Expected e;
+    e.feasible = line.find("\"feasible\":true") != std::string::npos;
+    if (e.feasible) {
+      const auto cmax = scan_int_field(line, "cmax");
+      const auto mmax = scan_int_field(line, "mmax");
+      if (!cmax || !mmax) {
+        throw std::runtime_error("--expect feasible line without objectives: " +
+                                 line);
+      }
+      e.cmax = *cmax;
+      e.mmax = *mmax;
+    }
+    const auto i = static_cast<std::size_t>(*index);
+    if (i >= expected.size()) expected.resize(i + 1);
+    if (expected[i]) {
+      throw std::runtime_error("--expect has two lines for index " +
+                               std::to_string(i));
+    }
+    expected[i] = e;
+  }
+
+  // Re-solve in-process through the batch API (itself a solve_stream
+  // wrapper, but an independent path through VectorSink + solve_batch).
+  std::vector<Instance> instances;
+  JsonlInstanceSource source(in);
+  while (std::shared_ptr<const Instance> inst = source.next()) {
+    instances.push_back(*inst);
+  }
+  const std::vector<SolveResult> results = solve_batch(
+      cli.spec, instances, solve_options_from(cli), {.threads = cli.threads});
+
+  std::size_t mismatches = 0;
+  if (expected.size() != results.size()) {
+    std::cerr << "check: " << results.size() << " instances but "
+              << expected.size() << " expected results\n";
+    ++mismatches;
+  }
+  const std::size_t common = std::min(expected.size(), results.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!expected[i]) {
+      std::cerr << "check: no expected result for index " << i << "\n";
+      ++mismatches;
+      continue;
+    }
+    const SolveResult& got = results[i];
+    if (expected[i]->feasible != got.feasible) {
+      std::cerr << "check: index " << i << " feasibility mismatch (expected "
+                << expected[i]->feasible << ", solved " << got.feasible
+                << ")\n";
+      ++mismatches;
+    } else if (got.feasible && (expected[i]->cmax != got.objectives.cmax ||
+                                expected[i]->mmax != got.objectives.mmax)) {
+      std::cerr << "check: index " << i << " objectives mismatch (expected ("
+                << expected[i]->cmax << ", " << expected[i]->mmax
+                << "), solved (" << got.objectives.cmax << ", "
+                << got.objectives.mmax << "))\n";
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    std::cerr << "check: " << mismatches << " mismatch(es) against "
+              << cli.expect_path << "\n";
+    return 1;
+  }
+  std::cerr << "check: " << results.size() << " results match "
+            << cli.expect_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions cli = parse_cli(argc, argv);
+    if (cli.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (cli.list_specs) {
+      for (const std::string& spec : registered_solver_specs()) {
+        std::cout << spec << '\n';
+      }
+      return 0;
+    }
+    if (cli.gen_count) {
+      std::ofstream out_file;
+      if (!cli.output_path.empty()) {
+        out_file.open(cli.output_path);
+        if (!out_file) {
+          throw std::runtime_error("cannot write --output=" + cli.output_path);
+        }
+      }
+      return run_gen(cli, cli.output_path.empty() ? std::cout : out_file);
+    }
+    if (cli.spec.empty()) {
+      print_usage(std::cerr);
+      return 1;
+    }
+
+    std::ifstream in_file;
+    if (!cli.input_path.empty()) {
+      in_file.open(cli.input_path);
+      if (!in_file) {
+        throw std::runtime_error("cannot read --input=" + cli.input_path);
+      }
+    }
+    std::istream& in = cli.input_path.empty() ? std::cin : in_file;
+
+    if (cli.check) {
+      if (cli.expect_path.empty()) {
+        throw std::runtime_error("--check requires --expect=RESULTS.jsonl");
+      }
+      return run_check(cli, in);
+    }
+
+    std::ofstream out_file;
+    if (!cli.output_path.empty()) {
+      out_file.open(cli.output_path);
+      if (!out_file) {
+        throw std::runtime_error("cannot write --output=" + cli.output_path);
+      }
+    }
+    return run_solve(cli, in, cli.output_path.empty() ? std::cout : out_file);
+  } catch (const std::exception& e) {
+    std::cerr << "storesched_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
