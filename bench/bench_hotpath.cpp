@@ -2,10 +2,12 @@
 //
 // Measures the engine rewrites this repo's perf trajectory tracks:
 //
-//   1. RLS: the incremental engine (rls_schedule_fast) against the seed's
+//   1. RLS: the ready-event kernel (rls_schedule_fast) against the seed's
 //      O(n^2 m) exact-Fraction rescan (rls_schedule_reference), at
-//      n in {1k, 5k, 20k} x m in {16, 256} on independent tasks plus one
-//      DAG cell. Every measured cell also asserts the two engines produce
+//      n in {1k, 5k, 20k} x m in {16, 256} on independent tasks plus two
+//      DAG cells -- the n=5000 layered / m=64 one is gated (the kernel's
+//      per-step cost must stay independent of the ready-frontier width).
+//      Every measured cell also asserts the two engines produce
 //      bit-identical schedules.
 //   2. Delta sweeps: sbo_front's ingredient-reuse sweep against the old
 //      one-full-SBO-run-per-grid-point loop.
@@ -175,12 +177,13 @@ int main(int argc, char** argv) {
   const std::vector<Cell> cells{
       {1000, 16, false},  {1000, 256, false}, {5000, 16, false},
       {5000, 256, false}, {20000, 16, false}, {20000, 256, false},
-      {2000, 16, true},
+      {2000, 16, true},   {5000, 64, true},
   };
 
   std::cout << "\nRLS_Delta (delta = 5/2, input order): fast vs reference\n";
   std::vector<std::vector<std::string>> rows;
   double headline_speedup = 0.0;
+  double dag_speedup = 0.0;
   std::uint64_t seed = 0x5eed;
   for (const Cell& cell : cells) {
     Instance inst = uniform_instance(cell.n, cell.m, seed++);
@@ -227,6 +230,9 @@ int main(int argc, char** argv) {
     const double speedup = ref_skipped || fast_ms <= 0 ? 0.0 : ref_ms / fast_ms;
     if (!cell.dag && cell.n == 5000 && cell.m == 256) {
       headline_speedup = speedup;
+    }
+    if (cell.dag && cell.n == 5000 && cell.m == 64) {
+      dag_speedup = speedup;
     }
 
     const std::string ref_label = ref_skipped ? "skipped (budget)"
@@ -332,17 +338,27 @@ int main(int argc, char** argv) {
 
   // --- Headline + regression gate. ---------------------------------------
   std::cout << "\nheadline: RLS fast-vs-reference speedup at n=5000, m=256 = "
-            << fmt(headline_speedup, 1) << "x; pareto b&b speedup at n=16 = "
+            << fmt(headline_speedup, 1)
+            << "x; DAG kernel speedup at n=5000 layered, m=64 = "
+            << fmt(dag_speedup, 1) << "x; pareto b&b speedup at n=16 = "
             << fmt(pareto_speedup, 1) << "x\n";
   report.add("headline", {{"n", 5000},
                           {"m", 256},
                           {"speedup", headline_speedup},
+                          {"dag_speedup", dag_speedup},
                           {"sweep_speedup", sweep_speedup},
                           {"pareto_speedup", pareto_speedup},
                           {"trend", trend}});
   report.finish();
 
   double floor = 10.0;  // the acceptance bar stands on its own
+  // The DAG kernel's acceptance bar: a ready-set-bounded regression (the
+  // pre-kernel dirty rescans) lands well under 50x on wide layered DAGs.
+  // The measured value (~82x at baseline time) sits closer to this hard
+  // floor than the other gates do to theirs; that is deliberate -- 50x is
+  // the acceptance criterion itself, and a cross-machine wobble large
+  // enough to halve the ratio would equally indicate a real problem.
+  double dag_floor = 50.0;
   // The pareto cell sits where the walker is still runnable, so the
   // measured gap is modest (the real win is reach -- see
   // bench_pareto_exact); 1.5 guards the "b&b never loses to brute
@@ -353,15 +369,23 @@ int main(int argc, char** argv) {
         baseline_record(baseline_text, "headline", {});
     const double base = record_field(headline, "speedup");
     floor = std::max(floor, 0.2 * base);
+    const double dag_base = record_field(headline, "dag_speedup");
+    dag_floor = std::max(dag_floor, 0.2 * dag_base);
     const double pareto_base = record_field(headline, "pareto_speedup");
     pareto_floor = std::max(pareto_floor, 0.2 * pareto_base);
     std::cout << "baseline speedups " << fmt(base, 1) << "x / "
-              << fmt(pareto_base, 1) << "x (pareto) -> regression floors "
-              << fmt(floor, 1) << "x / " << fmt(pareto_floor, 1) << "x\n";
+              << fmt(dag_base, 1) << "x (dag) / " << fmt(pareto_base, 1)
+              << "x (pareto) -> regression floors " << fmt(floor, 1) << "x / "
+              << fmt(dag_floor, 1) << "x / " << fmt(pareto_floor, 1) << "x\n";
   }
   if (headline_speedup < floor) {
     std::cout << "HOTPATH REGRESSION: headline speedup " << fmt(headline_speedup, 1)
               << "x below floor " << fmt(floor, 1) << "x\n";
+    return 1;
+  }
+  if (dag_speedup < dag_floor) {
+    std::cout << "HOTPATH REGRESSION: DAG kernel speedup " << fmt(dag_speedup, 1)
+              << "x below floor " << fmt(dag_floor, 1) << "x\n";
     return 1;
   }
   if (pareto_speedup < pareto_floor) {

@@ -131,6 +131,23 @@ std::size_t Dag::sink_count() const {
   return c;
 }
 
+DagFrontierView::DagFrontierView(const Dag& dag) {
+  const std::size_t n = dag.n();
+  offset_.resize(n + 1, 0);
+  indeg_.resize(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    offset_[u + 1] =
+        offset_[u] + dag.out_degree(static_cast<TaskId>(u));
+    indeg_[u] =
+        static_cast<std::uint32_t>(dag.in_degree(static_cast<TaskId>(u)));
+  }
+  succ_.resize(offset_[n]);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto s = dag.succs(static_cast<TaskId>(u));
+    std::copy(s.begin(), s.end(), succ_.begin() + static_cast<std::ptrdiff_t>(offset_[u]));
+  }
+}
+
 Dag Dag::reversed() const {
   Dag r(n());
   for (std::size_t u = 0; u < n(); ++u) {

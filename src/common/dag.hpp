@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -77,6 +78,37 @@ class Dag {
   std::vector<std::vector<TaskId>> preds_;
   std::vector<std::vector<TaskId>> succs_;
   std::size_t edge_count_ = 0;
+};
+
+/// Flat CSR snapshot of a Dag, shaped for incremental ready-frontier
+/// updates: successor lists concatenated into one contiguous array plus an
+/// in-degree vector, so the per-placement work of a list scheduler
+/// (decrement successor in-degrees, enqueue the ones that hit zero) walks
+/// linear memory instead of chasing one heap vector per node. Built once
+/// per solve in O(n + e); the Dag itself stays the mutable builder type.
+class DagFrontierView {
+ public:
+  explicit DagFrontierView(const Dag& dag);
+
+  std::size_t n() const { return offset_.size() - 1; }
+
+  std::span<const TaskId> succs(TaskId u) const {
+    const auto ui = static_cast<std::size_t>(u);
+    return {succ_.data() + offset_[ui], offset_[ui + 1] - offset_[ui]};
+  }
+
+  std::uint32_t in_degree(TaskId v) const {
+    return indeg_[static_cast<std::size_t>(v)];
+  }
+
+  /// A mutable copy of the in-degrees (the usual "missing predecessors"
+  /// working array of a frontier walk).
+  std::vector<std::uint32_t> in_degrees() const { return indeg_; }
+
+ private:
+  std::vector<TaskId> succ_;          ///< concatenated successor lists
+  std::vector<std::size_t> offset_;   ///< n + 1 offsets into succ_
+  std::vector<std::uint32_t> indeg_;  ///< predecessor counts
 };
 
 }  // namespace storesched

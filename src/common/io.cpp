@@ -201,14 +201,21 @@ std::string instance_to_jsonl(const Instance& inst) {
 
 namespace {
 
+/// "line N: " when the stream position is known, empty otherwise.
+std::string line_prefix(std::size_t line_number) {
+  return line_number > 0 ? "line " + std::to_string(line_number) + ": " : "";
+}
+
 /// Minimal cursor over the fixed instance-line schema. Not a general JSON
 /// parser: objects of known keys, arrays of integer pairs, nothing else.
 struct JsonCursor {
   const std::string& text;
+  std::size_t line_number;  ///< 1-based position in the stream; 0 = unknown
   std::size_t pos = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("instance_from_jsonl: " + what + " at byte " +
+    throw std::runtime_error("instance_from_jsonl: " +
+                             line_prefix(line_number) + what + " at byte " +
                              std::to_string(pos));
   }
 
@@ -279,8 +286,9 @@ struct JsonCursor {
 
 }  // namespace
 
-Instance instance_from_jsonl(const std::string& line) {
-  JsonCursor cur{line};
+Instance instance_from_jsonl(const std::string& line,
+                             std::size_t line_number) {
+  JsonCursor cur{line, line_number};
   std::optional<int> m;
   std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>> task_pairs;
   std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>> edge_pairs;
@@ -331,7 +339,8 @@ Instance instance_from_jsonl(const std::string& line) {
   } catch (const std::invalid_argument& e) {
     // Instance/Dag validation reports as std::invalid_argument; the wire
     // contract is one exception type for any malformed line.
-    throw std::runtime_error(std::string("instance_from_jsonl: ") + e.what());
+    throw std::runtime_error("instance_from_jsonl: " +
+                             line_prefix(line_number) + e.what());
   }
 }
 

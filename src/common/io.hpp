@@ -62,8 +62,12 @@ std::string instance_to_jsonl(const Instance& inst);
 /// key order are accepted; "m" and "tasks" are required. Throws
 /// std::runtime_error naming the offending token on malformed input,
 /// unknown keys, or an invalid instance (bad m, negative weights, cyclic
-/// or out-of-range edges).
-Instance instance_from_jsonl(const std::string& line);
+/// or out-of-range edges). Pass the 1-based `line_number` of the line in
+/// its stream so the error also names it -- a bad line deep in a
+/// million-line JSONL stream is unlocatable from the byte offset alone
+/// (0 = unknown, omit the prefix).
+Instance instance_from_jsonl(const std::string& line,
+                             std::size_t line_number = 0);
 
 /// Formats a double with the given number of decimals (fixed notation).
 std::string fmt(double v, int decimals = 3);

@@ -1,11 +1,10 @@
 #include "core/rls.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
-#include <set>
+#include <memory>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
 #include "common/env.hpp"
@@ -61,241 +60,169 @@ void check_marked_bound(const RlsResult& result, const Fraction& delta,
 }
 
 // ---------------------------------------------------------------------------
-// Fast engine, independent tasks.
+// Fast engine: the ready-event kernel (rls_engine.hpp), one code path for
+// independent and precedence-constrained instances.
 //
-// Every task is ready from the start, so a step's winner is the
-// lowest-rank task on the lowest load level that has memory headroom for
-// it. Processors live in a (load, id)-ordered set walked in equal-load
-// groups; a segment tree over ranks answers "highest-priority task with
-// s <= headroom" per group in O(log n). Processors walked past before the
-// winning group are exactly the strictly-less-loaded ones Lemma 4 marks.
-// Typical cost is O(n (log n + log m)); adversarially memory-tight
-// instances can lengthen the group walk toward O(m) per step, still far
-// below the reference's O(n m) per step.
+// Each step finds  argmin over ready tasks of (earliest start, rank)  by
+// sweeping *time events* upward from the previous placement's start T
+// (start times are non-decreasing under list scheduling, so the sweep
+// never rewinds). Events are processor load levels and ready-task release
+// times, merged in ascending order; the sweep keeps a running maximum H of
+// the headroom over every processor whose load it has passed, and after
+// each event asks the released pool for the highest-priority task with
+// s <= H -- one log-time descent. The first hit at event time t is exactly
+// the reference scan's winner with earliest start t:
+//
+//   * a pool task found at t fits some passed processor (load <= t) and
+//     fit none at any earlier event, so its load component is exactly t
+//     (or <= T, in which case monotonicity pins its start to T = t);
+//   * a bucket task merged at its release r and found there starts at r;
+//   * any ready task not yet visible (release > t) or not yet fitting
+//     (s > H) provably starts later.
+//
+// The placed processor is then re-derived by the (load, id)-ordered group
+// walk -- first group with a fitting processor -- and every processor in a
+// strictly earlier group was skipped for memory while strictly less
+// loaded: exactly the set Lemma 4 marks, exactly as the reference records
+// it. The independent case is the trivial instantiation: every task is
+// released at time 0 and the bucket map stays empty.
+//
+// Processor bookkeeping is one insertion-sorted (load, id) vector: the
+// sweep, the placement walk and the min-memsize witness scan all run over
+// contiguous memory, and a placement is two bounded memmoves. That is
+// formally O(m) per step, but m is hundreds at most while n reaches the
+// tens of thousands -- a red-black tree's pointer chases lose to these
+// scans at every benched size, and the per-step cost that actually scales
+// with the instance (the frontier) stays logarithmic.
+//
+// Per-step cost: O(log n) pool/witness descents plus the O(m) contiguous
+// processor pass. The ready-frontier width -- the quantity that made wide
+// layered/fork-join DAGs quadratic under the old per-placement dirty
+// rescans -- no longer appears.
 // ---------------------------------------------------------------------------
 
-void solve_independent(const Instance& inst, const RlsContext& ctx,
-                       RlsResult& result) {
+void solve_kernel(const Instance& inst, const RlsContext& ctx,
+                  RlsResult& result) {
   const std::size_t n = inst.n();
   const int m = inst.m();
+  const bool prec = inst.has_precedence();
 
   std::vector<Time> load(static_cast<std::size_t>(m), 0);
   std::vector<Mem> memsize(static_cast<std::size_t>(m), 0);
-  std::set<std::pair<Time, ProcId>> by_load;
-  std::multiset<Mem> mem_used;
-  for (ProcId q = 0; q < m; ++q) {
-    by_load.emplace(0, q);
-    mem_used.insert(0);
-  }
+  // (load, id)-sorted; see the bookkeeping note above.
+  std::vector<std::pair<Time, ProcId>> procs;
+  procs.reserve(static_cast<std::size_t>(m));
+  for (ProcId q = 0; q < m; ++q) procs.emplace_back(0, q);
 
-  rls_detail::StorageTree by_rank(n);  // active = unscheduled, keyed by rank
-  rls_detail::StorageTree by_id(n);    // active = unscheduled, keyed by id
-  for (TaskId i = 0; i < static_cast<TaskId>(n); ++i) {
-    by_rank.set(ctx.rank[static_cast<std::size_t>(i)], inst.task(i).s);
-    by_id.set(static_cast<std::size_t>(i), inst.task(i).s);
-  }
-
-  for (std::size_t step = 0; step < n; ++step) {
-    // Infeasibility witness: the lowest task id whose storage exceeds every
-    // processor's headroom (budgets only shrink, so it can never be placed).
-    const Mem headroom_max = ctx.cap_floor - *mem_used.begin();
-    if (by_id.max_active() > headroom_max) {
-      result.feasible = false;
-      result.stuck_task =
-          static_cast<TaskId>(by_id.leftmost_gt(headroom_max));
-      return;
-    }
-
-    // Walk load levels upward until one has headroom for some task.
-    TaskId task = -1;
-    ProcId chosen = kNoProc;
-    Time level = 0;
-    for (auto it = by_load.begin(); it != by_load.end();) {
-      level = it->first;
-      auto group_end = it;
-      Mem group_headroom = std::numeric_limits<Mem>::min();
-      while (group_end != by_load.end() && group_end->first == level) {
-        group_headroom = std::max(
-            group_headroom,
-            ctx.cap_floor - memsize[static_cast<std::size_t>(group_end->second)]);
-        ++group_end;
-      }
-      const std::size_t pos = by_rank.leftmost_le(group_headroom);
-      if (pos != rls_detail::kNoPos) {
-        task = ctx.order[pos];
-        const Mem s = inst.task(task).s;
-        for (auto jt = it; jt != group_end; ++jt) {
-          if (ctx.cap_floor - memsize[static_cast<std::size_t>(jt->second)] >=
-              s) {
-            chosen = jt->second;
-            break;
-          }
-        }
-        break;
-      }
-      // No task fits this level: its processors are strictly less loaded
-      // than the eventual choice and were skipped for memory (Lemma 4).
-      for (auto jt = it; jt != group_end; ++jt) mark_processor(result, jt->second);
-      it = group_end;
-    }
-    assert(task != -1 && chosen != kNoProc);
-
-    result.schedule.assign(task, chosen, level);
-    const std::size_t qi = static_cast<std::size_t>(chosen);
-    by_load.erase({load[qi], chosen});
-    mem_used.erase(mem_used.find(memsize[qi]));
-    load[qi] = level + inst.task(task).p;
-    memsize[qi] += inst.task(task).s;
-    by_load.emplace(load[qi], chosen);
-    mem_used.insert(memsize[qi]);
-    by_rank.clear(ctx.rank[static_cast<std::size_t>(task)]);
-    by_id.clear(static_cast<std::size_t>(task));
-  }
-  result.feasible = true;
-}
-
-// ---------------------------------------------------------------------------
-// Fast engine, precedence-constrained tasks.
-//
-// Ready tasks cache their (processor, earliest start) decision; a lazy
-// min-heap keyed by (earliest start, rank) yields each step's winner. A
-// placement changes exactly one processor, so only the ready tasks whose
-// cached choice is that processor (tracked in per-processor buckets) are
-// recomputed -- every other cached decision provably still holds: the
-// updated processor got strictly worse on both load and headroom while all
-// others are untouched. Per-step cost is O(dirty * m) worst case but
-// O(log) typical; the ready set, not n, bounds the dirty set.
-// ---------------------------------------------------------------------------
-
-void solve_dag(const Instance& inst, const RlsContext& ctx,
-               RlsResult& result) {
-  const std::size_t n = inst.n();
-  const int m = inst.m();
-  const Dag& dag = inst.dag();
-
-  std::vector<Time> load(static_cast<std::size_t>(m), 0);
-  std::vector<Mem> memsize(static_cast<std::size_t>(m), 0);
-  std::set<std::pair<Time, ProcId>> by_load;
-  std::multiset<Mem> mem_used;
-  for (ProcId q = 0; q < m; ++q) {
-    by_load.emplace(0, q);
-    mem_used.insert(0);
-  }
-
-  std::vector<std::size_t> missing_preds(n, 0);
-  std::vector<Time> pred_finish(n, 0);
+  rls_detail::ReadyFrontier frontier(n, ctx.order, ctx.rank);
   std::vector<bool> placed(n, false);
-  std::vector<bool> is_ready(n, false);
-  std::multiset<Mem> ready_s;
+  std::vector<Time> pred_finish(prec ? n : 0, 0);
+  std::unique_ptr<DagFrontierView> view;
+  if (prec) view = std::make_unique<DagFrontierView>(inst.dag());
+  std::vector<std::uint32_t> missing_preds =
+      rls_detail::seed_frontier(inst, view.get(), frontier);
 
-  std::vector<ProcId> cached_proc(n, kNoProc);
-  std::vector<Time> cached_start(n, 0);
-  std::vector<std::uint32_t> stamp(n, 0);
-  std::vector<std::vector<TaskId>> bucket(static_cast<std::size_t>(m));
-  // (earliest start, rank, task, stamp); stale stamps are skipped on pop.
-  using HeapEntry = std::tuple<Time, std::size_t, TaskId, std::uint32_t>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-
-  const auto compute = [&](TaskId t) {
-    const std::size_t ti = static_cast<std::size_t>(t);
-    const Mem s = inst.task(t).s;
-    ++stamp[ti];
-    cached_proc[ti] = kNoProc;
-    // Least-loaded (then lowest-id) processor with headroom for t.
-    for (const auto& [lvl, q] : by_load) {
-      if (ctx.cap_floor - memsize[static_cast<std::size_t>(q)] >= s) {
-        cached_proc[ti] = q;
-        cached_start[ti] = std::max(lvl, pred_finish[ti]);
-        bucket[static_cast<std::size_t>(q)].push_back(t);
-        heap.emplace(cached_start[ti], ctx.rank[ti], t, stamp[ti]);
-        return;
-      }
-    }
-    // Fits nowhere: the per-step infeasibility check below reports it (the
-    // max ready storage now exceeds the max headroom).
-  };
-
-  for (TaskId i = 0; i < static_cast<TaskId>(n); ++i) {
-    missing_preds[static_cast<std::size_t>(i)] = dag.in_degree(i);
-    if (missing_preds[static_cast<std::size_t>(i)] == 0) {
-      is_ready[static_cast<std::size_t>(i)] = true;
-      ready_s.insert(inst.task(i).s);
-      compute(i);
-    }
-  }
-
+  Time now = 0;  // start time of the previous placement (non-decreasing)
   for (std::size_t step = 0; step < n; ++step) {
-    const Mem headroom_max = ctx.cap_floor - *mem_used.begin();
-    if (!ready_s.empty() && *ready_s.rbegin() > headroom_max) {
+    // Infeasibility witness: the lowest ready task id whose storage exceeds
+    // every processor's headroom (budgets only shrink, so it can never be
+    // placed) -- checked against the whole frontier, buckets included.
+    Mem min_mem = memsize[0];
+    for (int q = 1; q < m; ++q) {
+      min_mem = std::min(min_mem, memsize[static_cast<std::size_t>(q)]);
+    }
+    const Mem headroom_max = ctx.cap_floor - min_mem;
+    if (frontier.max_storage() > headroom_max) {
       result.feasible = false;
-      for (TaskId i = 0; i < static_cast<TaskId>(n); ++i) {
-        const std::size_t ti = static_cast<std::size_t>(i);
-        if (is_ready[ti] && !placed[ti] && inst.task(i).s > headroom_max) {
-          result.stuck_task = i;
-          break;
-        }
-      }
+      result.stuck_task = frontier.witness_exceeding(headroom_max);
       return;
     }
-
-    TaskId task = -1;
-    while (!heap.empty()) {
-      const auto [start, rk, t, st] = heap.top();
-      const std::size_t ti = static_cast<std::size_t>(t);
-      if (placed[ti] || st != stamp[ti]) {
-        heap.pop();
-        continue;
-      }
-      task = t;
-      break;
-    }
-    if (task == -1) {
+    if (frontier.empty()) {
       // Cannot happen on an acyclic instance: some unscheduled task always
       // has all predecessors scheduled.
-      throw std::logic_error("rls_schedule: no ready task on acyclic DAG");
+      rls_detail::throw_no_ready_task("rls_schedule", inst, placed);
     }
-    heap.pop();
 
+    // Event sweep for this step's winner. The infeasibility check above
+    // guarantees termination: once every processor is absorbed and every
+    // bucket released, H is the global best headroom and some ready task
+    // fits it.
+    std::size_t gi = 0;
+    Mem headroom = std::numeric_limits<Mem>::min();
+    Time t = now;
+    TaskId task = -1;
+    for (;;) {
+      while (gi < procs.size() && procs[gi].first <= t) {
+        headroom = std::max(
+            headroom,
+            ctx.cap_floor -
+                memsize[static_cast<std::size_t>(procs[gi].second)]);
+        ++gi;
+      }
+      frontier.release_until(t);
+      task = frontier.best_released(headroom);
+      if (task != -1) break;
+      Time next = std::numeric_limits<Time>::max();
+      if (gi < procs.size()) next = procs[gi].first;
+      if (frontier.has_pending()) {
+        next = std::min(next, frontier.next_release());
+      }
+      assert(next != std::numeric_limits<Time>::max());
+      t = next;
+    }
+
+    // Re-derive the placement: least-loaded (then lowest-id) processor
+    // with headroom for the winner. Groups passed without a fit hold
+    // strictly less-loaded processors skipped for memory -- the exact set
+    // Lemma 4 marks for the placed task.
+    const Mem s = inst.task(task).s;
+    ProcId chosen = kNoProc;
+    for (std::size_t k = 0; chosen == kNoProc;) {
+      // The winner fits some processor (the sweep found it under H), so
+      // the walk terminates before running off the end.
+      assert(k < procs.size());
+      const Time level = procs[k].first;
+      std::size_t group_end = k;
+      while (group_end < procs.size() && procs[group_end].first == level) {
+        if (ctx.cap_floor -
+                memsize[static_cast<std::size_t>(procs[group_end].second)] >=
+            s) {
+          chosen = procs[group_end].second;
+          break;
+        }
+        ++group_end;
+      }
+      if (chosen != kNoProc) break;
+      for (std::size_t j = k; j < group_end; ++j) {
+        mark_processor(result, procs[j].second);
+      }
+      k = group_end;
+    }
     const std::size_t ti = static_cast<std::size_t>(task);
-    const ProcId chosen = cached_proc[ti];
-    const Time start = cached_start[ti];
     const std::size_t qi = static_cast<std::size_t>(chosen);
+    assert(t == std::max(load[qi], prec ? pred_finish[ti] : Time{0}));
 
-    // Lemma 4: every processor strictly less loaded than the choice was
-    // skipped for memory.
-    for (const auto& [lvl, q] : by_load) {
-      if (lvl >= load[qi]) break;
-      mark_processor(result, q);
-    }
-
-    result.schedule.assign(task, chosen, start);
+    result.schedule.assign(task, chosen, t);
     placed[ti] = true;
-    is_ready[ti] = false;
-    ready_s.erase(ready_s.find(inst.task(task).s));
-    by_load.erase({load[qi], chosen});
-    mem_used.erase(mem_used.find(memsize[qi]));
-    load[qi] = start + inst.task(task).p;
-    memsize[qi] += inst.task(task).s;
-    by_load.emplace(load[qi], chosen);
-    mem_used.insert(memsize[qi]);
+    frontier.pop(task);
+    const auto old_at = std::lower_bound(
+        procs.begin(), procs.end(), std::make_pair(load[qi], chosen));
+    procs.erase(old_at);
+    load[qi] = t + inst.task(task).p;
+    memsize[qi] += s;
+    procs.insert(std::lower_bound(procs.begin(), procs.end(),
+                                  std::make_pair(load[qi], chosen)),
+                 {load[qi], chosen});
+    now = t;
 
-    // Dirty-only recomputation: exactly the ready tasks whose cached
-    // choice is the processor that just changed.
-    std::vector<TaskId> dirty = std::move(bucket[qi]);
-    bucket[qi].clear();
-    for (const TaskId t : dirty) {
-      const std::size_t di = static_cast<std::size_t>(t);
-      if (!placed[di] && cached_proc[di] == chosen) compute(t);
-    }
-
-    for (const TaskId v : dag.succs(task)) {
-      const std::size_t vi = static_cast<std::size_t>(v);
-      pred_finish[vi] =
-          std::max(pred_finish[vi], start + inst.task(task).p);
-      if (--missing_preds[vi] == 0) {
-        is_ready[vi] = true;
-        ready_s.insert(inst.task(v).s);
-        compute(v);
+    if (prec) {
+      const Time finish = load[qi];
+      for (const TaskId v : view->succs(task)) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        pred_finish[vi] = std::max(pred_finish[vi], finish);
+        if (--missing_preds[vi] == 0) {
+          frontier.push(v, inst.task(v).s, pred_finish[vi]);
+        }
       }
     }
   }
@@ -384,9 +311,7 @@ RlsResult rls_schedule_reference(const Instance& inst, const Fraction& delta,
     }
 
     if (best_task == -1) {
-      // Cannot happen on an acyclic instance: some unscheduled task always
-      // has all predecessors scheduled.
-      throw std::logic_error("rls_schedule: no ready task on acyclic DAG");
+      rls_detail::throw_no_ready_task("rls_schedule", inst, scheduled);
     }
 
     // Analysis channel (Lemma 4): every processor strictly less loaded
@@ -425,11 +350,7 @@ RlsResult rls_schedule_fast(const Instance& inst, const Fraction& delta,
 
   RlsResult result;
   const RlsContext ctx = make_context(inst, delta, tie_break, result);
-  if (inst.has_precedence()) {
-    solve_dag(inst, ctx, result);
-  } else {
-    solve_independent(inst, ctx, result);
-  }
+  solve_kernel(inst, ctx, result);
   if (result.feasible) check_marked_bound(result, delta, inst.m());
   return result;
 }

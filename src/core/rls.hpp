@@ -22,10 +22,16 @@
 // asserted after every run with Delta > 1.
 //
 // Two interchangeable engines produce bit-identical results:
-//   * rls_schedule_fast      -- incremental engine (default): ready tasks in
-//     segment trees, processors in a (load, id)-ordered walk, dirty-only
-//     recomputation after each placement, and the Delta * LB cap hoisted to
-//     one integer compare. ~O(n (log n + log m)) on independent tasks.
+//   * rls_schedule_fast      -- the ready-event kernel (default): the ready
+//     frontier lives in storage-indexed segment trees keyed
+//     (earliest-start, rank), each step's winner comes from an ascending
+//     time-event sweep with one log-time descent per event, and the
+//     Delta * LB cap is hoisted to one integer compare. One code path for
+//     independent and DAG instances, ~O(n (log n + m)) either way -- the
+//     per-step cost that scales with the instance (the ready frontier) is
+//     logarithmic and never depends on the frontier width; processor
+//     bookkeeping is a deliberate O(m) contiguous pass (m is hundreds at
+//     most). See rls_engine.hpp and docs/ALGORITHMS.md ("The DAG kernel").
 //   * rls_schedule_reference -- the paper-faithful O(n^2 m) rescan with
 //     exact Fraction arithmetic in the inner loop (the equivalence oracle).
 // rls_schedule() routes to the fast engine unless the environment variable
@@ -76,8 +82,10 @@ struct RlsResult {
 RlsResult rls_schedule(const Instance& inst, const Fraction& delta,
                        PriorityPolicy tie_break = PriorityPolicy::kInputOrder);
 
-/// The incremental engine behind rls_schedule(): ~O(n (log n + log m)) on
-/// independent tasks, ready-set-bounded incremental updates on DAGs.
+/// The ready-event kernel behind rls_schedule(): ~O(n (log n + m)) on
+/// independent *and* precedence-constrained instances (the independent
+/// case is the all-ready instantiation of the same code path; the m term
+/// is a contiguous processor pass, not a ready-set rescan).
 /// Bit-identical to rls_schedule_reference() on every input (schedule,
 /// marks, feasibility verdict, stuck task).
 RlsResult rls_schedule_fast(

@@ -1,17 +1,27 @@
-// Internal data structures for the incremental RLS engine (rls.cpp only).
+// The ready-event kernel shared by the incremental RLS engine (rls.cpp)
+// and the online event-driven dispatcher (sim/online.cpp).
 //
 // The seed's Algorithm 2 rescans all tasks x all processors after every
 // placement -- O(n^2 m) with exact-Fraction normalization in the innermost
-// compare. The fast engine replaces that rescan with:
+// compare. The kernel replaces that rescan with three pieces:
 //
 //   * StorageTree -- a segment tree over a fixed position space (task
 //     ranks or task ids) holding each *active* task's storage size, with
-//     per-node min and max. Two descent queries drive the engine:
+//     per-node min and max. Two descent queries drive everything:
 //       - leftmost_le(h): lowest position whose s fits headroom h
 //         (= the highest-priority task that fits a processor group);
 //       - leftmost_gt(h): lowest position whose s exceeds h
 //         (= the first task id that fits *no* processor, Algorithm 2's
 //         infeasibility witness).
+//   * ReadyFrontier -- the ready set as a storage-indexed forest: one
+//     rank-keyed StorageTree holds the *released* pool (ready tasks whose
+//     earliest start has been passed by the event sweep), a release-keyed
+//     bucket map holds ready tasks still waiting on a predecessor finish
+//     time, and an id-keyed StorageTree over the whole ready set answers
+//     the infeasibility witness in one descent. Every query that used to
+//     rescan the ready set is now a log-time descent, so per-placement
+//     cost no longer depends on the frontier width (the quantity that made
+//     wide layered/fork-join DAGs quadratic).
 //   * a processor order (std::set keyed by (load, id)) walked in groups of
 //     equal load, so the "least-loaded processor with memory headroom"
 //     choice touches only the load levels that are actually memory-tight
@@ -25,9 +35,16 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/dag.hpp"
+#include "common/instance.hpp"
 #include "common/types.hpp"
 
 namespace storesched::rls_detail {
@@ -93,5 +110,150 @@ class StorageTree {
   std::vector<Mem> min_;
   std::vector<Mem> max_;
 };
+
+/// The ready frontier: tasks whose predecessors are all placed, keyed
+/// (earliest-start, rank) with a storage index per component.
+///
+/// A ready task enters with a release time (the max predecessor finish; 0
+/// when independent or dispatched online). Tasks whose release is at or
+/// before the released high-water mark live in the rank-keyed *pool* and
+/// are visible to best_released(); later releases wait in per-release
+/// buckets until release_until() sweeps past them. Because list-scheduling
+/// start times are non-decreasing, each bucket is merged exactly once --
+/// the sweep never rewinds. The id-keyed tree spans pool + buckets, so the
+/// infeasibility witness sees every ready task regardless of release.
+class ReadyFrontier {
+ public:
+  /// `order[pos]` is the task at priority position pos; `rank` its inverse.
+  ReadyFrontier(std::size_t n, std::span<const TaskId> order,
+                std::span<const std::size_t> rank)
+      : order_(order),
+        rank_(rank),
+        storage_(n, 0),
+        pool_(n),
+        by_id_(n),
+        released_until_(0) {}
+
+  /// Task t (storage s) becomes ready with earliest start `release`.
+  void push(TaskId t, Mem s, Time release) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    storage_[ti] = s;
+    by_id_.set(ti, s);
+    ++count_;
+    if (release <= released_until_) {
+      pool_.set(rank_[ti], s);
+    } else {
+      pending_[release].push_back(t);
+    }
+  }
+
+  /// Moves every bucket with release <= t into the pool and advances the
+  /// high-water mark. Monotone: a lower t than a previous call is a no-op.
+  void release_until(Time t) {
+    if (t < released_until_) return;
+    released_until_ = t;
+    while (!pending_.empty() && pending_.begin()->first <= t) {
+      for (const TaskId v : pending_.begin()->second) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        pool_.set(rank_[vi], storage_[vi]);
+      }
+      pending_.erase(pending_.begin());
+    }
+  }
+
+  bool has_pending() const { return !pending_.empty(); }
+  Time next_release() const { return pending_.begin()->first; }
+
+  /// Highest-priority (lowest-rank) released task with s <= h, or -1.
+  TaskId best_released(Mem h) const {
+    const std::size_t pos = pool_.leftmost_le(h);
+    return pos == kNoPos ? TaskId{-1} : order_[pos];
+  }
+
+  /// Removes a *released* task (it was placed / dispatched).
+  void pop(TaskId t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    pool_.clear(rank_[ti]);
+    by_id_.clear(ti);
+    --count_;
+  }
+
+  /// Largest storage over the whole ready set (pool and buckets);
+  /// StorageTree::kInactiveMax when empty.
+  Mem max_storage() const { return by_id_.max_active(); }
+
+  /// Lowest-id ready task with s > h (Algorithm 2's infeasibility
+  /// witness: budgets only shrink, so it can never be placed), or -1.
+  TaskId witness_exceeding(Mem h) const {
+    const std::size_t pos = by_id_.leftmost_gt(h);
+    return pos == kNoPos ? TaskId{-1} : static_cast<TaskId>(pos);
+  }
+
+  bool empty() const { return count_ == 0; }
+
+ private:
+  std::span<const TaskId> order_;
+  std::span<const std::size_t> rank_;
+  std::vector<Mem> storage_;
+  StorageTree pool_;   ///< released ready tasks, keyed by rank
+  StorageTree by_id_;  ///< all ready tasks, keyed by id
+  std::map<Time, std::vector<TaskId>> pending_;  ///< release -> tasks
+  Time released_until_;
+  std::size_t count_ = 0;
+};
+
+/// Seeds `frontier` with every initially-ready task: the zero-in-degree
+/// tasks of `view`, or all of them when `view` is null (no precedence).
+/// Returns the missing-predecessor working array (empty when independent)
+/// -- the one block both the offline kernel and the online dispatcher run
+/// before their main loops.
+inline std::vector<std::uint32_t> seed_frontier(const Instance& inst,
+                                                const DagFrontierView* view,
+                                                ReadyFrontier& frontier) {
+  std::vector<std::uint32_t> missing_preds;
+  if (view) {
+    missing_preds = view->in_degrees();
+    for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+      if (missing_preds[static_cast<std::size_t>(i)] == 0) {
+        frontier.push(i, inst.task(i).s, 0);
+      }
+    }
+  } else {
+    for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+      frontier.push(i, inst.task(i).s, 0);
+    }
+  }
+  return missing_preds;
+}
+
+/// Shared "no ready task" diagnostic for the list schedulers. Unreachable
+/// on a valid Instance (construction rejects cyclic DAGs), so reaching it
+/// means internal bookkeeping corrupted the frontier; the message names the
+/// first unplaced task and its unplaced predecessors to make that
+/// debuggable instead of a bare one-liner.
+[[noreturn]] inline void throw_no_ready_task(const char* fn,
+                                             const Instance& inst,
+                                             const std::vector<bool>& placed) {
+  std::string msg = std::string(fn) + ": no ready task on acyclic DAG";
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    if (placed[static_cast<std::size_t>(i)]) continue;
+    msg += " (task " + std::to_string(i) + " waits on unplaced predecessors [";
+    std::size_t listed = 0;
+    if (inst.has_precedence()) {
+      for (const TaskId u : inst.dag().preds(i)) {
+        if (placed[static_cast<std::size_t>(u)]) continue;
+        if (listed == 8) {
+          msg += ", ...";
+          break;
+        }
+        msg += (listed ? ", " : "") + std::to_string(u);
+        ++listed;
+      }
+    }
+    msg += "])";
+    break;
+  }
+  throw std::logic_error(msg);
+}
 
 }  // namespace storesched::rls_detail

@@ -40,12 +40,10 @@ std::shared_ptr<const Instance> JsonlInstanceSource::next() {
   while (std::getline(in_, line)) {
     ++line_number_;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    try {
-      return std::make_shared<const Instance>(instance_from_jsonl(line));
-    } catch (const std::exception& e) {
-      throw std::runtime_error("line " + std::to_string(line_number_) + ": " +
-                               e.what());
-    }
+    // The parser stamps the line number into its own error message, so a
+    // bad line deep in a million-line stream is locatable as-is.
+    return std::make_shared<const Instance>(
+        instance_from_jsonl(line, line_number_));
   }
   return nullptr;
 }
@@ -138,12 +136,42 @@ namespace {
   }
 }
 
+/// Rough byte footprint of one in-flight unit of work (the pulled instance
+/// plus its result, extras channels included). Drives the adaptive window;
+/// an estimate, not allocator-exact accounting.
+std::size_t schedule_bytes(const Schedule& s) {
+  return s.n() * (sizeof(ProcId) + sizeof(Time));
+}
+
+std::size_t estimate_footprint(const Instance& inst, const SolveResult& r) {
+  std::size_t bytes = sizeof(Instance) + sizeof(SolveResult);
+  bytes += inst.n() * sizeof(Task);
+  if (inst.has_precedence()) {
+    bytes += inst.n() * 2 * sizeof(std::vector<TaskId>) +
+             inst.dag().edge_count() * 2 * sizeof(TaskId);
+  }
+  bytes += schedule_bytes(r.schedule) + r.diagnostics.size();
+  if (r.rls) {
+    bytes += schedule_bytes(r.rls->schedule) + r.rls->marked.size() / 8;
+  }
+  if (r.sbo) {
+    bytes += schedule_bytes(r.sbo->schedule) + schedule_bytes(r.sbo->pi1) +
+             schedule_bytes(r.sbo->pi2) + r.sbo->routed_to_pi2.size() / 8;
+  }
+  if (r.pareto) {
+    for (const Schedule& s : r.pareto->schedules) bytes += schedule_bytes(s);
+    bytes += r.pareto->front.size() * sizeof(ObjectivePoint);
+  }
+  return bytes;
+}
+
 /// One worker to rule them out: with a single worker the pipeline runs
 /// inline -- no threads, no locks, a deterministic pull/solve/deliver loop.
 StreamStats run_inline(const Solver& solver, InstanceSource& source,
                        ResultSink& sink, const SolveOptions& options,
                        const CancelToken* cancel) {
   StreamStats stats;
+  stats.window = 1;  // pull/solve/deliver strictly alternate
   for (std::size_t index = 0;; ++index) {
     if (cancel && cancel->cancelled()) {
       stats.cancelled = true;
@@ -181,6 +209,16 @@ struct PipelineState {
   std::exception_ptr error;
   std::size_t error_index = 0;
 
+  /// The in-flight bound. Fixed for an explicit StreamOptions::window;
+  /// otherwise re-sized after every completion so that
+  /// window x (smoothed footprint) stays within the memory budget.
+  std::size_t window_limit = 0;
+  bool adaptive = false;
+  std::size_t window_floor = 1;       ///< worker count
+  std::size_t memory_budget = 0;      ///< bytes (adaptive mode only)
+  double footprint_ewma = 0.0;        ///< smoothed estimate_footprint()
+  bool footprint_seen = false;
+
   std::size_t next_deliver = 0;             ///< ordered mode: delivery head
   std::map<std::size_t, SolveResult> done;  ///< ordered mode: out-of-order buffer
 
@@ -196,6 +234,23 @@ void record_failure(PipelineState& state, std::size_t index,
     state.error_index = index;
   }
   state.cv.notify_all();
+}
+
+/// Adaptive window step: fold one observed footprint into the smoothed
+/// estimate and re-derive the bound. Lock must be held.
+void observe_footprint(PipelineState& state, std::size_t bytes) {
+  if (!state.adaptive) return;
+  const auto f = static_cast<double>(bytes);
+  state.footprint_ewma = state.footprint_seen
+                             ? state.footprint_ewma + (f - state.footprint_ewma) / 8.0
+                             : f;
+  state.footprint_seen = true;
+  constexpr std::size_t kWindowCeiling = 4096;
+  const auto per_unit =
+      static_cast<std::size_t>(std::max(state.footprint_ewma, 1.0));
+  state.window_limit =
+      std::clamp(state.memory_budget / per_unit, state.window_floor,
+                 kWindowCeiling);
 }
 
 /// Hands one completed result to the sink (immediately in as-completed
@@ -250,6 +305,10 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
   }
 
   PipelineState state;
+  state.window_limit = window;
+  state.adaptive = stream.window == 0;
+  state.window_floor = workers;
+  state.memory_budget = stream.memory_budget;
   const auto cancelled = [&] { return cancel && cancel->cancelled(); };
 
   run_worker_crew(workers, [&](unsigned) {
@@ -258,7 +317,7 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
       // wait_for, not wait: an external thread cancelling the token has no
       // way to notify, so waiters re-check on a coarse timeout.
       while (!state.failed && !state.source_done && !cancelled() &&
-             state.in_flight >= window) {
+             state.in_flight >= state.window_limit) {
         state.cv.wait_for(lock, std::chrono::milliseconds(20));
       }
       if (state.failed || state.source_done) return;
@@ -288,8 +347,10 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
       lock.unlock();
 
       SolveResult result;
+      std::size_t footprint = 0;
       try {
         result = solver.solve(*inst, options);
+        footprint = estimate_footprint(*inst, result);
       } catch (...) {
         lock.lock();
         record_failure(state, index, std::current_exception());
@@ -298,6 +359,7 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
 
       lock.lock();
       if (state.failed) return;
+      observe_footprint(state, footprint);
       if (!deliver(state, sink, stream.ordered, index, std::move(result))) {
         return;
       }
@@ -306,6 +368,7 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
   });
 
   if (state.failed) rethrow_with_index(state.error_index, state.error);
+  state.stats.window = state.window_limit;
   return state.stats;
 }
 

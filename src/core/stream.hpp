@@ -190,8 +190,17 @@ struct StreamOptions {
   int threads = 0;
   /// Bound on in-flight instances (pulled from the source but not yet
   /// delivered to the sink) -- the backpressure knob and the peak-memory
-  /// bound. 0 means 4x the worker count.
+  /// bound. 0 means *adaptive*: start at 4x the worker count, then grow or
+  /// shrink with the observed per-solve footprint (instance + result
+  /// estimate) so that window x footprint stays within `memory_budget`;
+  /// never below the worker count, never above 4096. The window actually
+  /// in effect at the end of a run is recorded in StreamStats::window.
   std::size_t window = 0;
+  /// Byte ceiling the adaptive window sizes against (window == 0 only;
+  /// an explicit window is always taken literally). Footprints are
+  /// estimates -- schedules, extras channels and the instance itself --
+  /// not allocator-exact RSS.
+  std::size_t memory_budget = std::size_t{64} << 20;
   /// Deliver results in input order (buffering at most `window` completed
   /// results behind a straggler) or immediately as each solve completes.
   bool ordered = true;
@@ -207,6 +216,10 @@ struct StreamStats {
   std::size_t delivered = 0;  ///< results handed to the sink
   std::size_t feasible = 0;   ///< delivered results with feasible == true
   std::size_t max_in_flight = 0;
+  /// The in-flight bound in effect when the run ended: the explicit
+  /// StreamOptions::window, the final adapted value (window == 0), or 1
+  /// for the inline single-worker path.
+  std::size_t window = 0;
   bool cancelled = false;  ///< the run stopped on a CancelToken
 };
 

@@ -1,11 +1,24 @@
 #include "sim/online.hpp"
 
+#include <memory>
 #include <queue>
 #include <set>
 #include <stdexcept>
+#include <vector>
+
+#include "core/rls_engine.hpp"
 
 namespace storesched {
 
+// The dispatcher runs on the same ready-event kernel as the offline RLS
+// engine (core/rls_engine.hpp): the ready set lives in a rank-keyed
+// ReadyFrontier, so "highest-priority ready task that fits this
+// processor's remaining budget" is one log-time descent per idle
+// processor instead of a linear rescan of the ready set -- offline and
+// online comparisons (bench_rls_dag's EXT-B table) now exercise one data
+// structure. Online readiness is event-driven (a task is ready the
+// instant its last predecessor *completes*), so every push releases at
+// time 0 and the kernel's pending buckets stay empty.
 OnlineResult simulate_online_list(const Instance& inst, Mem memory_cap,
                                   PriorityPolicy policy) {
   OnlineResult result;
@@ -18,19 +31,16 @@ OnlineResult simulate_online_list(const Instance& inst, Mem memory_cap,
     rank[static_cast<std::size_t>(order[pos])] = pos;
   }
 
-  // Ready tasks ordered by priority rank; idle processors by id.
-  std::set<std::pair<std::size_t, TaskId>> ready;
+  rls_detail::ReadyFrontier ready(inst.n(), order, rank);
   std::set<ProcId> idle;
   for (ProcId q = 0; q < inst.m(); ++q) idle.insert(q);
 
-  std::vector<std::size_t> missing_preds(inst.n(), 0);
-  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
-    missing_preds[static_cast<std::size_t>(i)] =
-        inst.has_precedence() ? inst.dag().in_degree(i) : 0;
-    if (missing_preds[static_cast<std::size_t>(i)] == 0) {
-      ready.insert({rank[static_cast<std::size_t>(i)], i});
-    }
+  std::unique_ptr<DagFrontierView> view;
+  if (inst.has_precedence()) {
+    view = std::make_unique<DagFrontierView>(inst.dag());
   }
+  std::vector<std::uint32_t> missing_preds =
+      rls_detail::seed_frontier(inst, view.get(), ready);
 
   std::vector<Mem> occupied(static_cast<std::size_t>(inst.m()), 0);
   using Completion = std::pair<Time, TaskId>;
@@ -41,47 +51,44 @@ OnlineResult simulate_online_list(const Instance& inst, Mem memory_cap,
   std::size_t scheduled = 0;
   while (scheduled < inst.n()) {
     // Dispatch phase: processors grab tasks in ascending id order; each
-    // takes the highest-priority ready task that fits its budget.
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (auto q_it = idle.begin(); q_it != idle.end(); ++q_it) {
-        const ProcId q = *q_it;
-        const auto fits = [&](TaskId i) {
-          return memory_cap < 0 ||
-                 occupied[static_cast<std::size_t>(q)] + inst.task(i).s <=
-                     memory_cap;
-        };
-        auto chosen = ready.end();
-        for (auto it = ready.begin(); it != ready.end(); ++it) {
-          if (fits(it->second)) {
-            chosen = it;
-            break;
-          }
-        }
-        if (chosen == ready.end()) continue;
-        const TaskId i = chosen->second;
-        ready.erase(chosen);
-        idle.erase(q_it);
-        result.schedule.assign(i, q, now);
-        occupied[static_cast<std::size_t>(q)] += inst.task(i).s;
-        running.push({now + inst.task(i).p, i});
-        ++scheduled;
-        progress = true;
-        break;  // idle set mutated; restart the scan
+    // takes the highest-priority ready task that fits its budget (a
+    // frontier descent). A processor that finds nothing stays idle and
+    // never needs re-checking this phase: later grabs only shrink the
+    // ready set.
+    for (auto q_it = idle.begin(); q_it != idle.end();) {
+      const ProcId q = *q_it;
+      const Mem headroom =
+          memory_cap < 0 ? ready.max_storage()
+                         : memory_cap - occupied[static_cast<std::size_t>(q)];
+      const TaskId i = ready.best_released(headroom);
+      if (i == -1) {
+        ++q_it;
+        continue;
       }
+      ready.pop(i);
+      q_it = idle.erase(q_it);
+      result.schedule.assign(i, q, now);
+      occupied[static_cast<std::size_t>(q)] += inst.task(i).s;
+      running.push({now + inst.task(i).p, i});
+      ++scheduled;
     }
 
     if (scheduled == inst.n()) break;
     if (running.empty()) {
       if (!ready.empty()) {
         // Every processor is idle yet no ready task fits anywhere; since
-        // occupancy only grows, the run is stuck for good.
-        result.stuck_task = ready.begin()->second;
+        // occupancy only grows, the run is stuck for good. The witness is
+        // the highest-priority ready task (any fitting task would have
+        // been dispatched above).
+        result.stuck_task = ready.best_released(ready.max_storage());
         return result;
       }
-      throw std::logic_error(
-          "simulate_online_list: no ready task on acyclic DAG");
+      std::vector<bool> placed(inst.n(), false);
+      for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+        placed[static_cast<std::size_t>(i)] =
+            result.schedule.proc(i) != kNoProc;
+      }
+      rls_detail::throw_no_ready_task("simulate_online_list", inst, placed);
     }
 
     // Advance to the next completion instant and release its successors.
@@ -90,10 +97,10 @@ OnlineResult simulate_online_list(const Instance& inst, Mem memory_cap,
       const TaskId done = running.top().second;
       running.pop();
       idle.insert(result.schedule.proc(done));
-      if (inst.has_precedence()) {
-        for (const TaskId v : inst.dag().succs(done)) {
+      if (view) {
+        for (const TaskId v : view->succs(done)) {
           if (--missing_preds[static_cast<std::size_t>(v)] == 0) {
-            ready.insert({rank[static_cast<std::size_t>(v)], v});
+            ready.push(v, inst.task(v).s, 0);
           }
         }
       }

@@ -7,7 +7,11 @@
 // highest-priority ready task whose code still fits its memory budget.
 // This module implements that online analogue on top of the discrete-event
 // engine, primarily as a comparison point for the EXT-B bench (offline RLS
-// vs online dispatch under the same budget Delta * LB).
+// vs online dispatch under the same budget Delta * LB). The ready set runs
+// on the same ready-event kernel as the offline engine
+// (core/rls_engine.hpp), so both sides of that comparison share one data
+// structure and per-dispatch cost is a log-time descent, not a ready-set
+// scan.
 #pragma once
 
 #include <optional>

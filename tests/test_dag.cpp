@@ -144,5 +144,32 @@ TEST(Dag, CriticalPathEqualsMaxTaskWhenNoEdges) {
   EXPECT_EQ(d.critical_path_length(tasks), 9);
 }
 
+TEST(DagFrontierView, MirrorsAdjacencyAndInDegrees) {
+  const Dag d = diamond();
+  const DagFrontierView view(d);
+  ASSERT_EQ(view.n(), d.n());
+  for (TaskId u = 0; u < static_cast<TaskId>(d.n()); ++u) {
+    const auto flat = view.succs(u);
+    const auto ragged = d.succs(u);
+    ASSERT_EQ(flat.size(), ragged.size()) << "task " << u;
+    for (std::size_t k = 0; k < flat.size(); ++k) {
+      EXPECT_EQ(flat[k], ragged[k]) << "task " << u;
+    }
+    EXPECT_EQ(view.in_degree(u), d.in_degree(u)) << "task " << u;
+  }
+  const std::vector<std::uint32_t> indeg = view.in_degrees();
+  ASSERT_EQ(indeg.size(), d.n());
+  EXPECT_EQ(indeg[0], 0u);
+}
+
+TEST(DagFrontierView, EmptyAndEdgeFreeGraphs) {
+  const DagFrontierView none((Dag()));
+  EXPECT_EQ(none.n(), 0u);
+  const DagFrontierView loose(Dag(3));
+  EXPECT_EQ(loose.n(), 3u);
+  EXPECT_TRUE(loose.succs(1).empty());
+  EXPECT_EQ(loose.in_degree(2), 0u);
+}
+
 }  // namespace
 }  // namespace storesched

@@ -77,6 +77,59 @@ TEST(HotpathEquivalence, RandomizedIndependentInstances) {
   }
 }
 
+// Per-family deep coverage for the ready-event kernel: 100 randomized
+// instances of every dag_generators family, sizes up to 2000 (a handful of
+// large draws so the release-bucket sweep and deep trees are exercised at
+// real widths, the rest small so the reference oracle stays fast), deltas
+// and policies rotating through the full grids.
+TEST(HotpathEquivalence, EveryDagFamilyMatchesReference) {
+  const char* kinds[] = {"layered", "forkjoin", "cholesky", "fft", "soc"};
+  int runs = 0;
+  for (const char* kind : kinds) {
+    Rng rng(0xFA31137 + static_cast<std::uint64_t>(runs));
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::size_t n =
+          trial % 25 == 24
+              ? static_cast<std::size_t>(rng.uniform_int(1200, 2000))
+              : static_cast<std::size_t>(rng.uniform_int(2, 300));
+      const int m = static_cast<int>(rng.uniform_int(1, 16));
+      const Instance inst = generate_dag_by_name(kind, n, m, {}, rng);
+      const Fraction delta = kDeltas[trial % 7];
+      expect_identical(inst, delta, kPolicies[runs++ % 6], trial);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Empty-frontier mid-solve: a diamond whose join feeds one long chain. As
+// soon as the diamond's source is placed every other task is waiting on a
+// predecessor *finish time*, so the kernel's released pool drains and each
+// step must advance through a release bucket before it can place -- the
+// regression spot for the event sweep's pending path.
+TEST(HotpathEquivalence, DiamondWithLongChainDrainsTheFrontier) {
+  constexpr int kChain = 40;
+  Dag dag(4 + kChain);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  for (int i = 0; i < kChain; ++i) {
+    dag.add_edge(3 + i, 4 + i);
+  }
+  Rng rng(0xD1A);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4 + kChain; ++i) {
+    tasks.push_back({rng.uniform_int(1, 9), rng.uniform_int(1, 30)});
+  }
+  for (const int m : {1, 2, 4}) {
+    const Instance inst(tasks, m, dag);
+    for (const Fraction& delta : kDeltas) {
+      expect_identical(inst, delta, PriorityPolicy::kInputOrder, m);
+      expect_identical(inst, delta, PriorityPolicy::kBottomLevel, -m);
+    }
+  }
+}
+
 // 80 randomized DAG instances x 7 deltas across several graph shapes.
 TEST(HotpathEquivalence, RandomizedDagInstances) {
   Rng rng(0xDA6);

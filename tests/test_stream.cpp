@@ -123,6 +123,68 @@ TEST(StreamBackpressure, WindowBoundsInFlight) {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive window (StreamOptions::window == 0).
+// ---------------------------------------------------------------------------
+
+TEST(StreamAdaptiveWindow, TinyBudgetClampsTheWindowToTheWorkerFloor) {
+  // ~1k-task instances: each in-flight unit is tens of kilobytes, so a
+  // 32 KiB budget must shrink the adaptive window to its floor (the worker
+  // count) instead of the 4x-workers default.
+  Rng rng(0xAD1);
+  std::vector<Instance> instances;
+  for (int i = 0; i < 24; ++i) {
+    GenParams gp;
+    gp.n = 1000;
+    gp.m = 4;
+    instances.push_back(generate_uniform(gp, rng));
+  }
+  SpanSource source(instances);
+  std::vector<SolveResult> results(instances.size());
+  VectorSink sink(results);
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = 0;  // adaptive
+  stream.memory_budget = 32u << 10;
+  const StreamStats stats =
+      solve_stream(*make_solver("rls:input,delta=3"), source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, instances.size());
+  EXPECT_EQ(stats.window, 4u);  // clamped to the worker floor
+  EXPECT_LE(stats.max_in_flight, 16u);  // 4x workers before the first shrink
+}
+
+TEST(StreamAdaptiveWindow, RoomyBudgetGrowsTheWindowWithinTheCeiling) {
+  const std::vector<Instance> instances = random_instances(40, 0xAD2);
+  SpanSource source(instances);
+  std::vector<SolveResult> results(instances.size());
+  VectorSink sink(results);
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = 0;  // adaptive, default 64 MiB budget
+  const StreamStats stats =
+      solve_stream(*make_solver("sbo:lpt,delta=1"), source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, instances.size());
+  // Tiny instances: the observed footprint lets the window grow well past
+  // the 4x-workers start, capped by the hard ceiling.
+  EXPECT_GT(stats.window, 16u);
+  EXPECT_LE(stats.window, 4096u);
+}
+
+TEST(StreamAdaptiveWindow, ExplicitWindowIsTakenLiterallyAndRecorded) {
+  const std::vector<Instance> instances = random_instances(10, 0xAD3);
+  SpanSource source(instances);
+  std::vector<SolveResult> results(instances.size());
+  VectorSink sink(results);
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = 3;
+  stream.memory_budget = 1;  // must be ignored for explicit windows
+  const StreamStats stats =
+      solve_stream(*make_solver("sbo:lpt,delta=1"), source, sink, {}, stream);
+  EXPECT_EQ(stats.window, 3u);
+  EXPECT_LE(stats.max_in_flight, 3u);
+}
+
+// ---------------------------------------------------------------------------
 // Delivery modes.
 // ---------------------------------------------------------------------------
 
@@ -356,6 +418,36 @@ TEST(Jsonl, SourceSkipsBlankLinesAndNamesTheMalformedLine) {
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Jsonl, ParseErrorsCarryTheStreamLineNumber) {
+  // The parser itself stamps the caller-supplied 1-based line number, so a
+  // bad line deep in a million-line stream is locatable without the source
+  // wrapper re-deriving it.
+  try {
+    instance_from_jsonl("{\"m\":0,\"tasks\":[[1,2]]}", 1048576);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1048576"), std::string::npos)
+        << e.what();
+  }
+  // Instance/Dag validation errors carry it too, not just token errors.
+  try {
+    instance_from_jsonl(
+        "{\"m\":2,\"tasks\":[[1,2],[2,1]],\"edges\":[[0,1],[1,0]]}", 77);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 77"), std::string::npos)
+        << e.what();
+  }
+  // Without a line number the message stays line-free (direct parses).
+  try {
+    instance_from_jsonl("{\"m\":0,\"tasks\":[[1,2]]}");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).find("line "), std::string::npos)
         << e.what();
   }
 }

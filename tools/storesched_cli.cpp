@@ -78,7 +78,9 @@ void print_usage(std::ostream& os) {
         "                     over-budget solves come back infeasible with\n"
         "                     the cause in diagnostics\n"
         "  --threads=N        worker threads (0 = hardware)\n"
-        "  --window=N         in-flight window (0 = 4x workers)\n"
+        "  --window=N         in-flight window (0 = adaptive: sized from\n"
+        "                     observed result footprints under a 64 MiB\n"
+        "                     ceiling; the chosen window is reported)\n"
         "  --as-completed     emit results as they finish (default: in input\n"
         "                     order); lines carry their input index either way\n"
         "  --schedule         include \"proc\" (and \"start\") in result lines\n"
@@ -229,7 +231,8 @@ int run_solve(const CliOptions& cli, std::istream& in, std::ostream& out) {
   if (!out) throw std::runtime_error("writing results failed");
   std::cerr << "[storesched_cli] " << solver->name() << ": " << stats.delivered
             << " results (" << stats.feasible << " feasible), max "
-            << stats.max_in_flight << " in flight\n";
+            << stats.max_in_flight << " in flight, window " << stats.window
+            << (cli.window == 0 ? " (adaptive)" : "") << "\n";
   return 0;
 }
 
