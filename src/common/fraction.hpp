@@ -11,6 +11,7 @@
 #include <cassert>
 #include <compare>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
@@ -111,6 +112,23 @@ class Fraction {
     return os << f.to_string();
   }
 
+  /// Narrow an Int128 to int64, throwing std::overflow_error instead of
+  /// truncating. INT64_MIN itself is rejected too: every stored component
+  /// must be negatable (operator-, normalize) without signed overflow, so
+  /// the representable range is [INT64_MIN + 1, INT64_MAX]. `context` names
+  /// the value in the error message.
+  static constexpr std::int64_t checked_int64(Int128 value,
+                                              const char* context) {
+    if (value > static_cast<Int128>(
+                    std::numeric_limits<std::int64_t>::max()) ||
+        value <= static_cast<Int128>(
+                     std::numeric_limits<std::int64_t>::min())) {
+      throw std::overflow_error(std::string("Fraction: ") + context +
+                                " exceeds 64 bits");
+    }
+    return static_cast<std::int64_t>(value);
+  }
+
  private:
   static constexpr Fraction from128(Int128 num, Int128 den) {
     if (den < 0) {
@@ -123,13 +141,8 @@ class Fraction {
       den /= g;
     }
     Fraction r;
-    if (num > std::numeric_limits<std::int64_t>::max() ||
-        num < std::numeric_limits<std::int64_t>::min() ||
-        den > std::numeric_limits<std::int64_t>::max()) {
-      throw std::overflow_error("Fraction: reduced value exceeds 64 bits");
-    }
-    r.num_ = static_cast<std::int64_t>(num);
-    r.den_ = static_cast<std::int64_t>(den);
+    r.num_ = checked_int64(num, "reduced numerator");
+    r.den_ = checked_int64(den, "reduced denominator");
     return r;
   }
 
@@ -143,6 +156,13 @@ class Fraction {
   }
 
   constexpr void normalize() {
+    // INT64_MIN has no int64 negation, so neither component may hold it:
+    // sign normalization here and operator-() would both be UB.
+    if (num_ == std::numeric_limits<std::int64_t>::min() ||
+        den_ == std::numeric_limits<std::int64_t>::min()) {
+      throw std::overflow_error(
+          "Fraction: INT64_MIN operand is not representable");
+    }
     if (den_ < 0) {
       num_ = -num_;
       den_ = -den_;

@@ -33,8 +33,17 @@ void Instance::compute_aggregates() {
     if (t.p < 0 || t.s < 0) {
       throw std::invalid_argument("Instance: negative task weight");
     }
-    total_p_ += t.p;
-    total_s_ += t.s;
+    // The task weights arrive from the wire format, so the aggregate sums
+    // must reject overflow instead of wrapping (signed overflow is UB and
+    // every lower bound derives from these totals).
+    if (__builtin_add_overflow(total_p_, t.p, &total_p_)) {
+      throw std::invalid_argument(
+          "Instance: sum of processing times overflows 64 bits");
+    }
+    if (__builtin_add_overflow(total_s_, t.s, &total_s_)) {
+      throw std::invalid_argument(
+          "Instance: sum of storage sizes overflows 64 bits");
+    }
     max_p_ = std::max(max_p_, t.p);
     max_s_ = std::max(max_s_, t.s);
   }

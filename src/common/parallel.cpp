@@ -57,15 +57,25 @@ void run_worker_crew(unsigned workers,
   std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) {
-    pool.emplace_back([&, t] {
-      try {
-        body(t);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    });
+  try {
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        try {
+          body(t);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+  } catch (...) {
+    // Thread creation failed partway. The workers already running still
+    // reference error/error_mutex/body on this frame, so they must be
+    // joined before the frame unwinds -- and before ~vector would call
+    // std::terminate on a joinable thread. Teardown ordering is therefore
+    // always: join every spawned worker, then propagate.
+    for (std::thread& t : pool) t.join();
+    throw;
   }
   for (std::thread& t : pool) t.join();
   if (error) std::rethrow_exception(error);

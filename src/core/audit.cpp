@@ -1,0 +1,333 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/env.hpp"
+#include "core/rls.hpp"
+#include "core/solver.hpp"
+
+namespace storesched {
+
+namespace {
+
+/// Collector with printf-free formatting: audit("x", 3, " > ", 2) appends
+/// one violation string.
+class Findings {
+ public:
+  template <typename... Parts>
+  void add(const Parts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    violations_.push_back(os.str());
+  }
+
+  std::vector<std::string> take() { return std::move(violations_); }
+  bool empty() const { return violations_.empty(); }
+
+ private:
+  std::vector<std::string> violations_;
+};
+
+/// Structural checks: assignment ranges, start-time monotonicity and
+/// non-overlap per processor, precedence feasibility. Returns false when the
+/// shape is too broken for value checks (wrong n/m) to mean anything.
+bool check_structure(const Instance& inst, const Schedule& sched,
+                     Findings& findings) {
+  if (sched.n() != inst.n() || sched.m() != inst.m()) {
+    findings.add("schedule shape (n=", sched.n(), ", m=", sched.m(),
+                 ") does not match the instance (n=", inst.n(),
+                 ", m=", inst.m(), ")");
+    return false;
+  }
+  const auto n = static_cast<TaskId>(inst.n());
+  for (TaskId i = 0; i < n; ++i) {
+    const ProcId q = sched.proc(i);
+    if (q < 0 || q >= inst.m()) {
+      findings.add("task ", i, " assigned to processor ", q,
+                   " outside [0, ", inst.m(), ")");
+      return false;
+    }
+  }
+
+  if (!sched.timed()) {
+    if (inst.has_precedence()) {
+      findings.add(
+          "precedence instance solved to an untimed schedule (edge "
+          "feasibility is unverifiable)");
+    }
+    return true;
+  }
+
+  for (TaskId i = 0; i < n; ++i) {
+    if (sched.start(i) < 0) {
+      findings.add("task ", i, " starts at ", sched.start(i), " < 0");
+      return false;
+    }
+  }
+
+  // Per-processor timeline: sorted by start time, completions must be
+  // monotone with no overlap (equal starts are legal only for zero-length
+  // tasks, which the overlap test admits naturally).
+  std::vector<std::vector<TaskId>> by_proc(static_cast<std::size_t>(inst.m()));
+  for (TaskId i = 0; i < n; ++i) {
+    by_proc[static_cast<std::size_t>(sched.proc(i))].push_back(i);
+  }
+  for (ProcId q = 0; q < inst.m(); ++q) {
+    auto& tasks = by_proc[static_cast<std::size_t>(q)];
+    std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+      return std::make_pair(sched.start(a), a) <
+             std::make_pair(sched.start(b), b);
+    });
+    for (std::size_t k = 1; k < tasks.size(); ++k) {
+      const TaskId prev = tasks[k - 1];
+      const TaskId next = tasks[k];
+      if (sched.start(prev) + inst.task(prev).p > sched.start(next)) {
+        findings.add("processor ", q, ": task ", prev, " [", sched.start(prev),
+                     ", ", sched.start(prev) + inst.task(prev).p,
+                     ") overlaps task ", next, " starting at ",
+                     sched.start(next));
+      }
+    }
+  }
+
+  if (inst.has_precedence()) {
+    const Dag& dag = inst.dag();
+    for (TaskId u = 0; u < n; ++u) {
+      for (const TaskId v : dag.succs(u)) {
+        if (sched.start(u) + inst.task(u).p > sched.start(v)) {
+          findings.add("precedence edge ", u, " -> ", v, " violated: ", u,
+                       " completes at ", sched.start(u) + inst.task(u).p,
+                       " after ", v, " starts at ", sched.start(v));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// The reported objectives (and optional sum Ci) must reproduce from the
+/// schedule.
+void check_objectives(const Instance& inst, const Schedule& sched,
+                      const SolveResult& result, Findings& findings) {
+  const ObjectivePoint measured = objectives(inst, sched);
+  if (!(measured == result.objectives)) {
+    findings.add("objectives (", result.objectives.cmax, ", ",
+                 result.objectives.mmax, ") do not reproduce: measured (",
+                 measured.cmax, ", ", measured.mmax, ")");
+  }
+  if (result.sum_ci) {
+    if (!sched.timed()) {
+      findings.add("sum_ci reported for an untimed schedule");
+    } else if (const Time measured_ci = sum_completion_times(inst, sched);
+               measured_ci != *result.sum_ci) {
+      findings.add("sum_ci ", *result.sum_ci, " does not reproduce: measured ",
+                   measured_ci);
+    }
+  }
+}
+
+/// Claimed per-run value bounds and the optional hard capacity.
+void check_bounds(const Instance& inst, const Schedule& sched,
+                  const SolveResult& result, const AuditOptions& options,
+                  Findings& findings) {
+  const ObjectivePoint measured = objectives(inst, sched);
+  if (result.cmax_bound && Fraction(measured.cmax) > *result.cmax_bound) {
+    findings.add("Cmax ", measured.cmax, " exceeds the claimed bound ",
+                 result.cmax_bound->to_string());
+  }
+  if (result.mmax_bound && Fraction(measured.mmax) > *result.mmax_bound) {
+    findings.add("Mmax ", measured.mmax, " exceeds the claimed bound ",
+                 result.mmax_bound->to_string());
+  }
+  if (options.memory_capacity && measured.mmax > *options.memory_capacity) {
+    findings.add("Mmax ", measured.mmax, " exceeds the hard capacity ",
+                 *options.memory_capacity);
+  }
+}
+
+/// RLS extras: the Delta ladder (rls.hpp). Delta > 0 to run at all, the cap
+/// is Delta * LB with LB re-derived from the instance, the schedule honors
+/// the cap, and Delta > 1 brings Lemma 4's marked-processor bound.
+void check_rls_extras(const Instance& inst, const SolveResult& result,
+                      Findings& findings) {
+  const RlsResult& rls = *result.rls;
+  if (!(Fraction(0) < result.delta)) {
+    findings.add("rls extras with Delta = ", result.delta.to_string(),
+                 " <= 0 (the run requires Delta > 0)");
+    return;
+  }
+  const Fraction lb = inst.storage_lower_bound_fraction();
+  if (!(rls.lb == lb)) {
+    findings.add("rls LB ", rls.lb.to_string(),
+                 " does not reproduce: instance LB ", lb.to_string());
+  }
+  if (!(rls.cap == result.delta * lb)) {
+    findings.add("rls cap ", rls.cap.to_string(), " != Delta * LB = ",
+                 (result.delta * lb).to_string());
+  }
+  if (result.feasible &&
+      Fraction(mmax(inst, result.schedule)) > rls.cap) {
+    findings.add("Mmax ", mmax(inst, result.schedule),
+                 " exceeds the Delta * LB cap ", rls.cap.to_string());
+  }
+  if (rls.marked.size() != static_cast<std::size_t>(inst.m())) {
+    findings.add("rls marked vector has ", rls.marked.size(),
+                 " entries for m = ", inst.m());
+  }
+  const auto counted = static_cast<int>(
+      std::count(rls.marked.begin(), rls.marked.end(), true));
+  if (counted != rls.marked_count) {
+    findings.add("rls marked_count ", rls.marked_count,
+                 " does not reproduce: ", counted, " processors are marked");
+  }
+  if (Fraction(1) < result.delta &&
+      rls.marked_count > rls_marked_bound(result.delta, inst.m())) {
+    findings.add("Lemma 4 violated: ", rls.marked_count,
+                 " marked processors > floor(m/(Delta-1)) = ",
+                 rls_marked_bound(result.delta, inst.m()));
+  }
+  if (!rls.feasible && !rls.stuck_task) {
+    findings.add("infeasible rls run does not name its stuck task");
+  }
+}
+
+/// SBO extras: Delta > 0, ingredient values that reproduce from the
+/// ingredient schedules, Properties 1-2 bounds rebuilt from those values,
+/// and a combined assignment that matches the recorded routing.
+void check_sbo_extras(const Instance& inst, const SolveResult& result,
+                      Findings& findings) {
+  const SboResult& sbo = *result.sbo;
+  if (!(Fraction(0) < result.delta)) {
+    findings.add("sbo extras with Delta = ", result.delta.to_string(),
+                 " <= 0 (Algorithm 1 requires Delta > 0)");
+    return;
+  }
+  if (inst.has_precedence()) {
+    findings.add("sbo extras on a precedence instance (Algorithm 1 is "
+                 "independent-tasks only)");
+    return;
+  }
+  if (sbo.pi1.n() != inst.n() || sbo.pi2.n() != inst.n() ||
+      sbo.routed_to_pi2.size() != inst.n()) {
+    findings.add("sbo ingredient shapes do not match the instance");
+    return;
+  }
+  if (cmax(inst, sbo.pi1) != sbo.c_ingredient) {
+    findings.add("sbo C ingredient ", sbo.c_ingredient,
+                 " does not reproduce: Cmax(pi1) = ", cmax(inst, sbo.pi1));
+  }
+  if (mmax(inst, sbo.pi2) != sbo.m_ingredient) {
+    findings.add("sbo M ingredient ", sbo.m_ingredient,
+                 " does not reproduce: Mmax(pi2) = ", mmax(inst, sbo.pi2));
+  }
+  const Fraction cmax_bound =
+      (Fraction(1) + result.delta) * Fraction(sbo.c_ingredient);
+  if (!(sbo.cmax_bound == cmax_bound)) {
+    findings.add("sbo cmax_bound ", sbo.cmax_bound.to_string(),
+                 " != (1 + Delta) * C = ", cmax_bound.to_string());
+  }
+  const Fraction mmax_bound =
+      (Fraction(1) + Fraction(1) / result.delta) * Fraction(sbo.m_ingredient);
+  if (!(sbo.mmax_bound == mmax_bound)) {
+    findings.add("sbo mmax_bound ", sbo.mmax_bound.to_string(),
+                 " != (1 + 1/Delta) * M = ", mmax_bound.to_string());
+  }
+  for (TaskId i = 0; i < static_cast<TaskId>(inst.n()); ++i) {
+    const Schedule& origin =
+        sbo.routed_to_pi2[static_cast<std::size_t>(i)] ? sbo.pi2 : sbo.pi1;
+    if (sbo.schedule.proc(i) != origin.proc(i)) {
+      findings.add("sbo routing for task ", i,
+                   " does not match the combined assignment");
+      break;
+    }
+  }
+}
+
+/// Exact-front extras: a strict staircase whose representative schedules
+/// reproduce their points, with the returned schedule at the Cmax-optimal
+/// end.
+void check_pareto_extras(const Instance& inst, const SolveResult& result,
+                         Findings& findings) {
+  const ParetoEnumResult& pareto = *result.pareto;
+  if (pareto.front.empty()) {
+    findings.add("pareto extras with an empty front");
+    return;
+  }
+  for (std::size_t k = 0; k < pareto.front.size(); ++k) {
+    const LabelledPoint& point = pareto.front[k];
+    if (k > 0) {
+      const ObjectivePoint& prev = pareto.front[k - 1].value;
+      if (!(prev.cmax < point.value.cmax && prev.mmax > point.value.mmax)) {
+        findings.add("pareto front is not a strict staircase at entry ", k,
+                     ": (", prev.cmax, ", ", prev.mmax, ") then (",
+                     point.value.cmax, ", ", point.value.mmax, ")");
+      }
+    }
+    if (point.tag < 0 ||
+        static_cast<std::size_t>(point.tag) >= pareto.schedules.size()) {
+      findings.add("pareto front entry ", k, " has tag ", point.tag,
+                   " outside its schedule list");
+      continue;
+    }
+    const Schedule& rep = pareto.schedules[static_cast<std::size_t>(point.tag)];
+    if (rep.n() != inst.n()) {
+      findings.add("pareto representative ", k, " has the wrong task count");
+      continue;
+    }
+    if (const ObjectivePoint measured = objectives(inst, rep);
+        !(measured == point.value)) {
+      findings.add("pareto front point ", k, " (", point.value.cmax, ", ",
+                   point.value.mmax, ") does not reproduce from its schedule: (",
+                   measured.cmax, ", ", measured.mmax, ")");
+    }
+  }
+  if (result.feasible &&
+      !(result.objectives == pareto.front.front().value)) {
+    findings.add("returned schedule is not the Cmax-optimal front end");
+  }
+}
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::string joined;
+  for (const std::string& v : violations) {
+    if (!joined.empty()) joined += "; ";
+    joined += v;
+  }
+  return joined;
+}
+
+AuditReport audit_schedule(const Instance& inst, const Schedule& sched,
+                           const SolveResult& result,
+                           const AuditOptions& options) {
+  Findings findings;
+
+  if (!result.feasible) {
+    // Infeasible results carry no schedule worth checking, but must explain
+    // themselves, and an infeasible RLS run must name its stuck task.
+    if (result.diagnostics.empty()) {
+      findings.add("infeasible result with empty diagnostics");
+    }
+    if (result.rls) check_rls_extras(inst, result, findings);
+    return AuditReport{findings.take()};
+  }
+
+  if (check_structure(inst, sched, findings)) {
+    check_objectives(inst, sched, result, findings);
+    check_bounds(inst, sched, result, options, findings);
+    if (result.rls) check_rls_extras(inst, result, findings);
+    if (result.sbo) check_sbo_extras(inst, result, findings);
+    if (result.pareto) check_pareto_extras(inst, result, findings);
+  }
+  return AuditReport{findings.take()};
+}
+
+bool audit_enabled() {
+  static const bool enabled = env_flag_set("STORESCHED_AUDIT");
+  return enabled;
+}
+
+}  // namespace storesched

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/audit.hpp"
 #include "core/constrained.hpp"
 #include "core/stream.hpp"
 #include "core/theory.hpp"
@@ -653,24 +654,46 @@ SolveResult Solver::solve(const Instance& inst,
     result.diagnostics = "cancelled before solve";
     return result;
   }
-  if (!options.deadline) return do_solve(inst, options);
 
-  const auto start = std::chrono::steady_clock::now();
-  SolveResult result = do_solve(inst, options);
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  if (elapsed > *options.deadline) {
-    result.feasible = false;
-    if (!result.diagnostics.empty()) result.diagnostics += "; ";
-    result.diagnostics +=
-        "deadline exceeded: solve took " +
-        std::to_string(
-            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-                .count()) +
-        " us against a budget of " +
-        std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
-                           *options.deadline)
-                           .count()) +
-        " us";
+  SolveResult result;
+  if (!options.deadline) {
+    result = do_solve(inst, options);
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    result = do_solve(inst, options);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (elapsed > *options.deadline) {
+      result.feasible = false;
+      if (!result.diagnostics.empty()) result.diagnostics += "; ";
+      result.diagnostics +=
+          "deadline exceeded: solve took " +
+          std::to_string(
+              std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                  .count()) +
+          " us against a budget of " +
+          std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                             *options.deadline)
+                             .count()) +
+          " us";
+    }
+  }
+
+  // STORESCHED_AUDIT: re-derive every checkable claim of every result that
+  // leaves the envelope -- all families, all call sites (direct, batch,
+  // stream, CLI). A violation is a library bug, never a data error, so it
+  // throws instead of degrading the result.
+  if (audit_enabled()) {
+    AuditOptions audit_options;
+    if (options.memory_capacity && capabilities(inst.m()).needs_capacity) {
+      audit_options.memory_capacity = options.memory_capacity;
+    }
+    const AuditReport report =
+        audit_schedule(inst, result.schedule, result, audit_options);
+    if (!report.ok()) {
+      throw std::logic_error("STORESCHED_AUDIT: " + name() +
+                             " produced an invalid result: " +
+                             report.to_string());
+    }
   }
   return result;
 }

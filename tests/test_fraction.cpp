@@ -108,6 +108,50 @@ TEST(Fraction, OverflowingReductionThrows) {
   EXPECT_THROW(Fraction(1, b) + Fraction(1, d), std::overflow_error);
 }
 
+TEST(Fraction, CheckedInt64AcceptsDocumentedBounds) {
+  // The representable range is [INT64_MIN + 1, INT64_MAX]: INT64_MIN is
+  // excluded so stored components are always negatable without UB.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(Fraction::checked_int64(Int128{kMax}, "test"), kMax);
+  EXPECT_EQ(Fraction::checked_int64(Int128{kMin} + 1, "test"), kMin + 1);
+  EXPECT_EQ(Fraction::checked_int64(Int128{0}, "test"), 0);
+  EXPECT_THROW(Fraction::checked_int64(Int128{kMax} + 1, "test"),
+               std::overflow_error);
+  EXPECT_THROW(Fraction::checked_int64(Int128{kMin}, "test"),
+               std::overflow_error);
+  EXPECT_THROW(Fraction::checked_int64(Int128{kMin} - 1, "test"),
+               std::overflow_error);
+  EXPECT_THROW(Fraction::checked_int64(Int128{kMax} * kMax, "test"),
+               std::overflow_error);
+}
+
+TEST(Fraction, Int64MinOperandThrowsInsteadOfNegationUB) {
+  // Negating INT64_MIN is signed-overflow UB; construction rejects it in
+  // either component instead of deferring the trap to operator-() or sign
+  // normalization.
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(Fraction{kMin}, std::overflow_error);
+  EXPECT_THROW(Fraction(1, kMin), std::overflow_error);
+  EXPECT_THROW(Fraction(kMin, kMin), std::overflow_error);
+}
+
+TEST(Fraction, ExtremesRemainNegatableAndExact) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const Fraction big(kMax);
+  EXPECT_EQ((-big).num(), -kMax);
+  EXPECT_EQ(-(-big), big);
+  const Fraction negden(kMax, -1);  // sign normalization at the boundary
+  EXPECT_EQ(negden.num(), -kMax);
+  EXPECT_EQ(negden.den(), 1);
+  // Arithmetic one step past the boundary reports instead of truncating.
+  EXPECT_THROW(big + Fraction(1), std::overflow_error);
+  EXPECT_THROW(big * Fraction(2), std::overflow_error);
+  EXPECT_THROW(Fraction(-kMax) - Fraction(2), std::overflow_error);
+  // ...while 128-bit intermediates that reduce back into range are exact.
+  EXPECT_EQ(Fraction(kMax, 2) * Fraction(2), big);
+}
+
 TEST(RatioLess, MatchesFractionComparison) {
   EXPECT_TRUE(ratio_less(1, 3, 1, 2));    // 1/3 < 1/2
   EXPECT_FALSE(ratio_less(1, 2, 1, 3));   // 1/2 < 1/3 is false

@@ -4,9 +4,14 @@
 // independent verification paths against silently diverging.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
+
 #include "algorithms/graham.hpp"
 #include "common/dag_generators.hpp"
 #include "common/generators.hpp"
+#include "common/io.hpp"
 #include "common/rng.hpp"
 #include "core/rls.hpp"
 #include "sim/event_sim.hpp"
@@ -112,6 +117,64 @@ TEST(FuzzValidation, MetricAgreementUnderRandomValidSchedules) {
     EXPECT_EQ(report.makespan, cmax(inst, timed));
     EXPECT_EQ(report.peak_memory, mmax(inst, timed));
     EXPECT_EQ(report.sum_completion, sum_completion_times(inst, timed));
+  }
+}
+
+// --- Wire-format crash regressions (tools/fuzz_jsonl.cpp) -------------------
+// Each test pins a bug the fuzz target surfaced; the same bytes live in
+// tools/fuzz_corpus/ so the fuzz_jsonl_corpus ctest replays them under every
+// sanitizer configuration.
+
+TEST(FuzzRegression, WeightSumOverflowRejected) {
+  // tools/fuzz_corpus/reject_weight_sum_overflow.jsonl: two INT64_MAX task
+  // weights made Instance::compute_aggregates() wrap its running totals --
+  // signed-overflow UB reachable from a single untrusted line. The sums now
+  // reject overflow explicitly.
+  EXPECT_THROW(
+      instance_from_jsonl(
+          R"({"m":2,"tasks":[[9223372036854775807,1],[9223372036854775807,1]]})",
+          1),
+      std::runtime_error);
+  EXPECT_THROW(
+      instance_from_jsonl(
+          R"({"m":2,"tasks":[[1,9223372036854775807],[1,9223372036854775807]]})",
+          1),
+      std::runtime_error);
+  // Same guard on the direct-construction path (invalid_argument there; the
+  // wire layer rewraps it as runtime_error with the line number).
+  constexpr Time kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(Instance({{kMax, 1}, {kMax, 1}}, 2), std::invalid_argument);
+}
+
+TEST(FuzzRegression, MaxWeightBoundaryStillAccepted) {
+  // tools/fuzz_corpus/max_weight_single.jsonl: the overflow guard must not
+  // reject the representable boundary itself.
+  constexpr Time kMax = std::numeric_limits<std::int64_t>::max();
+  const Instance inst = instance_from_jsonl(
+      R"({"m":1,"tasks":[[9223372036854775807,9223372036854775807]]})", 1);
+  EXPECT_EQ(inst.total_work(), kMax);
+  EXPECT_EQ(inst.total_storage(), kMax);
+  EXPECT_EQ(inst.max_p(), kMax);
+  // Round-trip stays canonical at the boundary.
+  const std::string wire = instance_to_jsonl(inst);
+  EXPECT_EQ(instance_to_jsonl(instance_from_jsonl(wire, 1)), wire);
+}
+
+TEST(FuzzRegression, RejectionsAreAlwaysRuntimeErrors) {
+  // The fuzz contract: malformed bytes throw std::runtime_error, never any
+  // other type (and never crash). Pin one representative per corpus reject_*
+  // entry.
+  const char* rejects[] = {
+      R"({"m":0,"tasks":[[1,1]]})",                    // reject_bad_m
+      R"({"m":2,"tasks":[[1,1],[1,-3]]})",            // reject_negative_weight
+      R"({"m":2,"tasks":[[1,1],[2,2]],"edges":[[0,1],[1,0]]})",  // cycle
+      R"({"m":2,"tasks":[[99999999999999999999,1]]})",  // int overflow
+      R"({"m":2,"tasks":[[1,1]],"bogus":3})",         // reject_unknown_key
+      R"({"m":2,"tasks":[[1,1]]} trailing)",          // reject_trailing
+      R"(not json at all)",                           // reject_not_json
+  };
+  for (const char* line : rejects) {
+    EXPECT_THROW(instance_from_jsonl(line, 1), std::runtime_error) << line;
   }
 }
 

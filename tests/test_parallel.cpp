@@ -1,0 +1,117 @@
+// Tests for the shared worker-pool helper (common/parallel.hpp): worker
+// sizing, dynamic claiming, and -- the part sanitizers care about -- the
+// teardown ordering contract: every spawned worker is joined before
+// run_worker_crew propagates anything, so no worker ever races the
+// destruction of the crew's stack state (error slot, mutex, body).
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace storesched {
+namespace {
+
+TEST(ParallelWorkerCount, NeverOversubscribesJobs) {
+  EXPECT_EQ(parallel_worker_count(/*jobs=*/1, /*threads=*/8), 1u);
+  EXPECT_EQ(parallel_worker_count(2, 8), 2u);
+  EXPECT_EQ(parallel_worker_count(100, 4), 4u);
+  EXPECT_EQ(parallel_worker_count(0, 4), 1u);
+  EXPECT_GE(parallel_worker_count(100, 0), 1u);  // hardware_concurrency path
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kJobs = 500;
+  std::vector<std::atomic<int>> hits(kJobs);
+  parallel_for(kJobs, /*threads=*/4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAfterAllWorkersJoin) {
+  // One job throws; the others must still be joined (not detached, not
+  // terminated) before the exception reaches the caller. Pinned by counting
+  // completed bodies *after* the catch: a crew that unwound before joining
+  // would let slow workers finish after this point (a use-after-free under
+  // TSan/ASan, a flaky count here).
+  constexpr std::size_t kJobs = 8;
+  std::atomic<int> completed{0};
+  bool caught = false;
+  try {
+    parallel_for(kJobs, /*threads=*/4, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("job 0 failed");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "job 0 failed");
+  }
+  ASSERT_TRUE(caught);
+  // Every non-throwing job that *started* has fully completed by now. The
+  // cancel flag stops unclaimed jobs, so completed < kJobs - 1 is fine; the
+  // invariant is that the count is final -- no worker is still running.
+  const int at_catch = completed.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(completed.load(), at_catch)
+      << "a worker outlived run_worker_crew's return";
+}
+
+TEST(RunWorkerCrew, JoinsSlowWorkersBeforeRethrow) {
+  // Deterministic shutdown-ordering regression: worker 0 throws
+  // immediately while workers 1..k are still asleep. The crew must join
+  // them all before rethrowing, so by the time the catch runs every body
+  // has executed its final statement.
+  constexpr unsigned kWorkers = 4;
+  std::atomic<int> finished{0};
+  bool caught = false;
+  try {
+    run_worker_crew(kWorkers, [&](unsigned id) {
+      if (id == 0) throw std::logic_error("worker 0 crashed during shutdown");
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+  ASSERT_TRUE(caught);
+  EXPECT_EQ(finished.load(), static_cast<int>(kWorkers) - 1)
+      << "rethrow happened before every worker was joined";
+}
+
+TEST(RunWorkerCrew, CapturesFirstExceptionOnly) {
+  // All workers throw; exactly one exception (some worker's) surfaces and
+  // the crew still joins everyone.
+  constexpr unsigned kWorkers = 4;
+  std::atomic<int> threw{0};
+  try {
+    run_worker_crew(kWorkers, [&](unsigned id) {
+      threw.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("worker " + std::to_string(id));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("worker ", 0), 0u) << e.what();
+  }
+  EXPECT_EQ(threw.load(), static_cast<int>(kWorkers));
+}
+
+TEST(RunWorkerCrew, SingleWorkerRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  run_worker_crew(1, [&](unsigned id) {
+    EXPECT_EQ(id, 0u);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+}  // namespace
+}  // namespace storesched

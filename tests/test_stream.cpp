@@ -265,6 +265,76 @@ TEST(StreamCancel, PreCancelledTokenShortCircuitsSolve) {
   EXPECT_NE(r.diagnostics.find("cancelled"), std::string::npos);
 }
 
+TEST(StreamCancelStress, RandomCancelPointsNeverDropOrDoubleDeliver) {
+  // Randomized cancel points under the adaptive window (the configuration a
+  // long-lived service actually runs): whichever moment the token fires --
+  // pre-run, mid-run, from any sink call, with or without a per-solve
+  // deadline racing it -- the pipeline contract stays exact. Every pulled
+  // index is delivered exactly once (no drops, no double delivery), and
+  // since the generator hands out indices sequentially, the delivered set
+  // is precisely the prefix [0, pulled).
+  constexpr std::size_t kCount = 120;
+  Rng rng(0x5ca1e);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto cancel_at =
+        static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const bool ordered = rng.bernoulli(0.5);
+    const int threads = static_cast<int>(rng.uniform_int(1, 4));
+    const bool with_deadline = rng.bernoulli(0.5);
+
+    auto token = std::make_shared<CancelToken>();
+    if (cancel_at == 0) token->request_cancel();
+
+    std::size_t pulled = 0;
+    GeneratorSource source(
+        [&]() -> std::optional<Instance> {
+          if (pulled >= kCount) return std::nullopt;
+          ++pulled;
+          return make_instance({2, 1, 3}, {1, 3, 2}, 2);
+        },
+        kCount);
+
+    std::vector<int> per_index(kCount, 0);
+    std::size_t delivered = 0;
+    CallbackSink sink([&](std::size_t index, SolveResult r) {
+      ASSERT_LT(index, kCount);
+      ++per_index[index];
+      if (++delivered == cancel_at) token->request_cancel();
+      if (with_deadline) {
+        EXPECT_FALSE(r.feasible);
+      }
+    });
+
+    SolveOptions options;
+    if (with_deadline) options.deadline = std::chrono::nanoseconds(0);
+    StreamOptions stream;
+    stream.threads = threads;
+    stream.window = 0;  // adaptive
+    stream.memory_budget = 64u << 10;  // keep the window near its floor
+    stream.ordered = ordered;
+    stream.cancel = token;
+    const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                           source, sink, options, stream);
+
+    const std::string label =
+        "trial " + std::to_string(trial) + " cancel_at=" +
+        std::to_string(cancel_at) + " ordered=" + std::to_string(ordered) +
+        " threads=" + std::to_string(threads) +
+        " deadline=" + std::to_string(with_deadline);
+    EXPECT_EQ(stats.pulled, pulled) << label;
+    EXPECT_EQ(stats.delivered, stats.pulled) << label;  // nothing dropped
+    EXPECT_EQ(delivered, stats.delivered) << label;
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(per_index[i], i < pulled ? 1 : 0)
+          << label << " index " << i;
+    }
+    if (cancel_at == 0) {
+      EXPECT_EQ(stats.pulled, 0u) << label;
+      EXPECT_TRUE(stats.cancelled) << label;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Per-solve deadlines.
 // ---------------------------------------------------------------------------

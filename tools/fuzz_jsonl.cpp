@@ -1,0 +1,177 @@
+// Fuzz target for the JSONL wire format (common/io.hpp) -- the parsing
+// surface a serving tier exposes to untrusted bytes.
+//
+// Contract under fuzzing:
+//   * instance_from_jsonl() either returns a valid Instance or throws
+//     std::runtime_error. Any other exception type, any crash, and any
+//     sanitizer report is a bug.
+//   * Accepted lines round-trip: instance_to_jsonl(parse(line)) reparses
+//     to an equal instance and is a serialization fixpoint.
+//   * Small accepted instances also solve + serialize through
+//     result_to_jsonl() without throwing (the full service line path).
+//
+// Two build modes (CMakeLists.txt):
+//   * libFuzzer (-DSTORESCHED_LIBFUZZER=ON, Clang): the CI fuzz job runs a
+//     bounded pass over tools/fuzz_corpus/ with ASan+UBSan.
+//   * standalone (default, STORESCHED_FUZZ_STANDALONE): main() replays
+//     corpus files/directories byte-for-byte through the same target; a
+//     ctest (fuzz_jsonl_corpus) runs it over the committed corpus so crash
+//     regressions stay pinned under every compiler and sanitizer config.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "common/io.hpp"
+#include "common/schedule.hpp"
+#include "core/solver.hpp"
+#include "core/stream.hpp"
+
+namespace {
+
+using storesched::Instance;
+
+[[noreturn]] void die(const char* stage, const std::exception& e) {
+  std::fprintf(stderr, "fuzz_jsonl: unexpected exception at %s: %s\n", stage,
+               e.what());
+  std::abort();
+}
+
+/// True iff the two instances are equal field-for-field (the round-trip
+/// oracle; Instance itself has no operator== because aggregates are
+/// derived).
+bool instances_equal(const Instance& a, const Instance& b) {
+  if (a.n() != b.n() || a.m() != b.m() ||
+      a.has_precedence() != b.has_precedence()) {
+    return false;
+  }
+  for (storesched::TaskId i = 0; i < static_cast<storesched::TaskId>(a.n());
+       ++i) {
+    if (!(a.task(i) == b.task(i))) return false;
+  }
+  if (a.has_precedence() && !(a.dag() == b.dag())) return false;
+  return true;
+}
+
+void fuzz_one(const std::uint8_t* data, std::size_t size) {
+  // Bound the per-input work: the wire format is line-oriented and a
+  // megabyte-scale single line only slows exploration down.
+  constexpr std::size_t kMaxInput = std::size_t{1} << 20;
+  if (size > kMaxInput) return;
+  const std::string line(reinterpret_cast<const char*>(data), size);
+
+  Instance inst;
+  try {
+    inst = storesched::instance_from_jsonl(line, /*line_number=*/1);
+  } catch (const std::runtime_error&) {
+    return;  // rejection is the expected outcome for malformed bytes
+  } catch (const std::exception& e) {
+    die("parse (only std::runtime_error is allowed)", e);
+  }
+
+  // Round-trip: serialize -> reparse -> equal, and the serialization is a
+  // fixpoint (canonical form).
+  try {
+    const std::string wire = storesched::instance_to_jsonl(inst);
+    const Instance back = storesched::instance_from_jsonl(wire, 1);
+    if (!instances_equal(inst, back)) {
+      std::fprintf(stderr, "fuzz_jsonl: round-trip mismatch for %s\n",
+                   wire.c_str());
+      std::abort();
+    }
+    if (storesched::instance_to_jsonl(back) != wire) {
+      std::fprintf(stderr, "fuzz_jsonl: serialization not a fixpoint: %s\n",
+                   wire.c_str());
+      std::abort();
+    }
+  } catch (const std::exception& e) {
+    die("round-trip", e);
+  }
+
+  // Drive small accepted instances through the rest of the service line
+  // path: a memory-blind solve plus the result wire format. Bounded so the
+  // fuzzer never allocates O(m) gigabytes for a pathological-but-valid
+  // {"m":2000000000,...} line.
+  if (inst.n() == 0 || inst.n() > 256 || inst.m() > 256) return;
+  try {
+    static const auto solver = storesched::make_solver("graham:input");
+    const storesched::SolveResult result = solver->solve(inst);
+    const std::string out = storesched::result_to_jsonl(
+        0, result, {.include_schedule = true});
+    if (out.empty() || out.front() != '{' || out.back() != '}') {
+      std::fprintf(stderr, "fuzz_jsonl: malformed result line: %s\n",
+                   out.c_str());
+      std::abort();
+    }
+  } catch (const std::exception& e) {
+    die("solve + result_to_jsonl on a valid instance", e);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(data, size);
+  return 0;
+}
+
+#ifdef STORESCHED_FUZZ_STANDALONE
+// Replay driver: every argument is a corpus file or a directory of corpus
+// files; each is fed through the fuzz target once. Exits nonzero if no
+// input was replayed (a misplaced corpus must not pass vacuously).
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz_jsonl: cannot read %s\n", path.c_str());
+    return -1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  fuzz_one(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) entries.push_back(entry.path());
+      }
+      for (const auto& path : entries) {
+        const int r = replay_file(path);
+        if (r < 0) return 1;
+        replayed += r;
+      }
+    } else {
+      const int r = replay_file(arg);
+      if (r < 0) return 1;
+      replayed += r;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "fuzz_jsonl: no corpus inputs found\n");
+    return 1;
+  }
+  std::printf("fuzz_jsonl: replayed %d corpus inputs, no crashes\n", replayed);
+  return 0;
+}
+#endif  // STORESCHED_FUZZ_STANDALONE
