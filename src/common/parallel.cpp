@@ -1,6 +1,8 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+
+#include "common/failpoint.hpp"
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -59,6 +61,10 @@ void run_worker_crew(unsigned workers,
   pool.reserve(workers);
   try {
     for (unsigned t = 0; t < workers; ++t) {
+      // Failpoint site: lets tests prove the join-before-rethrow teardown
+      // and the stream driver's degraded-spawn path without exhausting
+      // real thread limits.
+      failpoint::hit("crew.spawn");
       pool.emplace_back([&, t] {
         try {
           body(t);

@@ -1,0 +1,209 @@
+#include "core/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace storesched {
+
+namespace {
+
+[[noreturn]] void journal_fail(const std::string& what) {
+  throw std::runtime_error("journal: " + what + ": " + std::strerror(errno));
+}
+
+/// Parses one "v1 a b c d" line; nullopt on anything else (torn tails,
+/// foreign text, future versions).
+std::optional<JournalCheckpoint> parse_checkpoint(const std::string& line) {
+  std::istringstream is(line);
+  std::string version;
+  JournalCheckpoint cp;
+  if (!(is >> version >> cp.completed >> cp.source_lines >> cp.out_lines >>
+        cp.err_lines) ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  std::string trailing;
+  if (is >> trailing) return std::nullopt;
+  return cp;
+}
+
+}  // namespace
+
+StreamJournal::StreamJournal(const std::string& path, bool fresh) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (fresh) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) journal_fail("cannot open \"" + path + "\"");
+}
+
+StreamJournal::~StreamJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void StreamJournal::append(const JournalCheckpoint& checkpoint) {
+  std::ostringstream os;
+  os << "v1 " << checkpoint.completed << ' ' << checkpoint.source_lines << ' '
+     << checkpoint.out_lines << ' ' << checkpoint.err_lines << '\n';
+  const std::string line = os.str();
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      journal_fail("append failed");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) journal_fail("fsync failed");
+}
+
+std::optional<JournalCheckpoint> StreamJournal::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::optional<JournalCheckpoint> last;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto cp = parse_checkpoint(line)) last = cp;
+  }
+  return last;
+}
+
+void truncate_to_lines(const std::string& path, std::size_t lines) {
+  if (lines == 0) {
+    // Start the file empty whether or not it exists yet.
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("journal: cannot truncate \"" + path + "\"");
+    }
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("journal: \"" + path + "\" is missing but the " +
+                             "journal records " + std::to_string(lines) +
+                             " lines in it");
+  }
+  std::size_t seen = 0;
+  std::streamoff offset = 0;
+  std::string line;
+  while (seen < lines && std::getline(in, line)) {
+    ++seen;
+    offset = in.tellg() == std::streamoff(-1)
+                 ? offset + static_cast<std::streamoff>(line.size())
+                 : static_cast<std::streamoff>(in.tellg());
+  }
+  if (seen < lines) {
+    throw std::runtime_error(
+        "journal: \"" + path + "\" holds " + std::to_string(seen) +
+        " lines but the journal records " + std::to_string(lines) +
+        " -- refusing to resume from inconsistent state");
+  }
+  in.close();
+  if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+    journal_fail("truncate of \"" + path + "\" failed");
+  }
+}
+
+StreamStats run_journaled_jsonl(const Solver& solver,
+                                const JournaledRunOptions& journal,
+                                const SolveOptions& options,
+                                const StreamOptions& stream) {
+  if (!stream.ordered) {
+    throw std::invalid_argument(
+        "run_journaled_jsonl: the journal requires ordered delivery");
+  }
+  if (journal.journal_every == 0) {
+    throw std::invalid_argument(
+        "run_journaled_jsonl: journal_every must be >= 1");
+  }
+
+  // Where to pick up. A --resume with no (or an unreadable) journal is a
+  // fresh start, not an error: the first run of a supervised loop always
+  // begins with --resume.
+  JournalCheckpoint base;
+  if (journal.resume) {
+    if (const auto cp = StreamJournal::load(journal.journal_path)) base = *cp;
+  }
+
+  // Make the files match the checkpoint exactly: everything past it will
+  // be re-solved and re-written (this is what makes output exactly-once).
+  truncate_to_lines(journal.output_path, base.out_lines);
+  if (!journal.errors_path.empty()) {
+    truncate_to_lines(journal.errors_path, base.err_lines);
+  }
+  StreamJournal log(journal.journal_path, /*fresh=*/!journal.resume);
+
+  std::ifstream in(journal.input_path);
+  if (!in) {
+    throw std::runtime_error("run_journaled_jsonl: cannot open input \"" +
+                             journal.input_path + "\"");
+  }
+  std::string skipped;
+  for (std::size_t i = 0; i < base.source_lines; ++i) {
+    if (!std::getline(in, skipped)) {
+      throw std::runtime_error(
+          "run_journaled_jsonl: input \"" + journal.input_path + "\" holds " +
+          std::to_string(i) + " lines but the journal consumed " +
+          std::to_string(base.source_lines));
+    }
+  }
+
+  std::ofstream out(journal.output_path, std::ios::app);
+  if (!out) {
+    throw std::runtime_error("run_journaled_jsonl: cannot open output \"" +
+                             journal.output_path + "\"");
+  }
+  std::ofstream err_file;
+  std::optional<JsonlErrorSink> err_sink;
+  if (!journal.errors_path.empty()) {
+    err_file.open(journal.errors_path, std::ios::app);
+    if (!err_file) {
+      throw std::runtime_error("run_journaled_jsonl: cannot open errors \"" +
+                               journal.errors_path + "\"");
+    }
+    err_sink.emplace(err_file);
+  }
+
+  JsonlInstanceSource source(in, /*first_line=*/base.source_lines);
+  JsonlResultSink sink(out, journal.result_options);
+
+  StreamOptions run = stream;
+  run.start_index = base.completed;
+  run.errors = err_sink ? &*err_sink : nullptr;
+  run.progress = [&](const StreamProgress& p) {
+    if ((p.completed - base.completed) % journal.journal_every != 0) return;
+    // Flush data before the checkpoint that references it: the journaled
+    // counts must never run ahead of the files.
+    out.flush();
+    if (err_sink) err_file.flush();
+    if (!out || (err_sink && !err_file)) {
+      throw StreamWriteError("run_journaled_jsonl: flush failed");
+    }
+    log.append({p.completed, p.source_lines, base.out_lines + p.delivered,
+                base.err_lines + p.failed});
+  };
+
+  StreamStats stats = solve_stream(solver, source, sink, options, run);
+
+  // Final checkpoint: the run's true end state (the per-record cadence may
+  // have skipped the last records, and cancellation stops mid-cadence).
+  out.flush();
+  if (err_sink) err_file.flush();
+  if (!out || (err_sink && !err_file)) {
+    throw StreamWriteError("run_journaled_jsonl: final flush failed");
+  }
+  log.append({base.completed + stats.delivered + stats.failed,
+              stats.source_lines, base.out_lines + stats.delivered,
+              base.err_lines + stats.failed});
+  return stats;
+}
+
+}  // namespace storesched

@@ -1,0 +1,108 @@
+// Crash-safe resume for JSONL streaming runs.
+//
+// A journaled run appends one checkpoint line per retired batch of records
+// to an append-only journal file, fsync'd on every append:
+//
+//   v1 <completed> <source_lines> <out_lines> <err_lines>
+//
+//   completed     records retired (delivered or recorded as failed) from
+//                 the head of the stream -- the next run's start index
+//   source_lines  physical input lines those records consumed
+//   out_lines     result lines in the output file at that point
+//   err_lines     error records in the error file at that point
+//
+// The counters ride the ordered-delivery contract of solve_stream's
+// StreamProgress callback: everything below `completed` is contiguously
+// done, so a process killed mid-stream loses at most the in-flight window
+// plus whatever was retired after the last checkpoint. Resuming replays
+// none of the finished prefix:
+//
+//   1. load() the last well-formed journal line (a torn tail from a crash
+//      mid-append parses as garbage and is skipped);
+//   2. truncate the output/error files back to out_lines/err_lines --
+//      lines written after that checkpoint belong to records the resumed
+//      run will re-solve, so dropping them is what makes output
+//      exactly-once;
+//   3. skip source_lines physical input lines and restart the stream at
+//      start_index = completed.
+//
+// run_journaled_jsonl() packages those steps for the CLI (--journal /
+// --resume) and the kill-and-resume tests: byte-identical output to an
+// uninterrupted run, by construction. Output and error streams are
+// flushed before every journal append, so the journaled line counts never
+// run ahead of the files (the invariant truncation relies on).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/stream.hpp"
+
+namespace storesched {
+
+/// One parsed journal line (all counters are cumulative totals).
+struct JournalCheckpoint {
+  std::size_t completed = 0;
+  std::size_t source_lines = 0;
+  std::size_t out_lines = 0;
+  std::size_t err_lines = 0;
+};
+
+/// Append-only, fsync-per-append checkpoint log. One writer at a time;
+/// append() throws std::runtime_error when the write or fsync fails (a
+/// journal that cannot be trusted must stop the run, not limp on).
+class StreamJournal {
+ public:
+  /// Opens `path` for appending, creating it if missing; `fresh` truncates
+  /// first (a new run re-using an old journal path starts clean).
+  explicit StreamJournal(const std::string& path, bool fresh);
+  ~StreamJournal();
+  StreamJournal(const StreamJournal&) = delete;
+  StreamJournal& operator=(const StreamJournal&) = delete;
+
+  void append(const JournalCheckpoint& checkpoint);
+
+  /// The last well-formed checkpoint in the file at `path`, or nullopt
+  /// when the file is missing, empty, or holds no parseable line. A torn
+  /// final line (crash mid-append) is simply ignored.
+  static std::optional<JournalCheckpoint> load(const std::string& path);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Truncates the file at `path` to its first `lines` lines. A missing file
+/// counts as zero lines. Throws std::runtime_error when the file holds
+/// fewer than `lines` lines -- the journal claims data the file does not
+/// have, so resuming would silently lose records.
+void truncate_to_lines(const std::string& path, std::size_t lines);
+
+/// A journaled (and resumable) JSONL streaming run; everything the CLI's
+/// --journal/--resume path does, reusable by tests.
+struct JournaledRunOptions {
+  std::string input_path;    ///< instance JSONL (must be a real file)
+  std::string output_path;   ///< result JSONL, truncated/extended in place
+  std::string errors_path;   ///< error-record JSONL; empty = drop records
+  std::string journal_path;  ///< the checkpoint log
+  bool resume = false;       ///< pick up from the journal instead of fresh
+  /// Checkpoint every N retired records (>= 1). Records retired after the
+  /// last checkpoint are re-solved on resume, so N trades fsync traffic
+  /// against repeated work.
+  std::size_t journal_every = 1;
+  JsonlResultOptions result_options;
+};
+
+/// Runs `solver` over the journaled pipeline. `stream.ordered` must be
+/// true (the default) -- the journal's contiguity contract has no meaning
+/// as-completed -- and `stream.errors`, `stream.progress`, and
+/// `stream.start_index` are owned by the journal plumbing; pass policy,
+/// threads, window, and cancellation through `stream` as usual. Returns
+/// the stats of THIS run (a resumed run reports only the records it
+/// processed itself).
+StreamStats run_journaled_jsonl(const Solver& solver,
+                                const JournaledRunOptions& journal,
+                                const SolveOptions& options = {},
+                                const StreamOptions& stream = {});
+
+}  // namespace storesched

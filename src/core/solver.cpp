@@ -645,6 +645,130 @@ std::unique_ptr<Solver> build_solver(const std::string& family,
   bad_spec("unknown solver family", family);
 }
 
+// ---------------------------------------------------------------------------
+// The fallback ladder (graceful degradation).
+// ---------------------------------------------------------------------------
+
+/// `fallback:SPEC;SPEC[;...]` -- tries each rung in order and hands over on
+/// exception, infeasibility, or exhausted deadline budget; the final rung
+/// runs deadline-free so the ladder always answers. See the solver.hpp
+/// grammar table.
+class FallbackSolver final : public Solver {
+ public:
+  explicit FallbackSolver(std::vector<std::unique_ptr<Solver>> rungs)
+      : rungs_(std::move(rungs)) {}
+
+  std::string name() const override {
+    std::string out = "fallback:";
+    for (std::size_t i = 0; i < rungs_.size(); ++i) {
+      if (i != 0) out += ';';
+      out += rungs_[i]->name();
+    }
+    return out;
+  }
+
+  Capabilities capabilities(int m) const override {
+    // The final rung is the anchor that guarantees an answer, so instance
+    // support and the capacity requirement are its. Output-quality flags
+    // hold only when every rung provides them (any rung may answer). No
+    // ratio promises: the ratios depend on which rung answers, and each
+    // SolveResult carries its own.
+    Capabilities caps = rungs_.back()->capabilities(m);
+    caps.cmax_ratio.reset();
+    caps.mmax_ratio.reset();
+    caps.sumci_ratio.reset();
+    for (const std::unique_ptr<Solver>& rung : rungs_) {
+      const Capabilities rc = rung->capabilities(m);
+      caps.timed_output = caps.timed_output && rc.timed_output;
+      caps.produces_sum_ci = caps.produces_sum_ci && rc.produces_sum_ci;
+      caps.exact_front = caps.exact_front && rc.exact_front;
+    }
+    return caps;
+  }
+
+ protected:
+  bool manages_deadline() const override { return true; }
+
+  SolveResult do_solve(const Instance& inst,
+                       const SolveOptions& options) const override {
+    const auto start = std::chrono::steady_clock::now();
+    std::string trail;  // why each skipped rung did not answer
+    const auto note = [&](std::size_t i, const std::string& why) {
+      if (!trail.empty()) trail += "; ";
+      trail += "rung " + std::to_string(i + 1) + " (" + rungs_[i]->name() +
+               ") " + why;
+    };
+
+    for (std::size_t i = 0; i < rungs_.size(); ++i) {
+      const bool last = i + 1 == rungs_.size();
+      SolveOptions sub = options;
+      if (last) {
+        // The anchor answers unconditionally: its own envelope must not
+        // demote the only answer the caller is still going to get.
+        sub.deadline.reset();
+      } else if (options.deadline) {
+        const auto remaining =
+            *options.deadline - (std::chrono::steady_clock::now() - start);
+        if (remaining <= std::chrono::nanoseconds::zero()) {
+          note(i, "skipped: deadline budget exhausted");
+          continue;
+        }
+        sub.deadline = remaining;
+      }
+
+      SolveResult result;
+      try {
+        // The rung's full public envelope runs here, so its deadline
+        // demotion is exactly the hand-over trigger.
+        result = rungs_[i]->solve(inst, sub);
+      } catch (const std::exception& e) {
+        if (last) throw;  // nothing further to degrade to
+        note(i, std::string("threw: ") + e.what());
+        continue;
+      }
+      const bool cancelled = options.cancel && options.cancel->cancelled();
+      if (!result.feasible && !last && !cancelled) {
+        note(i, "infeasible" + (result.diagnostics.empty()
+                                    ? std::string()
+                                    : ": " + result.diagnostics));
+        continue;
+      }
+      // This rung answered (or cancellation made descending pointless).
+      if (!result.diagnostics.empty()) result.diagnostics += "; ";
+      result.diagnostics += "fallback: answered by rung " +
+                            std::to_string(i + 1) + "/" +
+                            std::to_string(rungs_.size()) + " (" +
+                            rungs_[i]->name() + ")";
+      if (!trail.empty()) result.diagnostics += "; " + trail;
+      return result;
+    }
+    throw std::logic_error("fallback: empty ladder");  // ctor guards >= 2
+  }
+
+ private:
+  std::vector<std::unique_ptr<Solver>> rungs_;
+};
+
+/// Builds the ladder from the raw spec body (everything after "fallback:").
+/// Bypasses parse_body(): rung specs contain the ','/'=' characters the
+/// ordinary body grammar would mangle, so the only separator here is ';'.
+std::unique_ptr<Solver> make_fallback_solver(const std::string& body) {
+  const std::vector<std::string> rung_specs = split(body, ';');
+  if (rung_specs.size() < 2) {
+    bad_spec("fallback needs at least two ';'-separated rungs, got", body);
+  }
+  std::vector<std::unique_ptr<Solver>> rungs;
+  rungs.reserve(rung_specs.size());
+  for (const std::string& spec : rung_specs) {
+    if (spec.empty()) bad_spec("empty rung in fallback spec", body);
+    if (spec.substr(0, spec.find(':')) == "fallback") {
+      bad_spec("fallback rungs cannot nest", spec);
+    }
+    rungs.push_back(make_solver(spec));
+  }
+  return std::make_unique<FallbackSolver>(std::move(rungs));
+}
+
 }  // namespace
 
 SolveResult Solver::solve(const Instance& inst,
@@ -656,7 +780,7 @@ SolveResult Solver::solve(const Instance& inst,
   }
 
   SolveResult result;
-  if (!options.deadline) {
+  if (!options.deadline || manages_deadline()) {
     result = do_solve(inst, options);
   } else {
     const auto start = std::chrono::steady_clock::now();
@@ -712,6 +836,9 @@ std::unique_ptr<Solver> make_solver(const std::string& spec) {
       colon == std::string::npos ? spec : spec.substr(0, colon);
   const std::string body =
       colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  // The fallback body is a ';'-separated list of whole specs -- it gets its
+  // own parser instead of the positional/key=value body grammar.
+  if (family == "fallback") return make_fallback_solver(body);
   return build_solver(family, parse_body(body));
 }
 
@@ -733,6 +860,7 @@ std::vector<std::string> registered_solver_specs() {
     specs.push_back("graham:" + std::string(entry.spec));
   }
   specs.push_back("pareto:exact");
+  specs.push_back("fallback:pareto:exact;sbo:lpt,delta=1");
   return specs;
 }
 

@@ -31,6 +31,21 @@
 //                               returned schedule is the Cmax-optimal
 //                               front end. N caps the search nodes
 //                               (default kParetoEnumDefaultLimit).
+//   fallback:SPEC;SPEC[;...]    graceful-degradation ladder (two or more
+//                               ';'-separated rungs, any family except a
+//                               nested fallback). Rungs run in order; a
+//                               rung that throws, comes back infeasible
+//                               (deadline demotion included), or whose
+//                               share of SolveOptions::deadline is already
+//                               burned hands over to the next. The final
+//                               rung -- the anchor, pick something cheap --
+//                               runs with no deadline so the ladder always
+//                               answers. Which rung answered (and why the
+//                               ones above it did not) is stamped into
+//                               SolveResult::diagnostics. E.g.
+//                               "fallback:pareto:exact;sbo:lpt,delta=3/2"
+//                               serves exact fronts until the deadline
+//                               bites, then degrades to the SBO heuristic.
 //
 // F is an exact fraction ("3", "3/2"). Every solver prints a canonical
 // spec from name() that round-trips through make_solver(); the canonical
@@ -174,6 +189,13 @@ class Solver {
   /// The family's actual solve, wrapped by the public solve() envelope.
   virtual SolveResult do_solve(const Instance& inst,
                                const SolveOptions& options) const = 0;
+
+  /// A solver that budgets SolveOptions::deadline itself (the fallback
+  /// ladder splitting the remaining budget across rungs) returns true and
+  /// the envelope skips its post-hoc demotion -- otherwise a lower rung's
+  /// in-budget answer would be demoted just because an upper rung burned
+  /// the clock first.
+  virtual bool manages_deadline() const { return false; }
 };
 
 /// Builds a solver from a spec string (grammar above). Throws

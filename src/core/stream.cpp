@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <istream>
 #include <limits>
 #include <map>
@@ -10,8 +11,11 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <variant>
 
+#include "common/failpoint.hpp"
 #include "common/io.hpp"
 #include "common/parallel.hpp"
 
@@ -36,6 +40,9 @@ std::shared_ptr<const Instance> GeneratorSource::next() {
 }
 
 std::shared_ptr<const Instance> JsonlInstanceSource::next() {
+  // Before any input is consumed: an injected fault here leaves the stream
+  // positioned exactly where it was, so skip/retry policies keep reading.
+  failpoint::hit("source.next");
   std::string line;
   while (std::getline(in_, line)) {
     ++line_number_;
@@ -104,7 +111,207 @@ std::string result_to_jsonl(std::size_t index, const SolveResult& result,
 
 void JsonlResultSink::consume(std::size_t index, SolveResult result) {
   out_ << result_to_jsonl(index, result, options_) << '\n';
-  if (!out_) throw std::runtime_error("JsonlResultSink: write failed");
+  if (!out_) {
+    throw StreamWriteError(
+        "JsonlResultSink: write failed (ostream badbit/failbit set)");
+  }
+}
+
+void JsonlErrorSink::consume(StreamError error) {
+  out_ << stream_error_to_jsonl(error) << '\n';
+  if (!out_) {
+    throw StreamWriteError(
+        "JsonlErrorSink: write failed (ostream badbit/failbit set)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error records on the wire.
+// ---------------------------------------------------------------------------
+
+const char* to_string(StreamErrorCategory category) {
+  switch (category) {
+    case StreamErrorCategory::kSource:
+      return "source";
+    case StreamErrorCategory::kSolve:
+      return "solve";
+    case StreamErrorCategory::kSink:
+      return "sink";
+  }
+  return "unknown";
+}
+
+std::string stream_error_to_jsonl(const StreamError& error) {
+  std::ostringstream os;
+  os << "{\"index\":" << error.index
+     << ",\"error\":true,\"category\":\"" << to_string(error.category) << '"';
+  if (error.line != 0) os << ",\"line\":" << error.line;
+  os << ",\"attempts\":" << error.attempts << ",\"what\":\""
+     << json_escape(error.what) << "\"}";
+  return os.str();
+}
+
+namespace {
+
+/// Strict parser for stream_error_to_jsonl() lines: exactly the emitted
+/// grammar (no whitespace), keys in any order but none unknown, duplicated,
+/// or missing. Errors carry the byte offset -- an error channel that has
+/// itself gone bad should be locatable, not guessed at.
+class ErrorRecordParser {
+ public:
+  explicit ErrorRecordParser(const std::string& line) : s_(line) {}
+
+  StreamError parse() {
+    StreamError error;
+    bool saw_index = false, saw_marker = false, saw_category = false;
+    bool saw_line = false, saw_attempts = false, saw_what = false;
+    expect('{');
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "index") {
+        require_fresh(saw_index, key);
+        error.index = parse_uint();
+      } else if (key == "error") {
+        require_fresh(saw_marker, key);
+        if (!try_consume("true")) fail("\"error\" must be true");
+      } else if (key == "category") {
+        require_fresh(saw_category, key);
+        const std::string token = parse_string();
+        if (token == "source") {
+          error.category = StreamErrorCategory::kSource;
+        } else if (token == "solve") {
+          error.category = StreamErrorCategory::kSolve;
+        } else if (token == "sink") {
+          error.category = StreamErrorCategory::kSink;
+        } else {
+          fail("unknown category \"" + token + "\"");
+        }
+      } else if (key == "line") {
+        require_fresh(saw_line, key);
+        error.line = parse_uint();
+        if (error.line == 0) fail("\"line\" must be >= 1 when present");
+      } else if (key == "attempts") {
+        require_fresh(saw_attempts, key);
+        const std::size_t attempts = parse_uint();
+        if (attempts == 0 || attempts > 1000000) {
+          fail("\"attempts\" outside [1, 1000000]");
+        }
+        error.attempts = static_cast<int>(attempts);
+      } else if (key == "what") {
+        require_fresh(saw_what, key);
+        error.what = parse_string();
+      } else {
+        fail("unknown key \"" + key + "\"");
+      }
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    if (pos_ != s_.size()) fail("trailing bytes after the record");
+    if (!saw_index) fail("missing \"index\"");
+    if (!saw_marker) fail("missing \"error\" marker");
+    if (!saw_category) fail("missing \"category\"");
+    if (!saw_attempts) fail("missing \"attempts\"");
+    if (!saw_what) fail("missing \"what\"");
+    return error;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("stream error record: " + what + " (at byte " +
+                             std::to_string(pos_) + ")");
+  }
+
+  void require_fresh(bool& seen, const std::string& key) {
+    if (seen) fail("duplicate key \"" + key + "\"");
+    seen = true;
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool try_consume(const char* token) {
+    const std::size_t len = std::string(token).size();
+    if (s_.compare(pos_, len, token) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t parse_uint() {
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ == begin) fail("expected a number");
+    if (pos_ - begin > 1 && s_[begin] == '0') fail("leading zero in number");
+    if (pos_ - begin > 18) fail("number too large");
+    return static_cast<std::size_t>(std::stoull(s_.substr(begin, pos_ - begin)));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            if (h >= '0' && h <= '9') {
+              value = value * 16 + static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value = value * 16 + static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value = value * 16 + static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("malformed \\u escape");
+            }
+          }
+          // json_escape only ever emits \u00XX (control characters); wider
+          // codepoints would need UTF-8 encoding this wire does not use.
+          if (value > 0x7f) fail("\\u escape outside ASCII");
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StreamError stream_error_from_jsonl(const std::string& line) {
+  return ErrorRecordParser(line).parse();
 }
 
 // ---------------------------------------------------------------------------
@@ -136,6 +343,57 @@ namespace {
   }
 }
 
+std::string describe_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Default transient-vs-deterministic classification (RetryPolicy docs):
+/// logic errors (a solver rejecting the instance shape) and dead output
+/// streams will fail identically every time -- retrying burns backoff for
+/// nothing. Everything else, injected faults included, is worth another
+/// try.
+bool default_retryable(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const StreamWriteError&) {
+    return false;
+  } catch (const std::logic_error&) {  // includes std::invalid_argument
+    return false;
+  } catch (...) {
+    return true;
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Backoff before re-attempt number `failures`+1: exponential in the
+/// failure count, capped, scaled by a deterministic jitter factor in
+/// [0.5, 1.5) keyed on (seed, record index, failure count) so concurrent
+/// retries de-correlate without making runs irreproducible.
+std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy,
+                                       std::size_t index, int failures) {
+  const double cap = static_cast<double>(policy.max_backoff.count());
+  double ns = static_cast<double>(policy.base_backoff.count());
+  for (int i = 1; i < failures && ns < cap; ++i) ns *= policy.multiplier;
+  ns = std::clamp(ns, 0.0, cap);
+  const std::uint64_t draw = splitmix64(
+      splitmix64(policy.jitter_seed ^ static_cast<std::uint64_t>(index)) +
+      static_cast<std::uint64_t>(failures));
+  const double jitter = 0.5 + static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(ns * jitter));
+}
+
 /// Rough byte footprint of one in-flight unit of work (the pulled instance
 /// plus its result, extras channels included). Drives the adaptive window;
 /// an estimate, not allocator-exact accounting.
@@ -165,37 +423,18 @@ std::size_t estimate_footprint(const Instance& inst, const SolveResult& r) {
   return bytes;
 }
 
-/// One worker to rule them out: with a single worker the pipeline runs
-/// inline -- no threads, no locks, a deterministic pull/solve/deliver loop.
-StreamStats run_inline(const Solver& solver, InstanceSource& source,
-                       ResultSink& sink, const SolveOptions& options,
-                       const CancelToken* cancel) {
-  StreamStats stats;
-  stats.window = 1;  // pull/solve/deliver strictly alternate
-  for (std::size_t index = 0;; ++index) {
-    if (cancel && cancel->cancelled()) {
-      stats.cancelled = true;
-      return stats;
-    }
-    std::shared_ptr<const Instance> inst;
-    SolveResult result;
-    try {
-      inst = source.next();
-      if (!inst) return stats;
-      ++stats.pulled;
-      stats.max_in_flight = std::max<std::size_t>(stats.max_in_flight, 1);
-      result = solver.solve(*inst, options);
-      const bool feasible = result.feasible;
-      sink.consume(index, std::move(result));
-      ++stats.delivered;
-      if (feasible) ++stats.feasible;
-    } catch (...) {
-      rethrow_with_index(index, std::current_exception());
-    }
-  }
-}
+/// How one pulled index ended: a result to deliver or a failure to record.
+/// `source_pos` is the source's position when the index was pulled --
+/// pulls are serialized under the lock, so positions are monotone in the
+/// index and the ordered-mode progress/journal contract holds.
+struct Outcome {
+  std::variant<SolveResult, StreamError> payload;
+  std::size_t source_pos = 0;
+  bool retried = false;  ///< the solve needed >= 1 re-attempt
+};
 
-/// Shared pipeline state; every field is guarded by `mu`.
+/// Shared pipeline state; mutable fields are guarded by `mu`, the policy
+/// block at the bottom is read-only once the crew starts.
 struct PipelineState {
   std::mutex mu;
   /// One condition for both "a window slot freed up" and "state changed"
@@ -203,7 +442,7 @@ struct PipelineState {
   std::condition_variable cv;
 
   std::size_t next_index = 0;    ///< index the next pull will get
-  std::size_t in_flight = 0;     ///< pulled but not yet delivered
+  std::size_t in_flight = 0;     ///< pulled but not yet retired
   bool source_done = false;
   bool failed = false;
   std::exception_ptr error;
@@ -219,8 +458,16 @@ struct PipelineState {
   double footprint_ewma = 0.0;        ///< smoothed estimate_footprint()
   bool footprint_seen = false;
 
-  std::size_t next_deliver = 0;             ///< ordered mode: delivery head
-  std::map<std::size_t, SolveResult> done;  ///< ordered mode: out-of-order buffer
+  std::size_t next_deliver = 0;            ///< ordered mode: retirement head
+  std::map<std::size_t, Outcome> pending;  ///< ordered mode: reorder buffer
+
+  // Failure policy, resolved once in solve_stream before the crew starts.
+  FailureAction action = FailureAction::kAbort;
+  RetryPolicy retry;
+  std::function<bool(const std::exception_ptr&)> retryable;
+  ErrorSink* errors = nullptr;
+  const std::function<void(const StreamProgress&)>* progress = nullptr;
+  bool ordered = true;
 
   StreamStats stats;
 };
@@ -253,34 +500,113 @@ void observe_footprint(PipelineState& state, std::size_t bytes) {
                  kWindowCeiling);
 }
 
-/// Hands one completed result to the sink (immediately in as-completed
-/// mode; via the reorder buffer in ordered mode). Lock must be held --
-/// sinks are not required to be thread-safe, and a sink that blocks here
-/// IS the backpressure. Returns false after recording a sink failure.
-bool deliver(PipelineState& state, ResultSink& sink, bool ordered,
-             std::size_t index, SolveResult result) {
-  const auto emit = [&](std::size_t i, SolveResult r) {
-    const bool feasible = r.feasible;
+/// Retires `index` as failed: accounts it and forwards the record to the
+/// error channel. A throwing ErrorSink aborts the run regardless of policy
+/// -- once the error channel is lost the run's accounting cannot be
+/// trusted. Lock must be held. Returns false when the pipeline must stop.
+bool emit_error(PipelineState& state, StreamError error) {
+  --state.in_flight;
+  ++state.stats.failed;
+  if (state.errors != nullptr) {
+    const std::size_t index = error.index;
     try {
-      sink.consume(i, std::move(r));
+      state.errors->consume(std::move(error));
     } catch (...) {
-      record_failure(state, i, std::current_exception());
+      record_failure(state, index, std::current_exception());
       return false;
     }
-    --state.in_flight;
-    ++state.stats.delivered;
-    if (feasible) ++state.stats.feasible;
-    return true;
-  };
+  }
+  return true;
+}
 
-  if (!ordered) return emit(index, std::move(result));
+/// Hands one solved result to the sink, applying the failure policy to a
+/// throwing consume(): abort records the failure, skip degrades the index
+/// to an error record, retry re-attempts with an identical copy of the
+/// result. Lock must be held; a retry backoff sleeps with the lock held --
+/// sink calls are the serialization point, so a failing sink stalling the
+/// pipeline IS backpressure. Returns false when the pipeline must stop.
+bool emit_result(PipelineState& state, ResultSink& sink, std::size_t index,
+                 Outcome out) {
+  SolveResult& result = std::get<SolveResult>(out.payload);
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    const bool may_retry = state.action == FailureAction::kRetry &&
+                           attempt < state.retry.max_attempts;
+    std::exception_ptr error;
+    try {
+      failpoint::hit("sink.consume");
+      const bool feasible = result.feasible;
+      if (may_retry) {
+        SolveResult copy = result;  // keep the original for a re-attempt
+        sink.consume(index, std::move(copy));
+      } else {
+        sink.consume(index, std::move(result));
+      }
+      --state.in_flight;
+      ++state.stats.delivered;
+      if (feasible) ++state.stats.feasible;
+      if (out.retried || attempt > 1) ++state.stats.recovered;
+      return true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (state.action == FailureAction::kAbort) {
+      record_failure(state, index, error);
+      return false;
+    }
+    if (may_retry && state.retryable(error)) {
+      ++state.stats.retries;
+      std::this_thread::sleep_for(backoff_delay(state.retry, index, attempt));
+      continue;
+    }
+    return emit_error(state, StreamError{index, out.source_pos,
+                                         StreamErrorCategory::kSink, attempt,
+                                         describe_error(error)});
+  }
+}
 
-  state.done.emplace(index, std::move(result));
-  while (!state.done.empty() &&
-         state.done.begin()->first == state.next_deliver) {
-    auto node = state.done.extract(state.done.begin());
-    if (!emit(node.key(), std::move(node.mapped()))) return false;
+/// Retires one outcome: results go to the sink, failures to the error
+/// channel. Lock must be held. Returns false when the pipeline must stop.
+bool retire(PipelineState& state, ResultSink& sink, std::size_t index,
+            Outcome out) {
+  if (std::holds_alternative<StreamError>(out.payload)) {
+    return emit_error(state, std::move(std::get<StreamError>(out.payload)));
+  }
+  return emit_result(state, sink, index, std::move(out));
+}
+
+/// Routes one completed outcome toward retirement (immediately in
+/// as-completed mode; via the reorder buffer in ordered mode, firing the
+/// progress callback as the contiguous head advances). Lock must be held.
+/// Returns false when the pipeline must stop.
+bool deliver(PipelineState& state, ResultSink& sink, std::size_t index,
+             Outcome out) {
+  if (!state.ordered) return retire(state, sink, index, std::move(out));
+
+  state.pending.emplace(index, std::move(out));
+  while (!state.pending.empty() &&
+         state.pending.begin()->first == state.next_deliver) {
+    auto node = state.pending.extract(state.pending.begin());
+    const std::size_t source_pos = node.mapped().source_pos;
+    if (!retire(state, sink, node.key(), std::move(node.mapped()))) {
+      return false;
+    }
     ++state.next_deliver;
+    if (state.progress != nullptr && *state.progress) {
+      StreamProgress snapshot;
+      snapshot.completed = state.next_deliver;
+      snapshot.source_lines = source_pos;
+      snapshot.delivered = state.stats.delivered;
+      snapshot.failed = state.stats.failed;
+      try {
+        (*state.progress)(snapshot);
+      } catch (...) {
+        record_failure(state, state.next_deliver - 1,
+                       std::current_exception());
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -290,6 +616,11 @@ bool deliver(PipelineState& state, ResultSink& sink, bool ordered,
 StreamStats solve_stream(const Solver& solver, InstanceSource& source,
                          ResultSink& sink, const SolveOptions& options,
                          const StreamOptions& stream) {
+  if (stream.on_error.action == FailureAction::kRetry &&
+      stream.on_error.retry.max_attempts < 1) {
+    throw std::invalid_argument(
+        "solve_stream: retry.max_attempts must be >= 1");
+  }
   const CancelToken* cancel = stream.cancel.get();
   // Right-size the crew: never more workers than instances (when the
   // source knows its size) and never more than the window has slots for.
@@ -300,18 +631,31 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
       stream.window > 0 ? stream.window : std::size_t{4} * workers;
   workers = static_cast<unsigned>(std::min<std::size_t>(workers, window));
 
-  if (workers <= 1) {
-    return run_inline(solver, source, sink, options, cancel);
-  }
-
   PipelineState state;
-  state.window_limit = window;
-  state.adaptive = stream.window == 0;
+  if (workers <= 1) {
+    // Single worker: the crew runs the loop inline on the calling thread
+    // (run_worker_crew spawns nothing) and pull/solve/retire strictly
+    // alternate -- in-flight never exceeds 1, so report window 1.
+    state.window_limit = 1;
+    state.adaptive = false;
+  } else {
+    state.window_limit = window;
+    state.adaptive = stream.window == 0;
+  }
   state.window_floor = workers;
   state.memory_budget = stream.memory_budget;
+  state.next_index = stream.start_index;
+  state.next_deliver = stream.start_index;
+  state.ordered = stream.ordered;
+  state.action = stream.on_error.action;
+  state.retry = stream.on_error.retry;
+  state.retryable =
+      state.retry.retryable ? state.retry.retryable : default_retryable;
+  state.errors = stream.errors;
+  state.progress = &stream.progress;
   const auto cancelled = [&] { return cancel && cancel->cancelled(); };
 
-  run_worker_crew(workers, [&](unsigned) {
+  const auto worker = [&](unsigned) {
     for (;;) {
       std::unique_lock<std::mutex> lock(state.mu);
       // wait_for, not wait: an external thread cancelling the token has no
@@ -322,17 +666,40 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
       }
       if (state.failed || state.source_done) return;
       if (cancelled()) {
-        state.stats.cancelled = true;
+        if (!state.stats.cancelled) {
+          state.stats.cancelled = true;
+          state.stats.cancel_reason = cancel->reason();
+        }
         return;
       }
 
       // Pull under the lock: sources are single-consumer by contract.
       std::shared_ptr<const Instance> inst;
+      std::exception_ptr pull_error;
       try {
         inst = source.next();
       } catch (...) {
-        record_failure(state, state.next_index, std::current_exception());
-        return;
+        pull_error = std::current_exception();
+      }
+      const std::size_t source_pos = source.position().value_or(0);
+      if (pull_error) {
+        const std::size_t index = state.next_index++;
+        if (state.action == FailureAction::kAbort) {
+          record_failure(state, index, pull_error);
+          return;
+        }
+        // Source faults are never retried: the source cannot re-produce
+        // input it already consumed (stream.hpp file comment). Degrade to
+        // skip-with-record and keep pulling.
+        ++state.in_flight;
+        Outcome out;
+        out.source_pos = source_pos;
+        out.payload =
+            StreamError{index, source_pos, StreamErrorCategory::kSource, 1,
+                        describe_error(pull_error)};
+        if (!deliver(state, sink, index, std::move(out))) return;
+        state.cv.notify_all();
+        continue;
       }
       if (!inst) {
         state.source_done = true;
@@ -346,29 +713,81 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
           std::max(state.stats.max_in_flight, state.in_flight);
       lock.unlock();
 
+      // Solve outside the lock, re-attempting per policy. Backoff sleeps
+      // are unlocked too: other workers keep streaming while this record
+      // waits out its backoff.
       SolveResult result;
-      std::size_t footprint = 0;
-      try {
-        result = solver.solve(*inst, options);
-        footprint = estimate_footprint(*inst, result);
-      } catch (...) {
-        lock.lock();
-        record_failure(state, index, std::current_exception());
-        return;
+      bool solved = false;
+      int attempt = 0;
+      int extra_attempts = 0;
+      std::exception_ptr solve_error;
+      for (;;) {
+        ++attempt;
+        try {
+          failpoint::hit("stream.solve");
+          result = solver.solve(*inst, options);
+          solved = true;
+          break;
+        } catch (...) {
+          solve_error = std::current_exception();
+        }
+        if (state.action != FailureAction::kRetry) break;
+        if (attempt >= state.retry.max_attempts ||
+            !state.retryable(solve_error)) {
+          break;
+        }
+        ++extra_attempts;
+        std::this_thread::sleep_for(
+            backoff_delay(state.retry, index, attempt));
       }
+      const std::size_t footprint =
+          solved ? estimate_footprint(*inst, result) : 0;
+      inst.reset();
 
       lock.lock();
+      state.stats.retries += static_cast<std::size_t>(extra_attempts);
       if (state.failed) return;
-      observe_footprint(state, footprint);
-      if (!deliver(state, sink, stream.ordered, index, std::move(result))) {
+      if (!solved && state.action == FailureAction::kAbort) {
+        record_failure(state, index, solve_error);
         return;
       }
+      Outcome out;
+      out.source_pos = source_pos;
+      if (solved) {
+        observe_footprint(state, footprint);
+        out.retried = attempt > 1;
+        out.payload = std::move(result);
+      } else {
+        out.payload =
+            StreamError{index, source_pos, StreamErrorCategory::kSolve,
+                        attempt, describe_error(solve_error)};
+      }
+      if (!deliver(state, sink, index, std::move(out))) return;
       state.cv.notify_all();
     }
-  });
+  };
 
+  std::exception_ptr crew_error;
+  try {
+    run_worker_crew(workers, worker);
+  } catch (...) {
+    crew_error = std::current_exception();
+  }
+
+  // The crew has fully joined; no lock needed past here.
   if (state.failed) rethrow_with_index(state.error_index, state.error);
+  if (crew_error) {
+    // The worker body never lets an exception escape, so anything the crew
+    // rethrew came from thread spawning. If the workers that did start
+    // finished the stream anyway, degrade gracefully instead of discarding
+    // a completed run.
+    const bool completed =
+        (state.source_done && state.in_flight == 0) || state.stats.cancelled;
+    if (!completed) std::rethrow_exception(crew_error);
+    state.stats.degraded_spawn = true;
+  }
   state.stats.window = state.window_limit;
+  state.stats.source_lines = source.position().value_or(0);
   return state.stats;
 }
 

@@ -19,17 +19,44 @@
 // is cooperative via CancelToken; per-solve wall-clock deadlines ride in
 // SolveOptions::deadline and surface as infeasible-with-diagnostics.
 //
+// Failure handling is a per-run policy (StreamOptions::on_error):
+//
+//   abort   (default) the first source/solve/sink exception cancels the
+//           remaining work and rethrows on the caller with the offending
+//           instance index attached -- exactly the historical behavior.
+//   skip    the failing record is recorded as a StreamError (flowing to
+//           StreamOptions::errors when set), its index is retired, and
+//           the stream keeps going. One malformed line no longer aborts a
+//           million-instance run.
+//   retry   transient solve/sink faults are retried up to
+//           RetryPolicy::max_attempts with exponential backoff and
+//           deterministic jitter; deterministic faults (std::logic_error,
+//           std::invalid_argument, wire write failures) and exhausted
+//           retries degrade to skip-with-record. Source faults are never
+//           retried -- a source cannot re-produce bytes it already
+//           consumed, so retrying would silently desynchronize record
+//           indices -- they too degrade to skip-with-record.
+//
+// StreamStats accounts for every record exactly: delivered + failed ==
+// indices retired, `retries` counts extra attempts, `recovered` the
+// records that succeeded only after retrying. Failpoints
+// (common/failpoint.hpp: source.next / stream.solve / sink.consume /
+// crew.spawn) make every policy deterministically testable.
+//
 // solve_batch() is now a thin wrapper over this driver (bit-identical
 // results to the historical implementation); tools/storesched_cli.cpp is
 // the JSONL service front-end that makes multi-process sharding a shell
-// pipeline.
+// pipeline, and core/journal.hpp adds crash-safe resume on top of the
+// ordered delivery contract.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -40,18 +67,36 @@ namespace storesched {
 
 /// Cooperative cancellation flag, shared between the caller and a running
 /// pipeline (and, via SolveOptions::cancel, individual solves). Thread-safe;
-/// request_cancel() is sticky.
+/// request_cancel() is sticky, and the first call's reason wins. The reason
+/// distinguishes operator-cancel vs deadline-cancel vs fault-abort
+/// post-mortem: it surfaces in StreamStats::cancel_reason and on the CLI's
+/// stderr summary.
 class CancelToken {
  public:
   void request_cancel() noexcept {
     cancelled_.store(true, std::memory_order_release);
   }
+  void request_cancel(const std::string& reason) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (reason_.empty()) reason_ = reason;
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
   bool cancelled() const noexcept {
     return cancelled_.load(std::memory_order_acquire);
+  }
+  /// The first request_cancel(reason) argument; empty when cancellation was
+  /// reasonless (or not requested).
+  std::string reason() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
   }
 
  private:
   std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
 };
 
 /// Pull-based instance stream. Sources are consumed by exactly one
@@ -66,22 +111,70 @@ class InstanceSource {
   /// owning sources (generator, JSONL) return shared ownership, while
   /// SpanSource hands out non-owning aliases into the caller's span --
   /// no per-instance copy on the in-memory solve_batch path. May throw
-  /// (e.g. on malformed input); the pipeline stops and rethrows.
+  /// (e.g. on malformed input); what the pipeline does then is governed
+  /// by StreamOptions::on_error (abort rethrows, the default).
   virtual std::shared_ptr<const Instance> next() = 0;
 
   /// Total number of instances when known up front (spans, counted
   /// generators); lets the driver right-size its worker crew.
   virtual std::optional<std::size_t> size_hint() const { return std::nullopt; }
+
+  /// Units of input consumed so far (1-based line count for JSONL text),
+  /// when the source tracks one. Read by the driver right after each
+  /// next() call -- successful or throwing -- to stamp error records and
+  /// resume journals; a source error that consumed no input leaves it
+  /// unchanged.
+  virtual std::optional<std::size_t> position() const { return std::nullopt; }
 };
 
 /// Push-based result consumer. The driver serializes consume() calls
 /// (implementations need not be thread-safe) and never calls it twice for
-/// the same index. `index` is the 0-based position of the instance in its
-/// source's order.
+/// the same index -- except under the retry policy, where a consume() that
+/// threw is re-attempted with an identical copy of the result. `index` is
+/// the 0-based position of the instance in its source's order.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
   virtual void consume(std::size_t index, SolveResult result) = 0;
+};
+
+/// Why a record failed: which stage of the pipeline threw.
+enum class StreamErrorCategory { kSource, kSolve, kSink };
+
+/// Canonical wire token for a category ("source" / "solve" / "sink").
+const char* to_string(StreamErrorCategory category);
+
+/// One failed record, as recorded under the skip/retry policies. `index`
+/// is the record slot the failure retired (result indices skip over it);
+/// `line` is the 1-based input line when the source tracks positions
+/// (0 = unknown); `attempts` counts every try made (1 = no retries).
+struct StreamError {
+  std::size_t index = 0;
+  std::size_t line = 0;
+  StreamErrorCategory category = StreamErrorCategory::kSolve;
+  int attempts = 1;
+  std::string what;
+};
+
+/// One error as a single JSONL line (no trailing newline):
+///   {"index":I,"error":true,"category":"solve","attempts":K,"what":"..."}
+/// "line" is included only when nonzero. Distinguishable from result lines
+/// by the "error":true marker (results carry "feasible" instead).
+std::string stream_error_to_jsonl(const StreamError& error);
+
+/// Parses a stream_error_to_jsonl() line back. Throws std::runtime_error
+/// naming the offending token on malformed input (unknown keys, missing
+/// fields, bad category, trailing bytes). Round-trips exactly.
+StreamError stream_error_from_jsonl(const std::string& line);
+
+/// Push-based consumer for failed records (the error counterpart of
+/// ResultSink). The driver serializes consume() calls. A throwing
+/// ErrorSink aborts the pipeline regardless of policy -- losing the error
+/// channel means the run's accounting can no longer be trusted.
+class ErrorSink {
+ public:
+  virtual ~ErrorSink() = default;
+  virtual void consume(StreamError error) = 0;
 };
 
 /// Source over an in-memory instance span (the solve_batch shape). Yields
@@ -118,15 +211,20 @@ class GeneratorSource final : public InstanceSource {
 
 /// Source over instance JSONL text (one instance_from_jsonl() object per
 /// line; blank lines skipped). Malformed lines throw std::runtime_error
-/// naming the 1-based line number.
+/// naming the 1-based line number. `first_line` offsets the numbering for
+/// resumed runs that already consumed a prefix of the file, so error
+/// messages keep naming the physical line. Carries the failpoint site
+/// "source.next" (fires before any input is consumed).
 class JsonlInstanceSource final : public InstanceSource {
  public:
-  explicit JsonlInstanceSource(std::istream& in) : in_(in) {}
+  explicit JsonlInstanceSource(std::istream& in, std::size_t first_line = 0)
+      : in_(in), line_number_(first_line) {}
   std::shared_ptr<const Instance> next() override;
+  std::optional<std::size_t> position() const override { return line_number_; }
 
  private:
   std::istream& in_;
-  std::size_t line_number_ = 0;
+  std::size_t line_number_;
 };
 
 /// Sink that stores each result at its index in a caller-owned vector
@@ -153,6 +251,19 @@ class CallbackSink final : public ResultSink {
   std::function<void(std::size_t, SolveResult)> fn_;
 };
 
+/// Error sink that appends each failed record to a caller-owned vector.
+class VectorErrorSink final : public ErrorSink {
+ public:
+  explicit VectorErrorSink(std::vector<StreamError>& errors)
+      : errors_(errors) {}
+  void consume(StreamError error) override {
+    errors_.push_back(std::move(error));
+  }
+
+ private:
+  std::vector<StreamError>& errors_;
+};
+
 /// What a JSONL result line carries beyond the always-present core fields
 /// (see result_to_jsonl below).
 struct JsonlResultOptions {
@@ -170,7 +281,19 @@ struct JsonlResultOptions {
 std::string result_to_jsonl(std::size_t index, const SolveResult& result,
                             const JsonlResultOptions& options = {});
 
+/// Thrown by the JSONL sinks when the underlying ostream reports a write
+/// failure (badbit/failbit: full disk, closed pipe). A dedicated type so
+/// the retry classifier can refuse to retry it -- a dead stream stays
+/// dead, and each record must fail fast instead of burning backoff.
+class StreamWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Sink that writes one result_to_jsonl() line per result to a stream.
+/// Checks the stream state after every write and throws StreamWriteError
+/// on badbit/failbit -- a full disk or closed pipe surfaces as a stream
+/// error instead of silently dropping results.
 class JsonlResultSink final : public ResultSink {
  public:
   explicit JsonlResultSink(std::ostream& out,
@@ -181,6 +304,61 @@ class JsonlResultSink final : public ResultSink {
  private:
   std::ostream& out_;
   JsonlResultOptions options_;
+};
+
+/// Error sink that writes one stream_error_to_jsonl() line per failed
+/// record (JsonlResultSink's error counterpart, same write-failure
+/// contract).
+class JsonlErrorSink final : public ErrorSink {
+ public:
+  explicit JsonlErrorSink(std::ostream& out) : out_(out) {}
+  void consume(StreamError error) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// What to do when a record's source pull, solve, or sink delivery throws.
+enum class FailureAction {
+  kAbort,  ///< cancel remaining work, rethrow with the index attached
+  kSkip,   ///< record a StreamError, retire the index, keep streaming
+  kRetry,  ///< re-attempt transient faults with backoff, else skip
+};
+
+/// Retry tuning (FailureAction::kRetry). Backoff for attempt a (1-based)
+/// is min(max_backoff, base_backoff * multiplier^(a-1)) scaled by a
+/// deterministic jitter factor in [0.5, 1.5) derived from (jitter_seed,
+/// record index, attempt) -- runs are reproducible, yet concurrent
+/// retries spread out.
+struct RetryPolicy {
+  /// Total tries per record (1 = no retries). Must be >= 1.
+  int max_attempts = 3;
+  std::chrono::nanoseconds base_backoff = std::chrono::milliseconds(1);
+  double multiplier = 2.0;
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(100);
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Overrides the transient-vs-deterministic classification. Default
+  /// (unset): InjectedFault and generic runtime errors are retryable;
+  /// std::logic_error, std::invalid_argument, and StreamWriteError are
+  /// not. Source faults are never retried regardless (see file comment).
+  std::function<bool(const std::exception_ptr&)> retryable;
+};
+
+/// The per-run failure policy (StreamOptions::on_error).
+struct FailurePolicy {
+  FailureAction action = FailureAction::kAbort;
+  RetryPolicy retry;  ///< consulted only when action == kRetry
+};
+
+/// Ordered-mode progress callback payload: records [start_index,
+/// completed) are fully retired (delivered or recorded as failed), in
+/// order, and `source_lines` input units produced them. The resume
+/// journal (core/journal.hpp) is built on exactly this contract.
+struct StreamProgress {
+  std::size_t completed = 0;     ///< first not-yet-retired index
+  std::size_t source_lines = 0;  ///< input consumed by retired records
+  std::size_t delivered = 0;     ///< running delivered count
+  std::size_t failed = 0;        ///< running failed count
 };
 
 /// Tuning for the streaming driver.
@@ -205,31 +383,61 @@ struct StreamOptions {
   /// results behind a straggler) or immediately as each solve completes.
   bool ordered = true;
   /// When set, the driver stops pulling new instances once the token is
-  /// cancelled; already-solving instances finish and are delivered.
+  /// cancelled; already-solving instances finish and are delivered. The
+  /// token's reason (if any) is copied into StreamStats::cancel_reason.
   std::shared_ptr<const CancelToken> cancel;
+  /// Failure policy: abort (default, historical behavior), skip, retry.
+  FailurePolicy on_error;
+  /// Where failed records flow under skip/retry (not owned; must outlive
+  /// the run). Null = failures are counted in StreamStats::failed but the
+  /// records themselves are dropped.
+  ErrorSink* errors = nullptr;
+  /// Index assigned to the first record -- resumed runs pass the journal's
+  /// completed count so output lines keep their global indices.
+  std::size_t start_index = 0;
+  /// Called under the driver lock after each retired record (ordered mode
+  /// only; never called in as-completed mode, which has no contiguity to
+  /// report). A throwing callback aborts the run.
+  std::function<void(const StreamProgress&)> progress;
 };
 
 /// What a pipeline run did. `max_in_flight` is the observed high-water of
-/// pulled-but-undelivered instances -- always <= the window.
+/// pulled-but-undelivered instances -- always <= the window. Every record
+/// is accounted exactly once: delivered + failed == indices retired.
 struct StreamStats {
   std::size_t pulled = 0;     ///< instances taken from the source
   std::size_t delivered = 0;  ///< results handed to the sink
   std::size_t feasible = 0;   ///< delivered results with feasible == true
+  std::size_t failed = 0;     ///< records retired as StreamErrors
+  std::size_t retries = 0;    ///< extra solve/sink attempts made
+  std::size_t recovered = 0;  ///< records delivered only after >= 1 retry
   std::size_t max_in_flight = 0;
   /// The in-flight bound in effect when the run ended: the explicit
-  /// StreamOptions::window, the final adapted value (window == 0), or 1
-  /// for the inline single-worker path.
+  /// StreamOptions::window, the final adapted value (window == 0), or the
+  /// worker count for the single-worker path.
   std::size_t window = 0;
+  /// Input units consumed (source position at the end of the run, when the
+  /// source tracks one -- see InstanceSource::position).
+  std::size_t source_lines = 0;
   bool cancelled = false;  ///< the run stopped on a CancelToken
+  /// CancelToken's reason at the moment the driver observed the
+  /// cancellation (empty when reasonless or not cancelled).
+  std::string cancel_reason;
+  /// A worker thread failed to spawn but the already-running workers
+  /// finished the stream anyway -- parallelism degraded, no work lost.
+  bool degraded_spawn = false;
 };
 
 /// Drives instances from `source` through `solver` into `sink` with a
-/// bounded in-flight window (see StreamOptions). Exceptions thrown by a
-/// solve, the source, or the sink cancel the remaining work and rethrow on
-/// the caller with the offending instance index attached to the message
-/// (original std::logic_error / std::invalid_argument / std::runtime_error
-/// types are preserved). With one worker the pipeline runs inline on the
-/// calling thread -- no threads, deterministic pull/solve/deliver order.
+/// bounded in-flight window (see StreamOptions). What happens when a
+/// solve, the source, or the sink throws is governed by
+/// StreamOptions::on_error: the default (abort) cancels the remaining
+/// work and rethrows on the caller with the offending instance index
+/// attached to the message (original std::logic_error /
+/// std::invalid_argument / std::runtime_error types are preserved);
+/// skip/retry keep streaming and record failures (see the file comment).
+/// With one worker the pipeline runs the same loop inline on the calling
+/// thread -- deterministic pull/solve/deliver order.
 StreamStats solve_stream(const Solver& solver, InstanceSource& source,
                          ResultSink& sink, const SolveOptions& options = {},
                          const StreamOptions& stream = {});

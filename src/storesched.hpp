@@ -60,6 +60,10 @@
 // The streaming pipeline (sources, sinks, solve_stream, JSONL wire format).
 #include "core/stream.hpp"
 
+// Fault tolerance: failpoint injection, crash-safe resume journal.
+#include "common/failpoint.hpp"
+#include "core/journal.hpp"
+
 // Execution backends.
 #include "sim/event_sim.hpp"
 #include "sim/online.hpp"

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "algorithms/graham.hpp"
 #include "common/dag_generators.hpp"
@@ -14,6 +15,7 @@
 #include "common/io.hpp"
 #include "common/rng.hpp"
 #include "core/rls.hpp"
+#include "core/stream.hpp"
 #include "sim/event_sim.hpp"
 #include "test_util.hpp"
 
@@ -176,6 +178,75 @@ TEST(FuzzRegression, RejectionsAreAlwaysRuntimeErrors) {
   for (const char* line : rejects) {
     EXPECT_THROW(instance_from_jsonl(line, 1), std::runtime_error) << line;
   }
+}
+
+// ---------------------------------------------------------------------------
+// The error-record wire (core/stream.hpp): the second parsing surface a
+// serving tier exposes -- resumed runs and dashboards read these lines back.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorRecordWire, RoundTripsToACanonicalFixpoint) {
+  std::vector<StreamError> records;
+  records.push_back({4, 0, StreamErrorCategory::kSolve, 3, "injected fault"});
+  records.push_back({20, 21, StreamErrorCategory::kSource, 1,
+                     "instance_from_jsonl: line 21: unterminated key"});
+  records.push_back(
+      {0, 0, StreamErrorCategory::kSink, 2, "a \"quoted\"\ncause\twith \x07"});
+  records.push_back({0, 0, StreamErrorCategory::kSolve, 1, ""});
+  for (const StreamError& record : records) {
+    const std::string wire = stream_error_to_jsonl(record);
+    const StreamError back = stream_error_from_jsonl(wire);
+    EXPECT_EQ(back.index, record.index) << wire;
+    EXPECT_EQ(back.line, record.line) << wire;
+    EXPECT_EQ(back.category, record.category) << wire;
+    EXPECT_EQ(back.attempts, record.attempts) << wire;
+    EXPECT_EQ(back.what, record.what) << wire;
+    EXPECT_EQ(stream_error_to_jsonl(back), wire) << "not a fixpoint";
+  }
+  // "line" appears on the wire only when the source tracked a position.
+  EXPECT_EQ(stream_error_to_jsonl(records[0]).find("\"line\""),
+            std::string::npos);
+  EXPECT_NE(stream_error_to_jsonl(records[1]).find("\"line\":21"),
+            std::string::npos);
+}
+
+TEST(ErrorRecordWire, AcceptsAnyKeyOrder) {
+  const StreamError back = stream_error_from_jsonl(
+      R"({"what":"x","attempts":2,"category":"sink","error":true,"index":7})");
+  EXPECT_EQ(back.index, 7u);
+  EXPECT_EQ(back.category, StreamErrorCategory::kSink);
+  EXPECT_EQ(back.attempts, 2);
+  EXPECT_EQ(back.what, "x");
+}
+
+TEST(ErrorRecordWire, RejectionsAreAlwaysRuntimeErrors) {
+  const char* rejects[] = {
+      "",                                                          // empty
+      R"({"index":1,"error":true,"category":"oops","attempts":1,"what":"x"})",
+      R"({"index":1,"error":false,"category":"solve","attempts":1,"what":"x"})",
+      R"({"index":1,"error":true,"category":"solve","what":"x"})",  // no attempts
+      R"({"error":true,"category":"solve","attempts":1,"what":"x"})",  // no index
+      R"({"index":1,"error":true,"category":"solve","attempts":0,"what":"x"})",
+      R"({"index":1,"error":true,"category":"solve","attempts":1000001,"what":"x"})",
+      R"({"index":01,"error":true,"category":"solve","attempts":1,"what":"x"})",
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"attempts":2,"what":"x"})",
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"what":"x","zap":1})",
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"what":"x"} junk)",
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"what":"\q"})",
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"what":"\u00ff"})",
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"what":"open)",
+      R"({"index":1,"error":true,"category":"solve","line":0,"attempts":1,"what":"x"})",
+      R"({ "index":1,"error":true,"category":"solve","attempts":1,"what":"x"})",
+  };
+  for (const char* line : rejects) {
+    EXPECT_THROW(stream_error_from_jsonl(line), std::runtime_error) << line;
+  }
+  // The raw-control-character reject needs a real 0x07 byte, which a raw
+  // string literal cannot hold legibly.
+  std::string control =
+      R"({"index":1,"error":true,"category":"solve","attempts":1,"what":"x"})";
+  control[control.size() - 3] = '\x07';
+  EXPECT_THROW(stream_error_from_jsonl(control), std::runtime_error);
 }
 
 }  // namespace

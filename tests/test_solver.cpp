@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "common/dag.hpp"
@@ -14,6 +16,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/constrained.hpp"
+#include "core/stream.hpp"
 #include "core/theory.hpp"
 #include "core/triobjective.hpp"
 #include "test_util.hpp"
@@ -445,6 +448,124 @@ TEST(SolverFront, SkipsInfeasibleRuns) {
   EXPECT_EQ(f.runs, 2);
   ASSERT_EQ(f.points.size(), 1u);
   EXPECT_EQ(f.points.front().delta, Fraction(3));
+}
+
+// ---------------------------------------------------------------------------
+// The fallback ladder (graceful degradation meta-solver).
+// ---------------------------------------------------------------------------
+
+TEST(FallbackSolver, SpecRoundTripsThroughTheRegistry) {
+  const std::string spec = "fallback:pareto:exact;sbo:lpt,delta=3/2";
+  EXPECT_EQ(make_solver(spec)->name(), spec);
+}
+
+TEST(FallbackSolver, DescendsWhenARungThrows) {
+  // SBO rejects precedence instances; graham list scheduling does not.
+  const auto solver = make_solver("fallback:sbo:lpt,delta=1;graham:lpt");
+  const SolveResult r = solver->solve(small_dag_instance());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NE(r.diagnostics.find("fallback: answered by rung 2/2 (graham:lpt)"),
+            std::string::npos)
+      << r.diagnostics;
+  EXPECT_NE(r.diagnostics.find("rung 1 (sbo:lpt,delta=1) threw"),
+            std::string::npos)
+      << r.diagnostics;
+}
+
+TEST(FallbackSolver, DescendsWhenARungIsInfeasible) {
+  // Delta = 1 is below RLS's guarantee zone on this tight instance;
+  // Delta = 3 is inside it (SolverFront.SkipsInfeasibleRuns).
+  const Instance tight = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const auto solver =
+      make_solver("fallback:rls:input,delta=1;rls:input,delta=3");
+  const SolveResult r = solver->solve(tight);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NE(r.diagnostics.find("answered by rung 2/2"), std::string::npos)
+      << r.diagnostics;
+  EXPECT_NE(r.diagnostics.find("rung 1 (rls:input,delta=1) infeasible"),
+            std::string::npos)
+      << r.diagnostics;
+  // The answering rung's result is the ladder's result.
+  const SolveResult direct = make_solver("rls:input,delta=3")->solve(tight);
+  EXPECT_EQ(r.schedule, direct.schedule);
+  EXPECT_EQ(r.objectives, direct.objectives);
+}
+
+TEST(FallbackSolver, FinalRungInfeasibilityIsTheLadderAnswer) {
+  const Instance tight = make_instance({1, 1, 1}, {10, 10, 10}, 2);
+  const auto solver =
+      make_solver("fallback:rls:input,delta=1;rls:lpt,delta=1");
+  const SolveResult r = solver->solve(tight);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.diagnostics.find("answered by rung 2/2"), std::string::npos)
+      << r.diagnostics;
+}
+
+TEST(FallbackSolver, FinalRungRunsDeadlineFree) {
+  // A zero budget exhausts before rung 1 even starts; the anchor rung must
+  // still answer feasibly, because it runs with the deadline stripped.
+  const Instance inst = make_instance({3, 2, 1}, {1, 2, 3}, 2);
+  SolveOptions options;
+  options.deadline = std::chrono::nanoseconds(0);
+  const auto solver = make_solver("fallback:rls:input,delta=3;sbo:lpt,delta=1");
+  const SolveResult r = solver->solve(inst, options);
+  ASSERT_TRUE(r.feasible) << r.diagnostics;
+  EXPECT_NE(r.diagnostics.find("answered by rung 2/2"), std::string::npos)
+      << r.diagnostics;
+  EXPECT_NE(r.diagnostics.find("skipped: deadline budget exhausted"),
+            std::string::npos)
+      << r.diagnostics;
+
+  // Sanity: the same zero deadline without the ladder is demoted.
+  const SolveResult direct =
+      make_solver("rls:input,delta=3")->solve(inst, options);
+  EXPECT_FALSE(direct.feasible);
+}
+
+TEST(FallbackSolver, DoesNotDescendOnCancellation) {
+  // A cancelled run is not a failed rung: the shared pre-solve envelope
+  // short-circuits the whole ladder before rung 1 runs, so descending
+  // never burns the remaining rungs on work the caller walked away from.
+  auto token = std::make_shared<CancelToken>();
+  token->request_cancel();
+  SolveOptions options;
+  options.cancel = token;
+  const auto solver = make_solver("fallback:rls:input,delta=3;sbo:lpt,delta=1");
+  const SolveResult r =
+      solver->solve(make_instance({1, 2}, {2, 1}, 2), options);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.diagnostics, "cancelled before solve");
+  // No hand-over happened: a cancelled ladder never reports an answering
+  // rung, and in particular never degrades to the anchor.
+  EXPECT_EQ(r.diagnostics.find("answered by rung"), std::string::npos);
+}
+
+TEST(FallbackSolver, CapabilitiesAnchorOnTheFinalRungWithoutRatioPromises) {
+  const auto solver = make_solver("fallback:pareto:exact;sbo:lpt,delta=1");
+  const Capabilities caps = solver->capabilities(2);
+  // Which rung answers decides the ratios, so the ladder promises none.
+  EXPECT_FALSE(caps.cmax_ratio.has_value());
+  EXPECT_FALSE(caps.mmax_ratio.has_value());
+  // Quality flags hold only when every rung provides them.
+  EXPECT_EQ(caps.exact_front,
+            make_solver("pareto:exact")->capabilities(2).exact_front &&
+                make_solver("sbo:lpt,delta=1")->capabilities(2).exact_front);
+  // Instance support is the anchor's: SBO does not take DAGs, so neither
+  // does this ladder (the exception-descent ladder above anchors on
+  // graham:lpt and does).
+  EXPECT_EQ(caps.supports_precedence,
+            make_solver("sbo:lpt,delta=1")->capabilities(2)
+                .supports_precedence);
+}
+
+TEST(FallbackSolver, RejectsDegenerateLadders) {
+  EXPECT_THROW(make_solver("fallback:rls:input,delta=3"),
+               std::invalid_argument);
+  EXPECT_THROW(make_solver("fallback:rls:input,delta=3;;graham:lpt"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      make_solver("fallback:fallback:rls:input,delta=3;graham:lpt;graham:lpt"),
+      std::invalid_argument);
 }
 
 }  // namespace

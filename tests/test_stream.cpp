@@ -13,10 +13,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+
 #include "common/dag.hpp"
+#include "common/failpoint.hpp"
 #include "common/generators.hpp"
 #include "common/io.hpp"
 #include "common/rng.hpp"
+#include "core/journal.hpp"
 #include "core/solver.hpp"
 #include "test_util.hpp"
 
@@ -575,6 +581,682 @@ TEST(Jsonl, SinkAndSourceComposeIntoAPipeline) {
     ++count;
   }
   EXPECT_EQ(count, instances.size());
+}
+
+// ---------------------------------------------------------------------------
+// Failure policies: the {abort, skip, retry} x {source, solve, sink,
+// deadline} matrix, driven by failpoints for deterministic faults.
+// ---------------------------------------------------------------------------
+
+/// Clears every armed failpoint on scope exit so faults never leak across
+/// test cases.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoint::clear_all(); }
+};
+
+enum class Fault { kSourceThrow, kSolveThrow, kSinkThrow, kDeadline };
+
+struct CellOutcome {
+  StreamStats stats;
+  std::vector<StreamError> errors;
+  std::map<std::size_t, int> delivered;  // index -> delivery count
+  std::string thrown;                    // empty = returned normally
+};
+
+/// Runs one cell of the policy matrix: 12 instances through a JSONL
+/// source with one injected fault, under the given policy. The fault
+/// selectors are chosen so exactly one record is affected: the 5th pull,
+/// the 4th solve attempt, or the 4th sink delivery (index 3 -- ordered
+/// mode serializes sink calls in index order).
+CellOutcome run_policy_cell(FailureAction action, Fault fault) {
+  failpoint::clear_all();
+  switch (fault) {
+    case Fault::kSourceThrow:
+      failpoint::set("source.next", "nth(5):throw");
+      break;
+    case Fault::kSolveThrow:
+      failpoint::set("stream.solve", "nth(4):throw");
+      break;
+    case Fault::kSinkThrow:
+      failpoint::set("sink.consume", "nth(4):throw");
+      break;
+    case Fault::kDeadline:
+      break;
+  }
+  const std::vector<Instance> instances = random_instances(12, 0xfa11);
+  std::ostringstream text;
+  for (const Instance& inst : instances) {
+    text << instance_to_jsonl(inst) << '\n';
+  }
+  std::istringstream in(text.str());
+  JsonlInstanceSource source(in);
+
+  CellOutcome cell;
+  CallbackSink sink(
+      [&](std::size_t index, SolveResult) { ++cell.delivered[index]; });
+  VectorErrorSink errors(cell.errors);
+  SolveOptions options;
+  if (fault == Fault::kDeadline) options.deadline = std::chrono::nanoseconds(0);
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.window = 3;
+  stream.on_error.action = action;
+  stream.errors = &errors;
+  try {
+    cell.stats = solve_stream(*make_solver("rls:input,delta=3"), source, sink,
+                              options, stream);
+  } catch (const std::exception& e) {
+    cell.thrown = e.what();
+  }
+  failpoint::clear_all();
+  return cell;
+}
+
+/// Every delivery is exactly-once, and no failed index was also delivered.
+void expect_exact_accounting(const CellOutcome& cell, const char* label) {
+  for (const auto& [index, count] : cell.delivered) {
+    EXPECT_EQ(count, 1) << label << ": index " << index
+                        << " delivered more than once";
+  }
+  for (const StreamError& error : cell.errors) {
+    EXPECT_EQ(cell.delivered.count(error.index), 0u)
+        << label << ": index " << error.index << " both failed and delivered";
+  }
+}
+
+TEST(StreamPolicyMatrix, AbortRethrowsForEveryFaultStage) {
+  FailpointGuard guard;
+  for (const Fault fault :
+       {Fault::kSourceThrow, Fault::kSolveThrow, Fault::kSinkThrow}) {
+    const CellOutcome cell = run_policy_cell(FailureAction::kAbort, fault);
+    ASSERT_FALSE(cell.thrown.empty()) << "fault " << static_cast<int>(fault);
+    EXPECT_NE(cell.thrown.find("instance "), std::string::npos) << cell.thrown;
+    expect_exact_accounting(cell, "abort");
+    EXPECT_TRUE(cell.errors.empty());  // abort never records, it rethrows
+  }
+  // The 5th pull fails before consuming input: the abort names record 4.
+  const CellOutcome source_cell =
+      run_policy_cell(FailureAction::kAbort, Fault::kSourceThrow);
+  EXPECT_NE(source_cell.thrown.find("instance 4"), std::string::npos)
+      << source_cell.thrown;
+  // Ordered delivery serializes sink calls: the 4th consume is index 3.
+  const CellOutcome sink_cell =
+      run_policy_cell(FailureAction::kAbort, Fault::kSinkThrow);
+  EXPECT_NE(sink_cell.thrown.find("instance 3"), std::string::npos)
+      << sink_cell.thrown;
+}
+
+TEST(StreamPolicyMatrix, SkipRecordsTheFaultAndKeepsStreaming) {
+  FailpointGuard guard;
+  struct Expected {
+    Fault fault;
+    std::size_t delivered;
+    StreamErrorCategory category;
+  };
+  const Expected table[] = {
+      // A failed pull consumes no instance: all 12 still stream through.
+      {Fault::kSourceThrow, 12, StreamErrorCategory::kSource},
+      {Fault::kSolveThrow, 11, StreamErrorCategory::kSolve},
+      {Fault::kSinkThrow, 11, StreamErrorCategory::kSink},
+  };
+  for (const Expected& want : table) {
+    const CellOutcome cell = run_policy_cell(FailureAction::kSkip, want.fault);
+    const std::string label = "skip fault " + std::to_string(static_cast<int>(want.fault));
+    ASSERT_TRUE(cell.thrown.empty()) << label << ": " << cell.thrown;
+    EXPECT_EQ(cell.stats.delivered, want.delivered) << label;
+    EXPECT_EQ(cell.stats.failed, 1u) << label;
+    EXPECT_EQ(cell.stats.retries, 0u) << label;
+    ASSERT_EQ(cell.errors.size(), 1u) << label;
+    EXPECT_EQ(cell.errors[0].category, want.category) << label;
+    EXPECT_EQ(cell.errors[0].attempts, 1) << label;
+    expect_exact_accounting(cell, label.c_str());
+  }
+}
+
+TEST(StreamPolicyMatrix, RetryRecoversTransientSolveAndSinkFaults) {
+  FailpointGuard guard;
+  for (const Fault fault : {Fault::kSolveThrow, Fault::kSinkThrow}) {
+    const CellOutcome cell = run_policy_cell(FailureAction::kRetry, fault);
+    const std::string label = "retry fault " + std::to_string(static_cast<int>(fault));
+    ASSERT_TRUE(cell.thrown.empty()) << label << ": " << cell.thrown;
+    EXPECT_EQ(cell.stats.delivered, 12u) << label;
+    EXPECT_EQ(cell.stats.failed, 0u) << label;
+    EXPECT_EQ(cell.stats.retries, 1u) << label;
+    EXPECT_EQ(cell.stats.recovered, 1u) << label;
+    EXPECT_TRUE(cell.errors.empty()) << label;
+    expect_exact_accounting(cell, label.c_str());
+  }
+}
+
+TEST(StreamPolicyMatrix, RetryNeverRetriesSourceFaults) {
+  // A source cannot re-produce bytes it already consumed; retry degrades
+  // to skip-with-record, exactly like the skip policy.
+  FailpointGuard guard;
+  const CellOutcome cell =
+      run_policy_cell(FailureAction::kRetry, Fault::kSourceThrow);
+  ASSERT_TRUE(cell.thrown.empty()) << cell.thrown;
+  EXPECT_EQ(cell.stats.delivered, 12u);
+  EXPECT_EQ(cell.stats.failed, 1u);
+  EXPECT_EQ(cell.stats.retries, 0u);
+  ASSERT_EQ(cell.errors.size(), 1u);
+  EXPECT_EQ(cell.errors[0].index, 4u);
+  EXPECT_EQ(cell.errors[0].category, StreamErrorCategory::kSource);
+  EXPECT_EQ(cell.errors[0].attempts, 1);
+  expect_exact_accounting(cell, "retry/source");
+}
+
+TEST(StreamPolicyMatrix, DeadlineIsDeliveredInfeasibleNotFailed) {
+  // An expired deadline is an answer (infeasible with diagnostics), not a
+  // fault: no policy may route it to the error channel.
+  FailpointGuard guard;
+  for (const FailureAction action :
+       {FailureAction::kAbort, FailureAction::kSkip, FailureAction::kRetry}) {
+    const CellOutcome cell = run_policy_cell(action, Fault::kDeadline);
+    const std::string label = "policy " + std::to_string(static_cast<int>(action));
+    ASSERT_TRUE(cell.thrown.empty()) << label << ": " << cell.thrown;
+    EXPECT_EQ(cell.stats.delivered, 12u) << label;
+    EXPECT_EQ(cell.stats.failed, 0u) << label;
+    EXPECT_EQ(cell.stats.feasible, 0u) << label;
+    EXPECT_EQ(cell.stats.retries, 0u) << label;
+    EXPECT_TRUE(cell.errors.empty()) << label;
+  }
+}
+
+TEST(StreamRetry, ExhaustedAttemptsDegradeToSkipWithTheAttemptCount) {
+  FailpointGuard guard;
+  failpoint::set("stream.solve", "throw(persistent fault)");
+  const std::vector<Instance> instances = random_instances(3, 0xeau);
+  SpanSource source(instances);
+  std::size_t delivered = 0;
+  CallbackSink sink([&](std::size_t, SolveResult) { ++delivered; });
+  std::vector<StreamError> errors;
+  VectorErrorSink error_sink(errors);
+  StreamOptions stream;
+  stream.threads = 2;
+  stream.on_error.action = FailureAction::kRetry;
+  stream.on_error.retry.max_attempts = 2;
+  stream.on_error.retry.base_backoff = std::chrono::microseconds(10);
+  stream.errors = &error_sink;
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.retries, 3u);  // one re-attempt per record
+  EXPECT_EQ(stats.recovered, 0u);
+  ASSERT_EQ(errors.size(), 3u);
+  for (const StreamError& error : errors) {
+    EXPECT_EQ(error.attempts, 2);
+    EXPECT_EQ(error.category, StreamErrorCategory::kSolve);
+    EXPECT_NE(error.what.find("persistent fault"), std::string::npos);
+  }
+}
+
+TEST(StreamRetry, DeterministicFaultsAreNotRetried) {
+  // An SBO batch hitting a DAG instance throws std::logic_error -- the
+  // default classifier refuses to retry what will fail identically.
+  std::vector<Instance> instances = random_instances(5, 0x10b1);
+  instances[2] = small_dag_instance();
+  SpanSource source(instances);
+  std::map<std::size_t, int> delivered;
+  CallbackSink sink([&](std::size_t index, SolveResult) { ++delivered[index]; });
+  std::vector<StreamError> errors;
+  VectorErrorSink error_sink(errors);
+  StreamOptions stream;
+  stream.threads = 2;
+  stream.on_error.action = FailureAction::kRetry;
+  stream.errors = &error_sink;
+  const StreamStats stats = solve_stream(*make_solver("sbo:lpt,delta=1"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, 4u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].index, 2u);
+  EXPECT_EQ(errors[0].attempts, 1);
+  EXPECT_EQ(delivered.count(2), 0u);
+}
+
+TEST(StreamRetry, DeadOutputStreamsFailFastUnderRetry) {
+  // StreamWriteError is never retryable: a full disk or closed pipe fails
+  // identically every attempt, so each record fails once and moves on.
+  const std::vector<Instance> instances = random_instances(3, 0xdead);
+  SpanSource source(instances);
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  JsonlResultSink sink(out);
+  std::vector<StreamError> errors;
+  VectorErrorSink error_sink(errors);
+  StreamOptions stream;
+  stream.threads = 2;
+  stream.on_error.action = FailureAction::kRetry;
+  stream.errors = &error_sink;
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.retries, 0u);
+  ASSERT_EQ(errors.size(), 3u);
+  for (const StreamError& error : errors) {
+    EXPECT_EQ(error.attempts, 1);
+    EXPECT_EQ(error.category, StreamErrorCategory::kSink);
+  }
+}
+
+TEST(StreamRetry, CustomClassifierOverridesTheDefault) {
+  // InjectedFault is retryable by default; a caller-supplied classifier
+  // that refuses everything turns retry into skip.
+  FailpointGuard guard;
+  failpoint::set("stream.solve", "nth(1):throw");
+  const std::vector<Instance> instances = random_instances(3, 0xc1a);
+  SpanSource source(instances);
+  std::size_t delivered = 0;
+  CallbackSink sink([&](std::size_t, SolveResult) { ++delivered; });
+  StreamOptions stream;
+  stream.threads = 1;
+  stream.on_error.action = FailureAction::kRetry;
+  stream.on_error.retry.retryable = [](const std::exception_ptr&) {
+    return false;
+  };
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(StreamErrors, ParseFailuresCarryTheInputLineIntoTheRecord) {
+  std::istringstream in(
+      "{\"m\":2,\"tasks\":[[1,2],[3,4]]}\n"
+      "{\"m\":2,\"tasks\":[[2,2]]}\n"
+      "{\"bad json\n"
+      "{\"m\":3,\"tasks\":[[5,6]]}\n");
+  JsonlInstanceSource source(in);
+  std::map<std::size_t, int> delivered;
+  CallbackSink sink([&](std::size_t index, SolveResult) { ++delivered[index]; });
+  std::vector<StreamError> errors;
+  VectorErrorSink error_sink(errors);
+  StreamOptions stream;
+  stream.threads = 1;
+  stream.on_error.action = FailureAction::kSkip;
+  stream.errors = &error_sink;
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.source_lines, 4u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].index, 2u);  // the record slot the bad line occupied
+  EXPECT_EQ(errors[0].line, 3u);   // the physical line it sat on
+  EXPECT_EQ(errors[0].category, StreamErrorCategory::kSource);
+  EXPECT_NE(errors[0].what.find("line 3"), std::string::npos);
+  // The surviving records kept their slots: 0, 1, 3.
+  EXPECT_EQ(delivered.count(2), 0u);
+  EXPECT_EQ(delivered.count(3), 1u);
+}
+
+TEST(StreamErrors, ThrowingErrorSinkAbortsRegardlessOfPolicy) {
+  // Losing the error channel means the run's accounting can no longer be
+  // trusted: skip must NOT keep going past a failed error write.
+  class BrokenErrorSink final : public ErrorSink {
+   public:
+    void consume(StreamError) override {
+      throw std::runtime_error("error channel down");
+    }
+  };
+  std::istringstream in(
+      "{\"m\":2,\"tasks\":[[1,2]]}\n"
+      "not json\n"
+      "{\"m\":2,\"tasks\":[[2,1]]}\n");
+  JsonlInstanceSource source(in);
+  std::size_t delivered = 0;
+  CallbackSink sink([&](std::size_t, SolveResult) { ++delivered; });
+  BrokenErrorSink errors;
+  StreamOptions stream;
+  stream.threads = 1;
+  stream.on_error.action = FailureAction::kSkip;
+  stream.errors = &errors;
+  try {
+    solve_stream(*make_solver("rls:input,delta=3"), source, sink, {}, stream);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("error channel down"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation reasons and degraded spawn.
+// ---------------------------------------------------------------------------
+
+TEST(StreamCancel, FirstReasonWinsOnTheToken) {
+  CancelToken token;
+  token.request_cancel("drain for deploy");
+  token.request_cancel("second caller");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "drain for deploy");
+}
+
+TEST(StreamCancel, ReasonSurfacesInStreamStats) {
+  auto token = std::make_shared<CancelToken>();
+  std::size_t pulled = 0;
+  GeneratorSource source(
+      [&]() -> std::optional<Instance> {
+        if (pulled >= 200) return std::nullopt;
+        ++pulled;
+        return make_instance({2, 1, 3}, {1, 3, 2}, 2);
+      },
+      200);
+  std::size_t delivered = 0;
+  CallbackSink sink([&](std::size_t, SolveResult) {
+    if (++delivered == 5) token->request_cancel("operator drain");
+  });
+  StreamOptions stream;
+  stream.threads = 2;
+  stream.window = 4;
+  stream.cancel = token;
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.cancel_reason, "operator drain");
+}
+
+TEST(StreamCrewSpawn, SpawnFailureBeforeAnyWorkerRethrows) {
+  // The very first spawn fails: no worker ever ran, so no work could have
+  // completed and degrading silently would discard the whole run.
+  FailpointGuard guard;
+  failpoint::set("crew.spawn", "nth(1):throw");
+  const std::vector<Instance> instances = random_instances(8, 0x5b);
+  SpanSource source(instances);
+  std::vector<SolveResult> results(instances.size());
+  VectorSink sink(results);
+  StreamOptions stream;
+  stream.threads = 4;
+  EXPECT_THROW(solve_stream(*make_solver("rls:input,delta=3"), source, sink,
+                            {}, stream),
+               InjectedFault);
+}
+
+TEST(StreamCrewSpawn, LateSpawnFailureDegradesWhenTheStreamStillFinishes) {
+  // Worker 1 spawns, observes the pre-cancelled token, and finishes the
+  // (empty) stream; the second spawn then fails. Nothing was lost, so the
+  // run degrades gracefully instead of throwing a completed run away.
+  FailpointGuard guard;
+  failpoint::set("crew.spawn", "nth(2):throw");
+  auto token = std::make_shared<CancelToken>();
+  token->request_cancel("pre-drained");
+  const std::vector<Instance> instances = random_instances(8, 0x5c);
+  SpanSource source(instances);
+  std::vector<SolveResult> results(instances.size());
+  VectorSink sink(results);
+  StreamOptions stream;
+  stream.threads = 4;
+  stream.cancel = token;
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_TRUE(stats.degraded_spawn);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.cancel_reason, "pre-drained");
+  EXPECT_EQ(stats.delivered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Progress contract and start_index (the journal's foundations).
+// ---------------------------------------------------------------------------
+
+TEST(StreamProgressContract, ReportsEveryRetirementContiguously) {
+  std::istringstream in(
+      "{\"m\":2,\"tasks\":[[1,2],[3,4]]}\n"
+      "{\"m\":2,\"tasks\":[[2,2]]}\n"
+      "zap\n"
+      "{\"m\":2,\"tasks\":[[1,1]]}\n"
+      "{\"m\":3,\"tasks\":[[5,6]]}\n"
+      "{\"m\":2,\"tasks\":[[4,4]]}\n"
+      "{\"m\":2,\"tasks\":[[2,3]]}\n");
+  JsonlInstanceSource source(in);
+  std::size_t delivered = 0;
+  CallbackSink sink([&](std::size_t, SolveResult) { ++delivered; });
+  std::vector<StreamProgress> snapshots;
+  StreamOptions stream;
+  stream.threads = 2;
+  stream.window = 3;
+  stream.on_error.action = FailureAction::kSkip;
+  stream.progress = [&](const StreamProgress& p) { snapshots.push_back(p); };
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, 6u);
+  EXPECT_EQ(stats.failed, 1u);
+  // One snapshot per retired record, completed counting 1..7 with no gaps,
+  // and source_lines never moving backwards -- the exact contract the
+  // resume journal checkpoints against.
+  ASSERT_EQ(snapshots.size(), 7u);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].completed, i + 1);
+    EXPECT_EQ(snapshots[i].delivered + snapshots[i].failed, i + 1);
+    if (i > 0) {
+      EXPECT_GE(snapshots[i].source_lines, snapshots[i - 1].source_lines);
+    }
+  }
+  EXPECT_EQ(snapshots.back().source_lines, 7u);
+  EXPECT_EQ(snapshots.back().failed, 1u);
+}
+
+TEST(StreamProgressContract, ThrowingProgressCallbackAbortsTheRun) {
+  const std::vector<Instance> instances = random_instances(6, 0x9c);
+  SpanSource source(instances);
+  std::size_t delivered = 0;
+  CallbackSink sink([&](std::size_t, SolveResult) { ++delivered; });
+  StreamOptions stream;
+  stream.threads = 1;
+  stream.progress = [](const StreamProgress& p) {
+    if (p.completed == 3) throw std::runtime_error("checkpoint failed");
+  };
+  EXPECT_THROW(solve_stream(*make_solver("rls:input,delta=3"), source, sink,
+                            {}, stream),
+               std::runtime_error);
+}
+
+TEST(StreamStartIndex, OffsetsEveryRecordIndex) {
+  const std::vector<Instance> instances = random_instances(3, 0x51);
+  SpanSource source(instances);
+  std::vector<std::size_t> indices;
+  CallbackSink sink(
+      [&](std::size_t index, SolveResult) { indices.push_back(index); });
+  StreamOptions stream;
+  stream.threads = 1;
+  stream.start_index = 100;
+  const StreamStats stats = solve_stream(*make_solver("rls:input,delta=3"),
+                                         source, sink, {}, stream);
+  EXPECT_EQ(stats.delivered, 3u);
+  EXPECT_EQ(indices, (std::vector<std::size_t>{100, 101, 102}));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe resume (core/journal.hpp).
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A scratch directory under gtest's temp root, wiped per call.
+fs::path journal_scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "storesched_tests" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// 16 instances plus one malformed line at physical line 12.
+void write_journal_input(const fs::path& path) {
+  const std::vector<Instance> instances = random_instances(16, 0x70a1);
+  std::ofstream out(path);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (i == 11) out << "{\"malformed\n";
+    out << instance_to_jsonl(instances[i]) << '\n';
+  }
+}
+
+JournaledRunOptions journal_run(const fs::path& dir, const char* prefix) {
+  JournaledRunOptions run;
+  run.input_path = (dir / "in.jsonl").string();
+  run.output_path = (dir / (std::string(prefix) + ".out")).string();
+  run.errors_path = (dir / (std::string(prefix) + ".err")).string();
+  run.journal_path = (dir / (std::string(prefix) + ".journal")).string();
+  run.journal_every = 1;
+  return run;
+}
+
+StreamOptions skip_policy_stream() {
+  StreamOptions stream;
+  stream.threads = 2;
+  stream.window = 3;
+  stream.on_error.action = FailureAction::kSkip;
+  return stream;
+}
+
+TEST(StreamJournalRun, MatchesAnUnjournaledRunByteForByte) {
+  const fs::path dir = journal_scratch("plain");
+  write_journal_input(dir / "in.jsonl");
+  const auto solver = make_solver("rls:input,delta=3");
+
+  const JournaledRunOptions run = journal_run(dir, "journaled");
+  const StreamStats stats =
+      run_journaled_jsonl(*solver, run, {}, skip_policy_stream());
+  EXPECT_EQ(stats.delivered, 16u);
+  EXPECT_EQ(stats.failed, 1u);
+
+  // The same stream driven by hand, without the journal.
+  std::ifstream in(dir / "in.jsonl");
+  std::ostringstream out, err;
+  JsonlInstanceSource source(in);
+  JsonlResultSink sink(out);
+  JsonlErrorSink errors(err);
+  StreamOptions stream = skip_policy_stream();
+  stream.errors = &errors;
+  solve_stream(*solver, source, sink, {}, stream);
+
+  EXPECT_EQ(slurp(run.output_path), out.str());
+  EXPECT_EQ(slurp(run.errors_path), err.str());
+
+  // The journal's final checkpoint matches the files it describes.
+  const auto cp = StreamJournal::load(run.journal_path);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->completed, 17u);
+  EXPECT_EQ(cp->source_lines, 17u);
+  EXPECT_EQ(cp->out_lines, 16u);
+  EXPECT_EQ(cp->err_lines, 1u);
+}
+
+TEST(StreamJournalRun, KillAndResumeIsByteIdenticalToAnUninterruptedRun) {
+  FailpointGuard guard;
+  const fs::path dir = journal_scratch("resume");
+  write_journal_input(dir / "in.jsonl");
+  const auto solver = make_solver("rls:input,delta=3");
+
+  // Reference: one clean, uninterrupted journaled run.
+  const JournaledRunOptions reference = journal_run(dir, "ref");
+  run_journaled_jsonl(*solver, reference, {}, skip_policy_stream());
+
+  // "Crash" partway: the 7th solve attempt faults under the abort policy,
+  // killing the run mid-stream with a handful of records checkpointed.
+  const JournaledRunOptions crashed = journal_run(dir, "res");
+  failpoint::set("stream.solve", "nth(7):throw");
+  StreamOptions abort_policy;  // the default action: first fault kills the run
+  abort_policy.threads = 2;
+  abort_policy.window = 3;
+  EXPECT_THROW(run_journaled_jsonl(*solver, crashed, {}, abort_policy),
+               std::runtime_error);
+  failpoint::clear_all();
+
+  // The crash left real progress behind -- resuming must not start over.
+  const auto mid = StreamJournal::load(crashed.journal_path);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_GT(mid->completed, 0u);
+  EXPECT_LT(mid->completed, 17u);
+
+  // A torn tail (killed mid-append) plus stray garbage must both be
+  // ignored by the loader.
+  {
+    std::ofstream tail(crashed.journal_path, std::ios::app);
+    tail << "v1 999 999";  // no newline: torn
+  }
+  const auto after_tear = StreamJournal::load(crashed.journal_path);
+  ASSERT_TRUE(after_tear.has_value());
+  EXPECT_EQ(after_tear->completed, mid->completed);
+
+  // Resume and finish the stream.
+  JournaledRunOptions resumed = crashed;
+  resumed.resume = true;
+  const StreamStats stats =
+      run_journaled_jsonl(*solver, resumed, {}, skip_policy_stream());
+  EXPECT_EQ(stats.delivered + stats.failed, 17u - mid->completed);
+
+  EXPECT_EQ(slurp(resumed.output_path), slurp(reference.output_path));
+  EXPECT_EQ(slurp(resumed.errors_path), slurp(reference.errors_path));
+}
+
+TEST(StreamJournalRun, ResumeWithNoJournalStartsFresh) {
+  // The first run of a supervised restart loop always passes --resume; a
+  // missing journal must mean "start from the beginning", not an error.
+  const fs::path dir = journal_scratch("fresh");
+  write_journal_input(dir / "in.jsonl");
+  const auto solver = make_solver("rls:input,delta=3");
+
+  const JournaledRunOptions reference = journal_run(dir, "ref");
+  run_journaled_jsonl(*solver, reference, {}, skip_policy_stream());
+
+  JournaledRunOptions run = journal_run(dir, "first");
+  run.resume = true;
+  const StreamStats stats =
+      run_journaled_jsonl(*solver, run, {}, skip_policy_stream());
+  EXPECT_EQ(stats.delivered, 16u);
+  EXPECT_EQ(slurp(run.output_path), slurp(reference.output_path));
+}
+
+TEST(StreamJournalRun, RejectsUnjournalableConfigurations) {
+  const fs::path dir = journal_scratch("reject");
+  write_journal_input(dir / "in.jsonl");
+  const auto solver = make_solver("rls:input,delta=3");
+  JournaledRunOptions run = journal_run(dir, "bad");
+
+  StreamOptions unordered = skip_policy_stream();
+  unordered.ordered = false;
+  EXPECT_THROW(run_journaled_jsonl(*solver, run, {}, unordered),
+               std::invalid_argument);
+
+  run.journal_every = 0;
+  EXPECT_THROW(run_journaled_jsonl(*solver, run, {}, skip_policy_stream()),
+               std::invalid_argument);
+}
+
+TEST(StreamJournalFiles, TruncateToLinesKeepsExactlyThePrefix) {
+  const fs::path dir = journal_scratch("truncate");
+  const fs::path file = dir / "data.txt";
+  {
+    std::ofstream out(file);
+    out << "a\nb\nc\nd\n";
+  }
+  truncate_to_lines(file.string(), 2);
+  EXPECT_EQ(slurp(file), "a\nb\n");
+
+  // Fewer lines than the journal claims: refuse, never silently lose data.
+  EXPECT_THROW(truncate_to_lines(file.string(), 5), std::runtime_error);
+
+  truncate_to_lines(file.string(), 0);
+  EXPECT_EQ(slurp(file), "");
+
+  // A missing file counts as zero lines -- and only zero.
+  const fs::path missing = dir / "missing.txt";
+  truncate_to_lines(missing.string(), 0);
+  EXPECT_TRUE(fs::exists(missing));
+  EXPECT_THROW(truncate_to_lines((dir / "gone.txt").string(), 3),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -62,6 +62,29 @@ void fuzz_one(const std::uint8_t* data, std::size_t size) {
   if (size > kMaxInput) return;
   const std::string line(reinterpret_cast<const char*>(data), size);
 
+  // The error-record wire (core/stream.hpp) shares the contract: reject
+  // with std::runtime_error or accept into a canonical round-trip fixpoint.
+  try {
+    const storesched::StreamError error =
+        storesched::stream_error_from_jsonl(line);
+    const std::string wire = storesched::stream_error_to_jsonl(error);
+    const storesched::StreamError back =
+        storesched::stream_error_from_jsonl(wire);
+    if (back.index != error.index || back.line != error.line ||
+        back.category != error.category || back.attempts != error.attempts ||
+        back.what != error.what ||
+        storesched::stream_error_to_jsonl(back) != wire) {
+      std::fprintf(stderr,
+                   "fuzz_jsonl: error-record round-trip mismatch for %s\n",
+                   wire.c_str());
+      std::abort();
+    }
+  } catch (const std::runtime_error&) {
+    // rejection is the expected outcome for malformed bytes
+  } catch (const std::exception& e) {
+    die("error-record parse (only std::runtime_error is allowed)", e);
+  }
+
   Instance inst;
   try {
     inst = storesched::instance_from_jsonl(line, /*line_number=*/1);

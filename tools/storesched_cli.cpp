@@ -18,14 +18,26 @@
 //                              diff objectives against the result JSONL in F
 //   --list-specs               print the canonical solver registry
 //
-// Exit status: 0 on success; 1 on usage errors, malformed input (naming the
-// line), or --check mismatches. Wire format details: docs/SOLVER_SPECS.md.
+// Fault tolerance (docs/ROBUSTNESS.md): --on-error picks the per-record
+// failure policy (abort/skip/retry), --errors streams failed records as
+// JSONL, and --journal/--resume give crash-safe exactly-once restart.
+// SIGINT/SIGTERM cancel gracefully: in-flight solves finish, delivered
+// work is journaled, and the exit code says what happened.
+//
+// Exit status: 0 success; 1 usage errors, malformed input under
+// --on-error=abort (naming the line), or --check mismatches; 2 cancelled
+// (signal or token); 3 completed with per-record failures recorded
+// (skip/retry). Wire format details: docs/SOLVER_SPECS.md.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storesched.hpp"
@@ -45,6 +57,14 @@ struct CliOptions {
   bool include_schedule = false;
   std::string input_path;   // empty = stdin
   std::string output_path;  // empty = stdout
+
+  // Fault tolerance.
+  FailureAction on_error = FailureAction::kAbort;
+  int retry_max = 3;
+  std::string errors_path;   // empty = failures are counted, not recorded
+  std::string journal_path;  // empty = no journal
+  bool resume = false;
+  std::size_t journal_every = 16;
 
   // --gen mode.
   std::optional<std::size_t> gen_count;
@@ -85,6 +105,25 @@ void print_usage(std::ostream& os) {
         "                     order); lines carry their input index either way\n"
         "  --schedule         include \"proc\" (and \"start\") in result lines\n"
         "  --input=P/--output=P  read/write files instead of stdin/stdout\n"
+        "\n"
+        "Fault tolerance (docs/ROBUSTNESS.md):\n"
+        "  --on-error=POLICY  abort (default: first failure stops the run),\n"
+        "                     skip (record the failure, keep streaming), or\n"
+        "                     retry (re-attempt transient faults with\n"
+        "                     backoff, then skip)\n"
+        "  --retry-max=N      total attempts per record under retry "
+        "(default 3)\n"
+        "  --errors=P         write failed records as JSONL error records\n"
+        "  --journal=P        append fsync'd progress checkpoints to P\n"
+        "                     (requires --input/--output files, ordered "
+        "mode)\n"
+        "  --resume           continue from the journal: truncate outputs\n"
+        "                     to the last checkpoint, skip the finished\n"
+        "                     input prefix, keep global record indices\n"
+        "  --journal-every=N  checkpoint every N records (default 16)\n"
+        "SIGINT/SIGTERM cancel gracefully (in-flight work is delivered and\n"
+        "journaled). Exit: 0 ok, 1 error/abort, 2 cancelled, 3 completed\n"
+        "with recorded failures.\n"
         "\n"
         "Gen mode: KIND in {uniform, correlated, anticorrelated, bimodal},\n"
         "or --gen-dag in {layered, random, forkjoin, cholesky, fft, soc}.\n"
@@ -153,6 +192,36 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.input_path = value_of("--input=");
     } else if (arg.rfind("--output=", 0) == 0) {
       cli.output_path = value_of("--output=");
+    } else if (arg.rfind("--on-error=", 0) == 0) {
+      const std::string value = value_of("--on-error=");
+      if (value == "abort") {
+        cli.on_error = FailureAction::kAbort;
+      } else if (value == "skip") {
+        cli.on_error = FailureAction::kSkip;
+      } else if (value == "retry") {
+        cli.on_error = FailureAction::kRetry;
+      } else {
+        throw std::runtime_error("--on-error must be abort, skip, or retry; " +
+                                 ("got \"" + value + "\""));
+      }
+    } else if (arg.rfind("--retry-max=", 0) == 0) {
+      cli.retry_max =
+          static_cast<int>(parse_count_flag(arg, value_of("--retry-max=")));
+      if (cli.retry_max < 1) {
+        throw std::runtime_error("--retry-max must be >= 1");
+      }
+    } else if (arg.rfind("--errors=", 0) == 0) {
+      cli.errors_path = value_of("--errors=");
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      cli.journal_path = value_of("--journal=");
+    } else if (arg == "--resume") {
+      cli.resume = true;
+    } else if (arg.rfind("--journal-every=", 0) == 0) {
+      cli.journal_every = static_cast<std::size_t>(
+          parse_count_flag(arg, value_of("--journal-every=")));
+      if (cli.journal_every == 0) {
+        throw std::runtime_error("--journal-every must be >= 1");
+      }
     } else if (arg.rfind("--gen=", 0) == 0) {
       cli.gen_count =
           static_cast<std::size_t>(parse_count_flag(arg, value_of("--gen=")));
@@ -215,25 +284,154 @@ int run_gen(const CliOptions& cli, std::ostream& out) {
   return 0;
 }
 
+// Written by the async-signal handler, polled by the cancel watcher:
+// signal handlers cannot touch mutexes, so the CancelToken (whose reason
+// channel locks) is driven from an ordinary thread instead.
+std::atomic<int> g_signal{0};
+
+extern "C" void cli_signal_handler(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+/// Polls g_signal and turns the first SIGINT/SIGTERM into a reasoned
+/// cooperative cancel: in-flight solves finish, delivered work stays
+/// delivered (and journaled), and the reason lands in the stderr summary.
+class SignalCancelWatcher {
+ public:
+  explicit SignalCancelWatcher(std::shared_ptr<CancelToken> token)
+      : token_(std::move(token)) {
+    std::signal(SIGINT, cli_signal_handler);
+    std::signal(SIGTERM, cli_signal_handler);
+    thread_ = std::thread([this] {
+      while (!done_.load(std::memory_order_acquire)) {
+        const int sig = g_signal.load(std::memory_order_relaxed);
+        if (sig != 0) {
+          token_->request_cancel(
+              std::string("signal ") +
+              (sig == SIGINT ? "SIGINT" : sig == SIGTERM ? "SIGTERM"
+                                                         : std::to_string(sig))
+              + " received");
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+  ~SignalCancelWatcher() {
+    done_.store(true, std::memory_order_release);
+    thread_.join();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+
+ private:
+  std::shared_ptr<CancelToken> token_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+int exit_code_for(const StreamStats& stats) {
+  if (stats.cancelled) return 2;
+  if (stats.failed > 0) return 3;
+  return 0;
+}
+
+void print_summary(const std::string& solver_name, const CliOptions& cli,
+                   const StreamStats& stats) {
+  std::cerr << "[storesched_cli] " << solver_name << ": " << stats.delivered
+            << " results (" << stats.feasible << " feasible), max "
+            << stats.max_in_flight << " in flight, window " << stats.window
+            << (cli.window == 0 ? " (adaptive)" : "");
+  if (stats.failed > 0) std::cerr << ", " << stats.failed << " failed";
+  if (stats.retries > 0) {
+    std::cerr << ", " << stats.retries << " retries (" << stats.recovered
+              << " recovered)";
+  }
+  if (stats.degraded_spawn) std::cerr << ", degraded (worker spawn failed)";
+  std::cerr << "\n";
+  if (stats.cancelled) {
+    std::cerr << "[storesched_cli] cancelled"
+              << (stats.cancel_reason.empty() ? std::string()
+                                              : ": " + stats.cancel_reason)
+              << "\n";
+  }
+}
+
 int run_solve(const CliOptions& cli, std::istream& in, std::ostream& out) {
   const auto solver = make_solver(cli.spec);
-  JsonlInstanceSource source(in);
-  JsonlResultSink sink(out, {.include_schedule = cli.include_schedule});
+
   StreamOptions stream;
   stream.threads = cli.threads;
   stream.window = cli.window;
   stream.ordered = cli.ordered;
-  const StreamStats stats =
-      solve_stream(*solver, source, sink, solve_options_from(cli), stream);
-  // A result line lost to a failed final flush must not exit 0: a
-  // downstream shard merge would silently drop it.
-  out.flush();
-  if (!out) throw std::runtime_error("writing results failed");
-  std::cerr << "[storesched_cli] " << solver->name() << ": " << stats.delivered
-            << " results (" << stats.feasible << " feasible), max "
-            << stats.max_in_flight << " in flight, window " << stats.window
-            << (cli.window == 0 ? " (adaptive)" : "") << "\n";
-  return 0;
+  stream.on_error.action = cli.on_error;
+  stream.on_error.retry.max_attempts = cli.retry_max;
+  auto token = std::make_shared<CancelToken>();
+  stream.cancel = token;
+  const SignalCancelWatcher watcher(token);
+
+  StreamStats stats;
+  if (!cli.journal_path.empty()) {
+    // Journaled path: the journal layer owns file lifecycles (it truncates
+    // outputs to the checkpoint on resume), so it takes paths, not streams.
+    if (cli.input_path.empty() || cli.output_path.empty()) {
+      throw std::runtime_error(
+          "--journal requires --input and --output files (resume re-reads "
+          "and truncates them)");
+    }
+    if (!cli.ordered) {
+      throw std::runtime_error(
+          "--journal requires ordered delivery (drop --as-completed)");
+    }
+    if (cli.resume) {
+      if (const auto cp = StreamJournal::load(cli.journal_path)) {
+        std::cerr << "[storesched_cli] resuming at record " << cp->completed
+                  << " (input line " << cp->source_lines << ", journal "
+                  << cli.journal_path << ")\n";
+      } else {
+        std::cerr << "[storesched_cli] no usable journal at "
+                  << cli.journal_path << ", starting fresh\n";
+      }
+    }
+    JournaledRunOptions journal;
+    journal.input_path = cli.input_path;
+    journal.output_path = cli.output_path;
+    journal.errors_path = cli.errors_path;
+    journal.journal_path = cli.journal_path;
+    journal.resume = cli.resume;
+    journal.journal_every = cli.journal_every;
+    journal.result_options.include_schedule = cli.include_schedule;
+    stats = run_journaled_jsonl(*solver, journal, solve_options_from(cli),
+                                stream);
+  } else {
+    if (cli.resume) {
+      throw std::runtime_error("--resume requires --journal=PATH");
+    }
+    std::ofstream err_file;
+    std::optional<JsonlErrorSink> err_sink;
+    if (!cli.errors_path.empty()) {
+      err_file.open(cli.errors_path);
+      if (!err_file) {
+        throw std::runtime_error("cannot write --errors=" + cli.errors_path);
+      }
+      err_sink.emplace(err_file);
+      stream.errors = &*err_sink;
+    }
+    JsonlInstanceSource source(in);
+    JsonlResultSink sink(out, {.include_schedule = cli.include_schedule});
+    stats = solve_stream(*solver, source, sink, solve_options_from(cli),
+                         stream);
+    // A result line lost to a failed final flush must not exit 0: a
+    // downstream shard merge would silently drop it.
+    out.flush();
+    if (!out) throw std::runtime_error("writing results failed");
+    if (err_sink) {
+      err_file.flush();
+      if (!err_file) throw std::runtime_error("writing error records failed");
+    }
+  }
+  print_summary(solver->name(), cli, stats);
+  return exit_code_for(stats);
 }
 
 /// Scans a result JSONL line for "key":<integer>. Returns nullopt when the
@@ -364,14 +562,21 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // Journaled runs own their file lifecycles inside run_journaled_jsonl
+    // (a resume must inspect and truncate the existing output, so opening
+    // -- and thereby truncating -- it here would destroy the very state
+    // being resumed). Only open streams here for the unjournaled paths.
+    const bool journaled = !cli.journal_path.empty() && !cli.check;
+
     std::ifstream in_file;
-    if (!cli.input_path.empty()) {
+    if (!cli.input_path.empty() && !journaled) {
       in_file.open(cli.input_path);
       if (!in_file) {
         throw std::runtime_error("cannot read --input=" + cli.input_path);
       }
     }
-    std::istream& in = cli.input_path.empty() ? std::cin : in_file;
+    std::istream& in =
+        cli.input_path.empty() || journaled ? std::cin : in_file;
 
     if (cli.check) {
       if (cli.expect_path.empty()) {
@@ -381,13 +586,15 @@ int main(int argc, char** argv) {
     }
 
     std::ofstream out_file;
-    if (!cli.output_path.empty()) {
+    if (!cli.output_path.empty() && !journaled) {
       out_file.open(cli.output_path);
       if (!out_file) {
         throw std::runtime_error("cannot write --output=" + cli.output_path);
       }
     }
-    return run_solve(cli, in, cli.output_path.empty() ? std::cout : out_file);
+    return run_solve(cli, in,
+                     cli.output_path.empty() || journaled ? std::cout
+                                                          : out_file);
   } catch (const std::exception& e) {
     std::cerr << "storesched_cli: " << e.what() << "\n";
     return 1;
