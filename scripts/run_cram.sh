@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# run_cram.sh -- minimal cram-style acceptance-test runner.
+#
+# Each FILE.t is a transcript: two-space-indented `  $ cmd` lines are
+# commands (with `  > ` continuation lines), the indented lines after a
+# command are its expected stdout+stderr, and everything unindented is
+# commentary. A `  [N]` line at the end of a block pins a nonzero exit
+# status. An expected line ending in ` (re)` is a full-line extended
+# regex instead of a literal. The runner replays every command in a
+# scratch directory, rebuilds the transcript from what actually
+# happened, and diffs it against the file -- any difference fails the
+# test and prints as a unified diff.
+#
+#   scripts/run_cram.sh --bindir=build tests/cram/*.t
+#
+# Semantics kept deliberately small (this is an acceptance harness, not
+# a cram reimplementation):
+#   * every command runs in its own bash -c, in the same per-file
+#     scratch directory -- shell state (cd, variables) does NOT persist
+#     across commands; persist via files (echo $! > pid) instead;
+#   * a command that backgrounds a server must redirect the server's
+#     stdout+stderr to a file, or output capture will wait for it;
+#   * TESTDIR points at the directory containing the .t file.
+#
+# Exit status: 0 all tests pass, 1 any failure, 2 usage error.
+set -u
+
+bindir=""
+tests=()
+for arg in "$@"; do
+  case "$arg" in
+    --bindir=*) bindir="${arg#--bindir=}" ;;
+    --help|-h)
+      echo "usage: run_cram.sh [--bindir=DIR] FILE.t..."
+      exit 0
+      ;;
+    -*)
+      echo "run_cram.sh: unknown option: $arg" >&2
+      exit 2
+      ;;
+    *) tests+=("$arg") ;;
+  esac
+done
+if [ "${#tests[@]}" -eq 0 ]; then
+  echo "usage: run_cram.sh [--bindir=DIR] FILE.t..." >&2
+  exit 2
+fi
+if [ -n "$bindir" ]; then
+  if [ ! -d "$bindir" ]; then
+    echo "run_cram.sh: --bindir=$bindir is not a directory" >&2
+    exit 2
+  fi
+  PATH="$(cd "$bindir" && pwd):$PATH"
+  export PATH
+fi
+
+cramtmp="$(mktemp -d "${TMPDIR:-/tmp}/cram.XXXXXX")"
+trap 'rm -rf "$cramtmp"' EXIT
+
+failed=0
+ran=0
+
+# Appends $1 verbatim as one line to the file named by $2.
+emit() { printf '%s\n' "$1" >> "$2"; }
+
+run_one() {
+  local t="$1"
+  local name
+  name="$(basename "$t")"
+  local work="$cramtmp/${name%.t}.dir"
+  mkdir -p "$work"
+  local expected="$cramtmp/$name.expected"
+  local actual="$cramtmp/$name.actual"
+  : > "$expected"
+  : > "$actual"
+  TESTDIR="$(cd "$(dirname "$t")" && pwd)"
+  export TESTDIR
+
+  # Parse into blocks and replay. `pending_*` holds the block being
+  # gathered; flush_block executes it and writes both transcripts.
+  local cmd="" exp_lines=()
+
+  flush_block() {
+    [ -n "$cmd" ] || return 0
+    local out_file="$cramtmp/$name.out" rc
+    ( cd "$work" && bash -c "$cmd" ) < /dev/null > "$out_file" 2>&1
+    rc=$?
+    # Actual output lines, exit-code line appended the way cram prints it.
+    local act_lines=()
+    while IFS= read -r line; do act_lines+=("$line"); done < "$out_file"
+    if [ "$rc" -ne 0 ]; then act_lines+=("[$rc]"); fi
+    # Align against the expected block: a ` (re)` expectation that
+    # full-matches keeps its own text so a passing line diffs clean.
+    local i=0 n_exp=${#exp_lines[@]} n_act=${#act_lines[@]}
+    while [ "$i" -lt "$n_act" ]; do
+      local a="${act_lines[$i]}"
+      if [ "$i" -lt "$n_exp" ]; then
+        local e="${exp_lines[$i]}"
+        case "$e" in
+          *' (re)')
+            local rex="${e% (re)}"
+            if printf '%s\n' "$a" | grep -Eqx -- "$rex"; then
+              emit "  $e" "$actual"
+              i=$((i + 1))
+              continue
+            fi
+            ;;
+        esac
+      fi
+      emit "  $a" "$actual"
+      i=$((i + 1))
+    done
+    cmd=""
+    exp_lines=()
+  }
+
+  local raw
+  while IFS= read -r raw || [ -n "$raw" ]; do
+    case "$raw" in
+      '  $ '*)
+        flush_block
+        cmd="${raw#  \$ }"
+        emit "$raw" "$expected"
+        emit "$raw" "$actual"
+        ;;
+      '  > '*)
+        cmd="$cmd
+${raw#  > }"
+        emit "$raw" "$expected"
+        emit "$raw" "$actual"
+        ;;
+      '  '*)
+        if [ -n "$cmd" ]; then
+          exp_lines+=("${raw#  }")
+          emit "$raw" "$expected"
+        else
+          # Indented text before any command: commentary, keep as is.
+          emit "$raw" "$expected"
+          emit "$raw" "$actual"
+        fi
+        ;;
+      *)
+        flush_block
+        emit "$raw" "$expected"
+        emit "$raw" "$actual"
+        ;;
+    esac
+  done < "$t"
+  flush_block
+
+  if ! diff -u --label "$t (expected)" --label "$t (actual)" \
+      "$expected" "$actual"; then
+    return 1
+  fi
+  return 0
+}
+
+for t in "${tests[@]}"; do
+  if [ ! -f "$t" ]; then
+    echo "run_cram.sh: no such test file: $t" >&2
+    exit 2
+  fi
+  ran=$((ran + 1))
+  if run_one "$t"; then
+    echo "ok: $t"
+  else
+    echo "FAIL: $t"
+    failed=$((failed + 1))
+  fi
+done
+
+echo "# ran $ran cram test(s), $failed failed"
+[ "$failed" -eq 0 ]

@@ -35,7 +35,15 @@
 //   source.next    JsonlInstanceSource::next, before any input is consumed
 //   stream.solve   the solve_stream worker, before each solve attempt
 //   sink.consume   result delivery, before ResultSink::consume
-//   crew.spawn     run_worker_crew, before each worker thread is spawned
+//   crew.spawn     run_worker_crew / WorkerCrew, before each worker thread
+//                  is spawned
+//   serve.accept   the serving tier's accept path, before each accept(2)
+//                  round (a fault skips the round; the pending connection
+//                  is retried, serve/server.cpp)
+//   serve.request  the serving tier's request handler, before a framed
+//                  line is parsed (a fault answers ok:false on that line)
+//   serve.solve    the serving tier's worker, before the deadline check
+//                  and solve (a fault answers ok:false for that request)
 //
 // Cost when unset: hit() is a single relaxed atomic load of a global flag
 // and a predictable not-taken branch -- safe to leave compiled into hot

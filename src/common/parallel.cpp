@@ -87,4 +87,99 @@ void run_worker_crew(unsigned workers,
   if (error) std::rethrow_exception(error);
 }
 
+WorkerCrew::WorkerCrew(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  try {
+    for (unsigned t = 0; t < workers; ++t) {
+      failpoint::hit("crew.spawn");
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Same teardown ordering as run_worker_crew: every thread that did
+    // spawn is stopped and joined before the constructor frame unwinds.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    throw;
+  }
+}
+
+WorkerCrew::~WorkerCrew() {
+  try {
+    shutdown();
+  } catch (...) {
+    // shutdown() itself does not throw, but keep the destructor hard-noexcept.
+  }
+}
+
+void WorkerCrew::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::logic_error("WorkerCrew::submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerCrew::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void WorkerCrew::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t WorkerCrew::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + active_;
+}
+
+void WorkerCrew::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    // Stopping still finishes the queue: shutdown() promises every
+    // submitted job runs (the serve drain path relies on it).
+    if (queue_.empty()) return;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
 }  // namespace storesched

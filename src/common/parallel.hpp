@@ -10,8 +10,14 @@
 //     remaining work, joins every worker, and rethrows on the caller.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace storesched {
 
@@ -38,5 +44,65 @@ void parallel_for(std::size_t jobs, int threads,
 /// the caller.
 void run_worker_crew(unsigned workers,
                      const std::function<void(unsigned)>& body);
+
+/// Persistent worker crew: threads are spawned once and fed through a
+/// submit/drain job queue, unlike run_worker_crew which sizes its crew to
+/// the call and joins it before returning. This is the shape a long-lived
+/// service needs -- the serving tier (src/serve/) admits requests for the
+/// lifetime of the process, and respawning OS threads per request (or per
+/// request batch) would put thread creation on the hot path.
+///
+/// Contract:
+///   * submit() enqueues a job and never blocks on job execution; jobs are
+///     claimed FIFO by whichever worker frees up first.
+///   * Jobs are expected to handle their own errors. If one does throw,
+///     the first exception is captured and rethrown by the next drain()
+///     (the crew itself keeps running -- one poisoned request must not
+///     take the service down).
+///   * drain() blocks until every job submitted so far has finished.
+///   * shutdown() finishes the queued jobs, then joins every worker;
+///     submit() after shutdown() throws. The destructor calls shutdown()
+///     and swallows any still-unclaimed job exception (destructors must
+///     not throw).
+///   * With workers() == 1 the crew still spawns one real thread --
+///     unlike run_worker_crew's inline path -- because submit() must not
+///     execute jobs on the caller (the serve event loop).
+class WorkerCrew {
+ public:
+  /// Spawns `workers` threads immediately (>= 1; 0 means
+  /// std::thread::hardware_concurrency()).
+  explicit WorkerCrew(unsigned workers);
+  ~WorkerCrew();
+  WorkerCrew(const WorkerCrew&) = delete;
+  WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+  /// Enqueues a job. Throws std::logic_error after shutdown().
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has completed, then rethrows the
+  /// first job exception captured since the last drain (if any).
+  void drain();
+
+  /// Finishes queued jobs and joins the workers. Idempotent.
+  void shutdown();
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Jobs submitted minus jobs completed (queued + running). Snapshot
+  /// only -- other threads may be submitting concurrently.
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for jobs / stop
+  std::condition_variable idle_cv_;  ///< drain()/shutdown() wait for quiesce
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< jobs currently executing
+  bool stopping_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace storesched

@@ -70,9 +70,14 @@ void VectorSink::consume(std::size_t index, SolveResult result) {
 
 std::string result_to_jsonl(std::size_t index, const SolveResult& result,
                             const JsonlResultOptions& options) {
+  return "{\"index\":" + std::to_string(index) +
+         result_jsonl_fields(result, options) + "}";
+}
+
+std::string result_jsonl_fields(const SolveResult& result,
+                                const JsonlResultOptions& options) {
   std::ostringstream os;
-  os << "{\"index\":" << index
-     << ",\"feasible\":" << (result.feasible ? "true" : "false");
+  os << ",\"feasible\":" << (result.feasible ? "true" : "false");
   if (result.feasible) {
     os << ",\"cmax\":" << result.objectives.cmax
        << ",\"mmax\":" << result.objectives.mmax;
@@ -105,7 +110,6 @@ std::string result_to_jsonl(std::size_t index, const SolveResult& result,
       os << ']';
     }
   }
-  os << '}';
   return os.str();
 }
 

@@ -281,6 +281,14 @@ struct JsonlResultOptions {
 std::string result_to_jsonl(std::size_t index, const SolveResult& result,
                             const JsonlResultOptions& options = {});
 
+/// The body of a result line without the leading "index" key: a
+/// comma-led field list ( ,"feasible":...,"cmax":... ) ready to splice
+/// into any enclosing JSON object. result_to_jsonl() and the serving
+/// tier's response lines (serve/protocol.hpp) are both built on this, so
+/// the result vocabulary cannot drift between the batch and serve wires.
+std::string result_jsonl_fields(const SolveResult& result,
+                                const JsonlResultOptions& options = {});
+
 /// Thrown by the JSONL sinks when the underlying ostream reports a write
 /// failure (badbit/failbit: full disk, closed pipe). A dedicated type so
 /// the retry classifier can refuse to retry it -- a dead stream stays

@@ -1,0 +1,896 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/io.hpp"
+#include "common/parallel.hpp"
+#include "serve/protocol.hpp"
+
+namespace storesched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Readiness multiplexer: epoll where available, poll(2) elsewhere. Only
+/// the event-loop thread touches it (workers wake the loop through the
+/// wake pipe instead), so it needs no locking. Level-triggered on both
+/// backends: unread bytes and unaccepted connections are re-reported,
+/// which is what lets a failed accept round or a paused (windowed)
+/// connection resume without bookkeeping.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+#ifdef __linux__
+  Poller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (epfd_ < 0) throw_errno("epoll_create1");
+  }
+  ~Poller() { ::close(epfd_); }
+
+  void add(int fd, bool rd, bool wr) { ctl(EPOLL_CTL_ADD, fd, rd, wr); }
+  void mod(int fd, bool rd, bool wr) { ctl(EPOLL_CTL_MOD, fd, rd, wr); }
+  void del(int fd) {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  void wait(int timeout_ms, std::vector<Event>& out) {
+    out.clear();
+    buf_.resize(64);
+    const int n = ::epoll_wait(epfd_, buf_.data(),
+                               static_cast<int>(buf_.size()), timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = buf_[static_cast<std::size_t>(i)].data.fd;
+      const auto bits = buf_[static_cast<std::size_t>(i)].events;
+      ev.readable = (bits & EPOLLIN) != 0;
+      ev.writable = (bits & EPOLLOUT) != 0;
+      ev.error = (bits & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool rd, bool wr) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (rd) ev.events |= EPOLLIN;
+    if (wr) ev.events |= EPOLLOUT;
+    if (::epoll_ctl(epfd_, op, fd, &ev) < 0) throw_errno("epoll_ctl");
+  }
+
+  int epfd_;
+  std::vector<epoll_event> buf_;
+#else
+  void add(int fd, bool rd, bool wr) {
+    pollfd p{};
+    p.fd = fd;
+    if (rd) p.events |= POLLIN;
+    if (wr) p.events |= POLLOUT;
+    fds_.push_back(p);
+  }
+  void mod(int fd, bool rd, bool wr) {
+    for (auto& p : fds_) {
+      if (p.fd != fd) continue;
+      p.events = static_cast<short>((rd ? POLLIN : 0) | (wr ? POLLOUT : 0));
+      return;
+    }
+  }
+  void del(int fd) {
+    fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                              [fd](const pollfd& p) { return p.fd == fd; }),
+               fds_.end());
+  }
+
+  void wait(int timeout_ms, std::vector<Event>& out) {
+    out.clear();
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const auto& p : fds_) {
+      if (p.revents == 0) continue;
+      Event ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  std::vector<pollfd> fds_;
+#endif
+};
+
+}  // namespace
+
+struct ServeServer::Impl {
+  explicit Impl(ServeServer& server) : outer(server) {}
+
+  ServeServer& outer;
+
+  /// One admitted request waiting for (or inside) a worker.
+  struct Pending {
+    std::uint64_t conn_id = 0;
+    ServeRequest req;
+    std::string spec;
+    int rung = -1;
+    ServeAdmission admission = ServeAdmission::kOk;
+    Clock::time_point arrival;
+    std::shared_ptr<CancelToken> cancel;
+  };
+
+  struct Connection {
+    Connection(int fd_, std::uint64_t id_, std::size_t max_line)
+        : fd(fd_), id(id_), framer(max_line) {}
+    int fd;
+    std::uint64_t id;
+    LineFramer framer;
+    /// Solve lines parsed while the in-flight window was full; replayed
+    /// (in order, before new framer lines) once a response frees a slot.
+    std::deque<std::string> deferred;
+    std::string outbox;
+    std::size_t out_off = 0;
+    std::size_t in_flight = 0;
+    bool reg_read = true;
+    bool reg_write = false;
+    bool peer_eof = false;
+    std::unordered_map<std::string, std::shared_ptr<CancelToken>> cancelable;
+  };
+
+  // --- guarded by mu_ -------------------------------------------------
+  std::mutex mu_;
+  std::unordered_map<int, Connection> conns_;            // fd -> connection
+  std::unordered_map<std::uint64_t, int> conn_fd_;       // conn id -> fd
+  std::array<std::deque<Pending>, 3> queue_;             // by priority class
+  std::size_t queue_depth_ = 0;
+  std::size_t inflight_total_ = 0;  ///< admitted, not yet delivered
+  std::uint64_t next_conn_id_ = 1;
+  ServeCounters counters_;
+  bool draining_ = false;
+  bool flush_exit_ = false;  ///< crew is gone; flush outboxes and stop
+  Clock::time_point flush_deadline_;
+
+  // --- solver cache (own mutex: workers resolve specs mid-solve) ------
+  std::mutex solvers_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Solver>> solvers_;
+  static constexpr std::size_t kSolverCacheCap = 128;
+
+  // --- loop-thread only -----------------------------------------------
+  Poller poller_;
+  std::vector<Poller::Event> events_;
+  std::vector<int> accept_fds_;
+
+  // --- lifecycle ------------------------------------------------------
+  int unix_listen_ = -1;
+  int tcp_listen_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  bool listeners_closed_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mu_;  ///< serializes shutdown() callers
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex request_cv_mu_;
+  std::condition_variable request_cv_;
+  std::unique_ptr<WorkerCrew> crew_;
+  std::thread loop_thread_;
+
+  const ServeOptions& opts() const { return outer.options_; }
+  Router& router() { return *outer.router_; }
+
+  // ---------------------------------------------------------------- wake
+  void wake() noexcept {
+    const char byte = 'w';
+    // A full pipe already guarantees a pending wake-up.
+    [[maybe_unused]] const auto n = ::write(wake_write_, &byte, 1);
+  }
+
+  void drain_wake() {
+    char buf[256];
+    while (::read(wake_read_, buf, sizeof buf) > 0) {
+    }
+  }
+
+  // ------------------------------------------------------------- sockets
+  int open_unix_listener(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("unix socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    set_nonblocking(fd);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      if (errno != EADDRINUSE) {
+        ::close(fd);
+        throw_errno("bind(" + path + ")");
+      }
+      // A socket file nobody answers on is a stale leftover (crashed
+      // server); reclaim it. One a live server answers on is a conflict.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 &&
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+              0;
+      if (probe >= 0) ::close(probe);
+      if (live) {
+        ::close(fd);
+        throw std::runtime_error("unix socket already serving: " + path);
+      }
+      ::unlink(path.c_str());
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        ::close(fd);
+        throw_errno("bind(" + path + ")");
+      }
+    }
+    if (::listen(fd, 128) < 0) {
+      ::close(fd);
+      throw_errno("listen(" + path + ")");
+    }
+    return fd;
+  }
+
+  int open_tcp_listener(const std::string& host, int port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw std::invalid_argument("bad tcp host: " + host);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, 128) < 0) {
+      ::close(fd);
+      throw_errno("bind/listen(" + host + ":" + std::to_string(port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+    return fd;
+  }
+
+  // -------------------------------------------------------------- accept
+  void do_accept(int listen_fd) {
+    for (;;) {
+      try {
+        failpoint::hit("serve.accept");
+      } catch (const InjectedFault&) {
+        // Skip this accept round; the level-triggered poller re-reports
+        // the pending connection next iteration.
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.injected_faults;
+        return;
+      }
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // EAGAIN or a transient kernel error: try again on report
+      }
+      set_nonblocking(fd);
+      const std::lock_guard<std::mutex> lock(mu_);
+      const std::uint64_t id = next_conn_id_++;
+      conns_.emplace(fd, Connection(fd, id, opts().max_line));
+      conn_fd_[id] = fd;
+      ++counters_.connections_accepted;
+      poller_.add(fd, true, false);
+    }
+  }
+
+  // ------------------------------------------------------------ requests
+  void enqueue_response(Connection& conn, const ServeResponse& response) {
+    conn.outbox += serve_response_to_jsonl(response, opts().result);
+    conn.outbox += '\n';
+    ++counters_.responses;
+  }
+
+  void enqueue_error(Connection& conn, const std::string& id,
+                     const std::string& error,
+                     std::optional<ServeAdmission> admission = std::nullopt) {
+    ServeResponse response;
+    response.id = id;
+    response.ok = false;
+    response.error = error;
+    response.admission = admission;
+    enqueue_response(conn, response);
+  }
+
+  std::string statsz_line(const std::string& id) {
+    ++counters_.statsz_requests;
+    std::string out = "{";
+    if (!id.empty()) out += "\"id\":\"" + json_escape(id) + "\",";
+    out += "\"ok\":true,\"statsz\":{";
+    out += "\"draining\":" + std::string(draining_ ? "true" : "false");
+    out += ",\"workers\":" + std::to_string(crew_ ? crew_->workers() : 0);
+    out += ",\"queue_depth\":" + std::to_string(queue_depth_);
+    out += ",\"queue_peak\":" + std::to_string(counters_.queue_peak);
+    out += ",\"connections\":{\"accepted\":" +
+           std::to_string(counters_.connections_accepted) +
+           ",\"open\":" + std::to_string(conns_.size()) +
+           ",\"window_peak\":" + std::to_string(counters_.conn_window_peak) +
+           "}";
+    out += ",\"requests\":" + std::to_string(counters_.requests);
+    out += ",\"responses\":" + std::to_string(counters_.responses);
+    out += ",\"parse_errors\":" + std::to_string(counters_.parse_errors);
+    out += ",\"oversized_lines\":" + std::to_string(counters_.oversized_lines);
+    out += ",\"admissions\":{\"ok\":" + std::to_string(counters_.admitted_ok) +
+           ",\"degraded\":" + std::to_string(counters_.admitted_degraded) +
+           ",\"over_slo\":" + std::to_string(counters_.admitted_over_slo) +
+           ",\"rejected\":" + std::to_string(counters_.rejected) + "}";
+    out +=
+        ",\"deadline_expired\":" + std::to_string(counters_.deadline_expired);
+    out += ",\"cancelled\":" + std::to_string(counters_.cancelled);
+    out += ",\"solve_errors\":" + std::to_string(counters_.solve_errors);
+    out += ",\"injected_faults\":" + std::to_string(counters_.injected_faults);
+    out += ",\"statsz_requests\":" + std::to_string(counters_.statsz_requests);
+    out += ",\"rungs\":[";
+    const auto rungs = router().snapshot();
+    for (std::size_t r = 0; r < rungs.size(); ++r) {
+      if (r) out += ',';
+      out += "{\"rung\":" + std::to_string(r) + ",\"spec\":\"" +
+             json_escape(rungs[r].spec) + "\",\"ewma_ms\":" +
+             fmt(rungs[r].ewma_ms, 4) +
+             ",\"served\":" + std::to_string(rungs[r].served) + "}";
+    }
+    out += "]}}";
+    return out;
+  }
+
+  /// Handles one framed request line. Returns false (and has no effect)
+  /// only when the line is a well-formed solve request that must wait for
+  /// the connection's in-flight window -- the caller re-plays it later.
+  bool try_handle_line(Connection& conn, const std::string& text) {
+    try {
+      failpoint::hit("serve.request");
+    } catch (const InjectedFault& fault) {
+      ++counters_.injected_faults;
+      enqueue_error(conn, "", std::string("injected fault: ") + fault.what());
+      return true;
+    }
+
+    ServeRequest req;
+    try {
+      req = serve_request_from_jsonl(text);
+    } catch (const std::exception& err) {
+      ++counters_.parse_errors;
+      enqueue_error(conn, "", err.what());
+      return true;
+    }
+
+    if (req.statsz) {
+      conn.outbox += statsz_line(req.id);
+      conn.outbox += '\n';
+      ++counters_.responses;
+      return true;
+    }
+
+    if (!req.cancel_id.empty()) {
+      const auto it = conn.cancelable.find(req.cancel_id);
+      if (it == conn.cancelable.end()) {
+        enqueue_error(conn, req.id,
+                      "cancel: unknown or already answered id \"" +
+                          req.cancel_id + "\"");
+      } else {
+        it->second->request_cancel("cancelled by client");
+        ++counters_.cancelled;
+        ServeResponse ack;
+        ack.id = req.id;
+        ack.cancel_ack = req.cancel_id;
+        enqueue_response(conn, ack);
+      }
+      return true;
+    }
+
+    // Solve request: admission.
+    if (!draining_ && conn.in_flight >= opts().conn_window) return false;
+    ++counters_.requests;
+    if (draining_) {
+      ++counters_.rejected;
+      enqueue_error(conn, req.id, "server is draining",
+                    ServeAdmission::kRejected);
+      return true;
+    }
+    if (queue_depth_ >= opts().max_queue) {
+      ++counters_.rejected;
+      enqueue_error(
+          conn, req.id,
+          "queue full (" + std::to_string(opts().max_queue) + " pending)",
+          ServeAdmission::kRejected);
+      return true;
+    }
+
+    Pending pending;
+    pending.conn_id = conn.id;
+    pending.arrival = Clock::now();
+    pending.cancel = std::make_shared<CancelToken>();
+    if (!req.spec.empty()) {
+      pending.spec = req.spec;
+      pending.rung = -1;
+      pending.admission = ServeAdmission::kOk;
+    } else {
+      const RouteDecision route = router().route(
+          req.slo_ms, req.quality, queue_depth_, crew_->workers());
+      pending.spec = route.spec;
+      pending.rung = static_cast<int>(route.rung);
+      pending.admission = !route.met_slo ? ServeAdmission::kOverSlo
+                          : route.degraded ? ServeAdmission::kDegraded
+                                           : ServeAdmission::kOk;
+    }
+    switch (pending.admission) {
+      case ServeAdmission::kOk:
+        ++counters_.admitted_ok;
+        break;
+      case ServeAdmission::kDegraded:
+        ++counters_.admitted_degraded;
+        break;
+      case ServeAdmission::kOverSlo:
+        ++counters_.admitted_over_slo;
+        break;
+      case ServeAdmission::kRejected:
+        break;
+    }
+    if (!req.id.empty()) conn.cancelable[req.id] = pending.cancel;
+    const auto cls = static_cast<std::size_t>(req.priority);
+    pending.req = std::move(req);
+    queue_[cls].push_back(std::move(pending));
+    ++queue_depth_;
+    counters_.queue_peak = std::max(counters_.queue_peak, queue_depth_);
+    ++conn.in_flight;
+    counters_.conn_window_peak =
+        std::max(counters_.conn_window_peak, conn.in_flight);
+    ++inflight_total_;
+    crew_->submit([this] { process_one(); });
+    return true;
+  }
+
+  /// Replays deferred lines, then drains freshly framed ones, stopping at
+  /// the first solve line the window cannot admit yet.
+  void process_conn_lines(Connection& conn) {
+    while (!conn.deferred.empty()) {
+      if (!try_handle_line(conn, conn.deferred.front())) return;
+      conn.deferred.pop_front();
+    }
+    while (auto line = conn.framer.next()) {
+      if (line->oversized) {
+        ++counters_.oversized_lines;
+        enqueue_error(conn, "",
+                      "request line exceeds " +
+                          std::to_string(opts().max_line) + " bytes");
+        continue;
+      }
+      if (!try_handle_line(conn, line->text)) {
+        conn.deferred.push_back(std::move(line->text));
+        return;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- workers
+  std::shared_ptr<const Solver> solver_for(const std::string& spec) {
+    {
+      const std::lock_guard<std::mutex> lock(solvers_mu_);
+      const auto it = solvers_.find(spec);
+      if (it != solvers_.end()) return it->second;
+    }
+    std::shared_ptr<const Solver> solver = make_solver(spec);
+    const std::lock_guard<std::mutex> lock(solvers_mu_);
+    if (solvers_.size() < kSolverCacheCap) solvers_.emplace(spec, solver);
+    return solver;
+  }
+
+  void process_one() {
+    Pending pending;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      // One queued Pending per submitted job, so a class is non-empty.
+      for (auto& cls : queue_) {
+        if (cls.empty()) continue;
+        pending = std::move(cls.front());
+        cls.pop_front();
+        break;
+      }
+      --queue_depth_;
+    }
+
+    ServeResponse response;
+    response.id = pending.req.id;
+    response.admission = pending.admission;
+    response.spec = pending.spec;
+    response.rung = pending.rung;
+    response.queue_ms = ms_since(pending.arrival);
+
+    SolveResult result;
+    bool have_result = false;
+    bool expired = false;
+    bool injected = false;
+    bool solve_error = false;
+    try {
+      failpoint::hit("serve.solve");
+      if (pending.req.deadline_ms &&
+          response.queue_ms >= *pending.req.deadline_ms) {
+        result.feasible = false;
+        result.diagnostics =
+            "deadline expired in queue: waited " + fmt(response.queue_ms, 3) +
+            " ms of a " + fmt(*pending.req.deadline_ms, 3) +
+            " ms budget (no solve attempted)";
+        have_result = true;
+        expired = true;
+      } else {
+        const std::shared_ptr<const Solver> solver = solver_for(pending.spec);
+        SolveOptions solve_options = opts().solve;
+        solve_options.cancel = pending.cancel;
+        if (pending.req.deadline_ms) {
+          const double remaining_ms =
+              *pending.req.deadline_ms - response.queue_ms;
+          solve_options.deadline =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::duration<double, std::milli>(remaining_ms));
+        }
+        const Clock::time_point solve_start = Clock::now();
+        result = solver->solve(*pending.req.instance, solve_options);
+        response.solve_ms = ms_since(solve_start);
+        have_result = true;
+        if (pending.rung >= 0) {
+          router().observe(static_cast<std::size_t>(pending.rung),
+                           response.solve_ms);
+        }
+      }
+    } catch (const InjectedFault& fault) {
+      response.ok = false;
+      response.error = std::string("injected fault: ") + fault.what();
+      injected = true;
+    } catch (const std::exception& err) {
+      response.ok = false;
+      response.error = err.what();
+      solve_error = true;
+    }
+    response.result = have_result ? &result : nullptr;
+
+    std::string line = serve_response_to_jsonl(response, opts().result);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (expired) ++counters_.deadline_expired;
+      if (injected) ++counters_.injected_faults;
+      if (solve_error) ++counters_.solve_errors;
+      ++counters_.responses;
+      --inflight_total_;
+      const auto fd_it = conn_fd_.find(pending.conn_id);
+      if (fd_it != conn_fd_.end()) {
+        Connection& conn = conns_.at(fd_it->second);
+        conn.outbox += line;
+        conn.outbox += '\n';
+        if (conn.in_flight > 0) --conn.in_flight;
+        if (!pending.req.id.empty()) conn.cancelable.erase(pending.req.id);
+      }
+      // else: the connection died first; the response is dropped.
+    }
+    wake();
+  }
+
+  // ------------------------------------------------------ loop plumbing
+  void do_read(Connection& conn) {
+    char buf[1 << 16];
+    const auto n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn.framer.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      conn.peer_eof = true;
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      conn.peer_eof = true;  // reset mid-read: treat as disconnect
+    }
+  }
+
+  /// Flushes as much of the outbox as the socket accepts. Returns false
+  /// when the connection died under the write.
+  bool flush_outbox(Connection& conn) {
+    while (conn.out_off < conn.outbox.size()) {
+      const auto n =
+          ::send(conn.fd, conn.outbox.data() + conn.out_off,
+                 conn.outbox.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return false;  // EPIPE/ECONNRESET: peer is gone
+      }
+      conn.out_off += static_cast<std::size_t>(n);
+    }
+    if (conn.out_off == conn.outbox.size()) {
+      conn.outbox.clear();
+      conn.out_off = 0;
+    } else if (conn.out_off > (std::size_t{1} << 16)) {
+      conn.outbox.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+    return true;
+  }
+
+  void close_conn_locked(int fd) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    // Orphaned in-flight work: stop it early, its response will be dropped.
+    for (auto& [id, token] : it->second.cancelable) {
+      token->request_cancel("connection closed");
+    }
+    poller_.del(fd);
+    ::close(fd);
+    conn_fd_.erase(it->second.id);
+    conns_.erase(it);
+  }
+
+  /// Per-connection upkeep: replay/admit lines, flush, re-arm interest,
+  /// close when finished. Returns false when the connection was closed.
+  bool update_conn_locked(Connection& conn) {
+    process_conn_lines(conn);
+    if (!conn.outbox.empty() && !flush_outbox(conn)) {
+      close_conn_locked(conn.fd);
+      return false;
+    }
+    const bool flushed = conn.outbox.empty();
+    const bool quiet = conn.in_flight == 0 && conn.deferred.empty();
+    if (flushed && quiet && (conn.peer_eof || draining_ || flush_exit_)) {
+      close_conn_locked(conn.fd);
+      return false;
+    }
+    const bool want_read = !draining_ && !conn.peer_eof &&
+                           conn.in_flight < opts().conn_window;
+    const bool want_write = !flushed;
+    if (want_read != conn.reg_read || want_write != conn.reg_write) {
+      poller_.mod(conn.fd, want_read, want_write);
+      conn.reg_read = want_read;
+      conn.reg_write = want_write;
+    }
+    return true;
+  }
+
+  void loop() {
+    for (;;) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (draining_ && !listeners_closed_) {
+          if (unix_listen_ >= 0) {
+            poller_.del(unix_listen_);
+            ::close(unix_listen_);
+            unix_listen_ = -1;
+          }
+          if (tcp_listen_ >= 0) {
+            poller_.del(tcp_listen_);
+            ::close(tcp_listen_);
+            tcp_listen_ = -1;
+          }
+          listeners_closed_ = true;
+        }
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          auto next = std::next(it);
+          update_conn_locked(it->second);
+          it = next;
+        }
+        if (flush_exit_ &&
+            (conns_.empty() || Clock::now() >= flush_deadline_)) {
+          for (auto it = conns_.begin(); it != conns_.end();) {
+            auto next = std::next(it);
+            close_conn_locked(it->first);
+            it = next;
+          }
+          break;
+        }
+      }
+      if (shutdown_requested_.load(std::memory_order_acquire)) {
+        request_cv_.notify_all();
+      }
+
+      poller_.wait(/*timeout_ms=*/200, events_);
+      accept_fds_.clear();
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        counters_.connections_open = conns_.size();
+        counters_.queue_depth = queue_depth_;
+        counters_.draining = draining_;
+        for (const auto& event : events_) {
+          if (event.fd == wake_read_) {
+            drain_wake();
+            continue;
+          }
+          if (event.fd == unix_listen_ || event.fd == tcp_listen_) {
+            accept_fds_.push_back(event.fd);
+            continue;
+          }
+          const auto it = conns_.find(event.fd);
+          if (it == conns_.end()) continue;  // closed earlier this batch
+          if (event.error && !event.readable) {
+            close_conn_locked(event.fd);
+            continue;
+          }
+          if (event.readable) do_read(it->second);
+          // Writable readiness is consumed by the upkeep pass's flush.
+        }
+      }
+      // Accept outside the lock: do_accept re-takes it per connection.
+      for (const int fd : accept_fds_) do_accept(fd);
+    }
+  }
+};
+
+ServeServer::ServeServer(ServeOptions options)
+    : options_(std::move(options)),
+      router_(std::make_unique<Router>(options_.ladder, options_.router)),
+      impl_(std::make_unique<Impl>(*this)) {
+  if (options_.conn_window == 0) {
+    throw std::invalid_argument("ServeOptions::conn_window must be >= 1");
+  }
+  if (options_.max_line < 2) {
+    throw std::invalid_argument("ServeOptions::max_line must be >= 2");
+  }
+  if (options_.unix_path.empty() && !options_.tcp_port) {
+    throw std::invalid_argument("ServeServer: no listener configured");
+  }
+  if (options_.threads < 0) {
+    throw std::invalid_argument("ServeOptions::threads must be >= 0");
+  }
+}
+
+ServeServer::~ServeServer() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destruction must not throw; the flush deadline bounds the drain.
+  }
+}
+
+void ServeServer::start() {
+  Impl& impl = *impl_;
+  if (impl.started_) throw std::logic_error("ServeServer: already started");
+  // Build every ladder rung now so a typo'd spec fails start(), not the
+  // first routed request.
+  for (std::size_t r = 0; r < router_->rungs(); ++r) {
+    impl.solver_for(router_->spec(r));
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) throw_errno("pipe");
+  impl.wake_read_ = pipe_fds[0];
+  impl.wake_write_ = pipe_fds[1];
+  try {
+    set_nonblocking(impl.wake_read_);
+    set_nonblocking(impl.wake_write_);
+    if (!options_.unix_path.empty()) {
+      impl.unix_listen_ = impl.open_unix_listener(options_.unix_path);
+    }
+    if (options_.tcp_port) {
+      impl.tcp_listen_ =
+          impl.open_tcp_listener(options_.tcp_host, *options_.tcp_port);
+    }
+  } catch (...) {
+    for (int* fd : {&impl.wake_read_, &impl.wake_write_, &impl.unix_listen_,
+                    &impl.tcp_listen_}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
+    throw;
+  }
+  impl.poller_.add(impl.wake_read_, true, false);
+  if (impl.unix_listen_ >= 0) impl.poller_.add(impl.unix_listen_, true, false);
+  if (impl.tcp_listen_ >= 0) impl.poller_.add(impl.tcp_listen_, true, false);
+  impl.crew_ = std::make_unique<WorkerCrew>(
+      static_cast<unsigned>(options_.threads));
+  impl.loop_thread_ = std::thread([&impl] { impl.loop(); });
+  impl.started_ = true;
+}
+
+void ServeServer::shutdown() {
+  Impl& impl = *impl_;
+  const std::lock_guard<std::mutex> lifecycle(impl.lifecycle_mu_);
+  if (!impl.started_ || impl.stopped_) return;
+  impl.shutdown_requested_.store(true, std::memory_order_release);
+  impl.request_cv_.notify_all();
+  {
+    const std::lock_guard<std::mutex> lock(impl.mu_);
+    impl.draining_ = true;
+  }
+  impl.wake();
+  try {
+    impl.crew_->drain();
+  } catch (...) {
+    // A worker body failed before answering; the flush deadline below
+    // still bounds the drain.
+  }
+  impl.crew_->shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(impl.mu_);
+    impl.flush_exit_ = true;
+    impl.flush_deadline_ = Clock::now() + std::chrono::seconds(5);
+  }
+  impl.wake();
+  impl.loop_thread_.join();
+  ::close(impl.wake_read_);
+  ::close(impl.wake_write_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  impl.stopped_ = true;
+}
+
+void ServeServer::notify_shutdown() noexcept {
+  impl_->shutdown_requested_.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+void ServeServer::wait_for_shutdown_request() {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.request_cv_mu_);
+  impl.request_cv_.wait(lock, [&impl] {
+    return impl.shutdown_requested_.load(std::memory_order_acquire);
+  });
+}
+
+int ServeServer::tcp_port() const { return impl_->bound_tcp_port_; }
+
+unsigned ServeServer::workers() const {
+  return impl_->crew_ ? impl_->crew_->workers() : 0;
+}
+
+ServeCounters ServeServer::counters() const {
+  Impl& impl = *impl_;
+  const std::lock_guard<std::mutex> lock(impl.mu_);
+  ServeCounters out = impl.counters_;
+  out.connections_open = impl.conns_.size();
+  out.queue_depth = impl.queue_depth_;
+  out.draining = impl.draining_;
+  return out;
+}
+
+}  // namespace storesched

@@ -1,0 +1,146 @@
+// The serving tier: a long-lived network front-end over the solver
+// registry (tools/storesched_serve.cpp is the thin CLI around it).
+//
+// One event-loop thread owns every socket: it accepts TCP / unix-domain
+// connections (epoll on Linux, poll(2) elsewhere -- see Poller in
+// server.cpp), frames JSONL request lines (serve/protocol.hpp), runs
+// admission, and queues admitted requests for a persistent WorkerCrew
+// (common/parallel.hpp) that solves and hands response lines back to the
+// loop for writing. Connections are persistent and pipelined: responses
+// return on the request's connection, matched by the echoed "id" (they
+// may be reordered by solve completion).
+//
+// Multi-tenant fairness is structural, not cooperative:
+//   * per-connection in-flight windows -- a connection with
+//     ServeOptions::conn_window requests admitted-but-unanswered stops
+//     being *read* (socket backpressure), so one greedy client saturates
+//     its own window, not the shared queue;
+//   * priority classes -- workers drain high before normal before low
+//     (strict; a saturated high class starves low, by design -- cap the
+//     high-priority tenants' windows accordingly);
+//   * a global admission queue bound -- beyond ServeOptions::max_queue
+//     the request is answered {"admission":"rejected"} instead of
+//     growing the queue without bound.
+//
+// Per-request deadlines and cancellation ride the existing SolveOptions
+// envelope: an expired deadline (queue wait included) answers
+// infeasible-with-diagnostics -- never a dropped connection -- and a
+// {"cancel":"id"} message trips the request's CancelToken.
+//
+// Which solver answers is the Router's call (serve/router.hpp) unless
+// the request names an explicit "spec". Introspection is in-band: a
+// {"statsz":true} request line answers one JSON snapshot of queue depth,
+// admission decisions, and per-rung latency EWMAs.
+//
+// Shutdown is a drain: stop accepting and reading, answer everything
+// admitted, flush, exit -- SIGTERM on the CLI, shutdown() here.
+// Failpoint sites serve.accept / serve.request / serve.solve
+// (common/failpoint.hpp) make the recovery paths deterministically
+// testable under concurrent clients.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "core/stream.hpp"
+#include "serve/router.hpp"
+
+namespace storesched {
+
+struct ServeOptions {
+  /// Unix-domain listener path; empty = none. A stale socket file whose
+  /// server is gone is unlinked and rebound; a live one fails start().
+  std::string unix_path;
+  /// TCP listener port; unset = none, 0 = ephemeral (see tcp_port()).
+  std::optional<int> tcp_port;
+  std::string tcp_host = "127.0.0.1";
+  /// Router ladder, best-quality first (>= 1 spec). Every rung is built
+  /// at start(), so a typo fails fast instead of at first request.
+  std::vector<std::string> ladder;
+  /// Worker crew size; 0 = hardware concurrency.
+  int threads = 0;
+  /// Per-connection in-flight window (>= 1): admitted-but-unanswered
+  /// requests beyond which the connection stops being read.
+  std::size_t conn_window = 16;
+  /// Request line byte cap; longer lines answer an oversized error.
+  std::size_t max_line = std::size_t{1} << 20;
+  /// Global admission queue bound; beyond it requests are rejected.
+  std::size_t max_queue = 4096;
+  /// Base per-solve options (capacity, validate); deadline/cancel are
+  /// per-request and overwrite these fields.
+  SolveOptions solve;
+  RouterOptions router;
+  /// Response line shaping (include_schedule).
+  JsonlResultOptions result;
+};
+
+/// Monotonic counters + gauges, as served by /statsz and counters().
+struct ServeCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t requests = 0;        ///< solve requests admitted or rejected
+  std::uint64_t responses = 0;       ///< response lines queued for write
+  std::uint64_t parse_errors = 0;
+  std::uint64_t oversized_lines = 0;
+  std::uint64_t admitted_ok = 0;
+  std::uint64_t admitted_degraded = 0;
+  std::uint64_t admitted_over_slo = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_expired = 0;  ///< answered without solving
+  std::uint64_t cancelled = 0;         ///< cancel messages that hit a token
+  std::uint64_t solve_errors = 0;      ///< solver threw (answered ok:false)
+  std::uint64_t injected_faults = 0;   ///< serve.* failpoints that fired
+  std::uint64_t statsz_requests = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
+  std::size_t conn_window_peak = 0;  ///< highest per-connection in-flight
+  bool draining = false;
+};
+
+/// The server. start() spawns the event loop and the worker crew;
+/// shutdown() drains gracefully. Thread-safe: any thread may call
+/// shutdown()/counters(); notify_shutdown() is additionally safe from a
+/// signal handler.
+class ServeServer {
+ public:
+  explicit ServeServer(ServeOptions options);
+  ~ServeServer();
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds listeners, builds every ladder solver, spawns the loop and
+  /// crew. Throws std::runtime_error on socket errors and
+  /// std::invalid_argument on bad specs/options.
+  void start();
+
+  /// Graceful drain: stop accepting and reading, answer every admitted
+  /// request, flush outboxes (bounded), join everything. Idempotent.
+  void shutdown();
+
+  /// Async-signal-safe shutdown trigger: flags the request and wakes the
+  /// loop; some ordinary thread must then run shutdown() --
+  /// wait_for_shutdown_request() is the CLI's way to be that thread.
+  void notify_shutdown() noexcept;
+
+  /// Blocks until notify_shutdown() (or shutdown()) has been called.
+  void wait_for_shutdown_request();
+
+  /// Bound TCP port (after start(); resolves port 0), or -1 without TCP.
+  int tcp_port() const;
+
+  unsigned workers() const;
+  ServeCounters counters() const;
+  Router& router() { return *router_; }
+
+ private:
+  struct Impl;
+  ServeOptions options_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace storesched

@@ -67,3 +67,8 @@
 // Execution backends.
 #include "sim/event_sim.hpp"
 #include "sim/online.hpp"
+
+// The serving tier (network front-end, SLO router, JSONL wire protocol).
+#include "serve/protocol.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"

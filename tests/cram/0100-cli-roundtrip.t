@@ -1,0 +1,25 @@
+The CLI's gen -> solve -> check round trip: a generated batch streams
+through the solver and re-verifies against its own results.
+
+  $ storesched_cli --gen=20 --gen-n=40 --gen-m=4 --seed=7 > in.jsonl
+  $ wc -l < in.jsonl
+  20
+  $ storesched_cli --spec=graham:lpt --input=in.jsonl --output=out.jsonl
+  \[storesched_cli\] graham:lpt: 20 results \(20 feasible\), max [0-9]+ in flight, window [0-9]+ \(adaptive\) (re)
+  $ wc -l < out.jsonl
+  20
+  $ storesched_cli --check --spec=graham:lpt --expect=out.jsonl < in.jsonl
+  check: 20 results match out.jsonl
+
+A result line carries the objectives the check mode diffs.
+
+  $ head -1 out.jsonl
+  \{"index":0,"feasible":true,"cmax":[0-9]+,"mmax":[0-9]+,.*\} (re)
+
+Tampering with a result must fail the check (exit 1).
+
+  $ sed '1s/"cmax":[0-9]*/"cmax":1/' out.jsonl > tampered.jsonl
+  $ storesched_cli --check --spec=graham:lpt --expect=tampered.jsonl < in.jsonl
+  check: index 0 objectives mismatch \(expected \(1, [0-9]+\), solved \([0-9]+, [0-9]+\)\) (re)
+  check: 1 mismatch(es) against tampered.jsonl
+  [1]

@@ -1,0 +1,32 @@
+Failure policies through the real binary: a skip run records the failed
+record and exits 3 ("completed with recorded failures"); the default
+abort policy stops at the first failure and exits 1. The fault is
+injected deterministically with a failpoint (docs/ROBUSTNESS.md).
+
+  $ storesched_cli --gen=20 --gen-n=30 --gen-m=4 --seed=5 > in.jsonl
+
+Skip: the bad record lands in err.jsonl, the other 19 still stream out.
+
+  $ STORESCHED_FAILPOINTS='stream.solve=nth(2):throw' storesched_cli --spec=graham:lpt --on-error=skip --errors=err.jsonl --input=in.jsonl --output=out.jsonl
+  \[storesched_cli\] graham:lpt: 19 results \(19 feasible\), max [0-9]+ in flight, window [0-9]+ \(adaptive\), 1 failed (re)
+  [3]
+  $ wc -l < out.jsonl
+  19
+  $ wc -l < err.jsonl
+  1
+  $ head -1 err.jsonl
+  \{"index":1,"error":true,"category":"solve","line":2,"attempts":1,.*\} (re)
+
+Retry turns the same one-shot transient fault into a clean run: the
+second attempt succeeds, so nothing is recorded and the exit is 0.
+
+  $ STORESCHED_FAILPOINTS='stream.solve=nth(2):throw' storesched_cli --spec=graham:lpt --on-error=retry --input=in.jsonl --output=out2.jsonl
+  \[storesched_cli\] graham:lpt: 20 results \(20 feasible\), .* 1 retries \(1 recovered\) (re)
+  $ wc -l < out2.jsonl
+  20
+
+Abort (the default): first failure stops the run with exit 1.
+
+  $ STORESCHED_FAILPOINTS='stream.solve=nth(2):throw' storesched_cli --spec=graham:lpt --input=in.jsonl --output=out3.jsonl
+  storesched_cli: solve_stream: instance 1: failpoint stream.solve: injected fault
+  [1]

@@ -1,0 +1,24 @@
+Crash-safe resume through the real binary: SIGKILL a journaled run mid
+stream (solves slowed by a delay failpoint so the kill lands mid-batch),
+then --resume finishes the remainder and the combined output re-checks
+clean. No cooperative shutdown is involved -- kill -9 leaves only what
+the fsync'd journal pinned.
+
+  $ storesched_cli --gen=60 --gen-n=30 --gen-m=4 --seed=11 > in.jsonl
+  $ STORESCHED_FAILPOINTS='stream.solve=delay(30)' storesched_cli --spec=graham:lpt --input=in.jsonl --output=out.jsonl --journal=j.log --journal-every=4 & pid=$!; sleep 0.6; kill -9 $pid; wait $pid 2>/dev/null; test $? -eq 137 && echo killed
+  killed
+
+The interrupted run produced a strict prefix, not the full batch.
+
+  $ test "$(wc -l < out.jsonl)" -lt 60 && echo partial
+  partial
+
+Resume picks up at the last checkpoint and completes the output.
+
+  $ storesched_cli --spec=graham:lpt --input=in.jsonl --output=out.jsonl --journal=j.log --resume
+  \[storesched_cli\] resuming at record [0-9]+ \(input line [0-9]+, journal j\.log\) (re)
+  \[storesched_cli\] graham:lpt: [0-9]+ results \([0-9]+ feasible\), max [0-9]+ in flight, window [0-9]+ \(adaptive\) (re)
+  $ wc -l < out.jsonl
+  60
+  $ storesched_cli --check --spec=graham:lpt --expect=out.jsonl < in.jsonl
+  check: 60 results match out.jsonl

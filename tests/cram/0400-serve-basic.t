@@ -1,0 +1,30 @@
+The serving tier over a unix socket: start, wait for the readiness line
+(never a sleep), answer a solve request and a statsz introspection
+request, then drain cleanly on SIGTERM.
+
+  $ storesched_serve --unix=s.sock --router='graham:lpt;graham:input' --threads=2 > serve.log 2>&1 & echo $! > serve.pid
+  $ for i in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done; grep listening serve.log
+  \[storesched_serve\] listening on unix:s\.sock \(workers=2\) (re)
+
+One request line, one response line, matched by the echoed id. The
+response carries the admission decision, the spec that served it, and
+the solve objectives.
+
+  $ printf '%s\n' '{"id":"a","instance":{"m":2,"tasks":[[3,1],[2,2],[5,4]]}}' | storesched_client --unix=s.sock --window=1
+  \{"id":"a","ok":true,"admission":"ok","spec":"graham:lpt","rung":0,"queue_ms":[0-9.]+,"solve_ms":[0-9.]+,"feasible":true,"cmax":5,"mmax":4,.*\} (re)
+
+In-band introspection: a statsz request answers one JSON snapshot.
+
+  $ printf '%s\n' '{"statsz":true}' | storesched_client --unix=s.sock --window=1
+  \{"ok":true,"statsz":\{"draining":false,"workers":2,"queue_depth":[0-9]+,.*"requests":1,"responses":1,.*"rungs":\[\{"rung":0,"spec":"graham:lpt",.*\}\]\}\} (re)
+
+SIGTERM drains: everything admitted is answered, then the process exits
+and reports its counters.
+
+  $ kill -TERM $(cat serve.pid); for i in $(seq 1 100); do grep -q drained serve.log && break; sleep 0.1; done; grep drained serve.log
+  [storesched_serve] drained: requests=1 responses=2 rejected=0 deadline_expired=0
+
+A drained server leaves no socket behind.
+
+  $ test -e s.sock || echo gone
+  gone

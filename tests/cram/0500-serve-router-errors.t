@@ -1,0 +1,34 @@
+Protocol-error and admission behaviour: malformed requests get error
+responses (never a dropped connection), unknown specs are reported, the
+line limit is enforced, and the SLO admission field reflects the
+deadline headroom.
+
+  $ storesched_serve --unix=s.sock --router='graham:lpt' --max-line=256 > serve.log 2>&1 & echo $! > serve.pid
+  $ for i in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done; grep -c listening serve.log
+  1
+
+Not JSON at all: a parse-error response.
+
+  $ printf '%s\n' 'not json' | storesched_client --unix=s.sock --window=1
+  {"ok":false,"error":"serve request: expected '{' (at byte 0)"}
+
+A spec the router cannot build: the error names the unknown family.
+
+  $ printf '%s\n' '{"id":"x","spec":"nope:nope","instance":{"m":1,"tasks":[[1,1]]}}' | storesched_client --unix=s.sock --window=1
+  \{"id":"x","ok":false,"error":"make_solver: unknown solver family \\"nope\\"",.*\} (re)
+
+A request line over --max-line is rejected with the limit echoed back.
+
+  $ awk 'BEGIN { s = "{\"id\":\"big\",\"pad\":\""; while (length(s) < 300) s = s "x"; print s "\"}" }' | storesched_client --unix=s.sock --window=1
+  {"ok":false,"error":"request line exceeds 256 bytes"}
+
+A generous SLO admits cleanly; an impossible one is still served but
+flagged over_slo so the client knows the deadline had no headroom.
+
+  $ printf '%s\n' '{"id":"ok","slo_ms":1000,"instance":{"m":2,"tasks":[[3,1],[2,2]]}}' | storesched_client --unix=s.sock --window=1
+  \{"id":"ok","ok":true,"admission":"ok",.*\} (re)
+  $ printf '%s\n' '{"id":"no","slo_ms":0.0001,"instance":{"m":2,"tasks":[[3,1],[2,2]]}}' | storesched_client --unix=s.sock --window=1
+  \{"id":"no","ok":true,"admission":"over_slo",.*\} (re)
+
+  $ kill -TERM $(cat serve.pid); for i in $(seq 1 100); do grep -q drained serve.log && break; sleep 0.1; done; grep -c drained serve.log
+  1

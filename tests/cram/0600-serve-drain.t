@@ -1,0 +1,15 @@
+Graceful drain under load: with every solve slowed by a failpoint, a
+SIGTERM that lands while requests are still queued must not lose any of
+them -- each admitted request is answered before the process exits.
+
+  $ for i in 1 2 3 4 5 6; do printf '{"id":"r%s","spec":"graham:lpt","instance":{"m":2,"tasks":[[3,1],[2,2],[5,4]]}}\n' "$i"; done > reqs.jsonl
+  $ STORESCHED_FAILPOINTS='serve.solve=delay(50)' storesched_serve --unix=s.sock --router='graham:lpt' --threads=1 > serve.log 2>&1 & echo $! > serve.pid
+  $ for i in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done; grep -c listening serve.log
+  1
+  $ storesched_client --unix=s.sock --window=8 < reqs.jsonl > resp.jsonl 2>&1 & echo $! > client.pid
+  $ sleep 0.3; kill -TERM $(cat serve.pid); for i in $(seq 1 100); do [ "$(wc -l < resp.jsonl)" -eq 6 ] && grep -q drained serve.log && break; sleep 0.1; done; wc -l < resp.jsonl
+  6
+  $ grep -c '"ok":true' resp.jsonl
+  6
+  $ grep drained serve.log
+  [storesched_serve] drained: requests=6 responses=6 rejected=0 deadline_expired=0

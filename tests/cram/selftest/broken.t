@@ -1,0 +1,6 @@
+This transcript is deliberately wrong. It exists so CI can prove the
+cram runner actually compares output: running this file must FAIL. If
+it ever passes, the harness has stopped checking anything.
+
+  $ echo hello
+  goodbye

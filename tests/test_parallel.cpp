@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -111,6 +113,93 @@ TEST(RunWorkerCrew, SingleWorkerRunsInline) {
     body_thread = std::this_thread::get_id();
   });
   EXPECT_EQ(body_thread, caller);
+}
+
+// --- the persistent crew behind the serving tier ------------------------
+
+TEST(WorkerCrew, ReusesThreadsAcrossSubmits) {
+  // The whole point of the persistent variant: a service submitting one
+  // job per request must not pay a thread spawn per request. Pinned by
+  // observing that hundreds of jobs run on at most workers() distinct
+  // threads.
+  WorkerCrew crew(2);
+  ASSERT_EQ(crew.workers(), 2u);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  for (int round = 0; round < 10; ++round) {
+    for (int j = 0; j < 50; ++j) {
+      crew.submit([&] {
+        const std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      });
+    }
+    crew.drain();
+  }
+  EXPECT_LE(seen.size(), 2u);
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(WorkerCrew, SubmitNeverRunsOnTheCallerThread) {
+  // Even a one-worker crew must hand jobs to a real worker: the serving
+  // tier's event loop submits from its socket thread and relies on
+  // submit() returning immediately.
+  WorkerCrew crew(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  crew.submit([&] { body_thread = std::this_thread::get_id(); });
+  crew.drain();
+  EXPECT_NE(body_thread, caller);
+}
+
+TEST(WorkerCrew, DrainWaitsForEveryJob) {
+  WorkerCrew crew(3);
+  std::atomic<int> done{0};
+  for (int j = 0; j < 200; ++j) {
+    crew.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  crew.drain();
+  EXPECT_EQ(done.load(), 200);
+  EXPECT_EQ(crew.pending(), 0u);
+}
+
+TEST(WorkerCrew, PoisonedJobSurfacesOnDrainAndCrewKeepsServing) {
+  // One throwing job must not kill the crew (a service keeps serving after
+  // a bad request): drain() rethrows the first captured exception exactly
+  // once, and the crew accepts and runs new work afterwards.
+  WorkerCrew crew(2);
+  std::atomic<int> ran{0};
+  crew.submit([] { throw std::runtime_error("poisoned job"); });
+  crew.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  try {
+    crew.drain();
+    FAIL() << "expected the poisoned job to rethrow on drain";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "poisoned job");
+  }
+  crew.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  crew.drain();  // the error slot was cleared by the first drain
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(WorkerCrew, SubmitAfterShutdownThrows) {
+  WorkerCrew crew(1);
+  std::atomic<int> done{0};
+  crew.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  crew.shutdown();
+  EXPECT_EQ(done.load(), 1);  // queued work finishes before the join
+  EXPECT_THROW(crew.submit([] {}), std::logic_error);
+  crew.shutdown();  // idempotent
+}
+
+TEST(WorkerCrew, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    WorkerCrew crew(2);
+    for (int j = 0; j < 64; ++j) {
+      crew.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 64);
 }
 
 }  // namespace

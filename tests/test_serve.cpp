@@ -1,0 +1,782 @@
+// Tests for the serving tier (src/serve/): the SLO router's selection
+// rules against a deterministic injected cost table, the JSONL line
+// framer's oversized/partial handling, the request wire grammar, and the
+// server itself over real unix-domain sockets -- admission, windows,
+// deadlines, cancel, drain, and fault injection via the serve.* failpoint
+// sites.
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+
+namespace storesched {
+namespace {
+
+// ---------------------------------------------------------------- router
+
+void seed(Router& router, const std::vector<double>& costs, double overall) {
+  for (std::size_t r = 0; r < costs.size(); ++r) router.seed_cost(r, costs[r]);
+  router.seed_overall(overall);
+}
+
+TEST(ServeRouter, PicksCheapestRungMeetingSlo) {
+  // Costs 100 / 10 / 1 ms; with a 50 ms SLO and the whole ladder
+  // preferred, two rungs qualify and the cheapest (rung 2) wins.
+  Router router({"a", "b", "c"});
+  seed(router, {100, 10, 1}, 0.0);
+  const RouteDecision d =
+      router.route(/*slo_ms=*/50, /*quality=*/2, /*queue_depth=*/0, 1);
+  EXPECT_EQ(d.rung, 2u);
+  EXPECT_EQ(d.spec, "c");
+  EXPECT_TRUE(d.met_slo);
+  EXPECT_FALSE(d.degraded);
+}
+
+TEST(ServeRouter, TiesBreakTowardBetterQuality) {
+  Router router({"a", "b", "c"});
+  seed(router, {5, 5, 5}, 0.0);
+  const RouteDecision d = router.route(10, 2, 0, 1);
+  EXPECT_EQ(d.rung, 0u);
+  EXPECT_TRUE(d.met_slo);
+}
+
+TEST(ServeRouter, DegradesPastPreferredQualityWhenItMustAndFlagsIt) {
+  // Only the best rung is preferred (quality = 0) but it cannot meet the
+  // SLO; the router degrades to rung 1 and says so.
+  Router router({"a", "b"});
+  seed(router, {100, 1}, 0.0);
+  const RouteDecision d = router.route(50, /*quality=*/0, 0, 1);
+  EXPECT_EQ(d.rung, 1u);
+  EXPECT_TRUE(d.met_slo);
+  EXPECT_TRUE(d.degraded);
+}
+
+TEST(ServeRouter, QueueDelayTermDrivesDegradation) {
+  // Rung 0 alone meets the SLO at an empty queue; five queued requests
+  // draining at 10 ms each through one worker add 50 ms of predicted
+  // wait, pushing the route down the ladder.
+  Router router({"a", "b"});
+  seed(router, {10, 1}, 10.0);
+  const RouteDecision empty_queue = router.route(55, 0, /*queue_depth=*/0, 1);
+  EXPECT_EQ(empty_queue.rung, 0u);
+  EXPECT_DOUBLE_EQ(empty_queue.queue_delay_ms, 0.0);
+
+  const RouteDecision busy = router.route(55, 0, /*queue_depth=*/5, 1);
+  EXPECT_EQ(busy.rung, 1u);
+  EXPECT_TRUE(busy.degraded);
+  EXPECT_DOUBLE_EQ(busy.queue_delay_ms, 50.0);
+
+  // More workers drain the same queue faster: the delay term shrinks and
+  // the preferred rung fits again.
+  const RouteDecision wide = router.route(55, 0, /*queue_depth=*/5, 5);
+  EXPECT_EQ(wide.rung, 0u);
+  EXPECT_DOUBLE_EQ(wide.queue_delay_ms, 10.0);
+}
+
+TEST(ServeRouter, NothingMeetsSloServesCheapestAnchorFlaggedOverSlo) {
+  Router router({"a", "b", "c"});
+  seed(router, {100, 40, 60}, 0.0);
+  const RouteDecision d = router.route(/*slo_ms=*/10, 2, 0, 1);
+  EXPECT_EQ(d.rung, 1u);  // cheapest of the whole ladder
+  EXPECT_FALSE(d.met_slo);
+}
+
+TEST(ServeRouter, NoSloServesThePreferredRungDirectly) {
+  Router router({"a", "b", "c"});
+  seed(router, {100, 10, 1}, 0.0);
+  const RouteDecision d = router.route(std::nullopt, /*quality=*/1, 99, 1);
+  EXPECT_EQ(d.rung, 1u);
+  EXPECT_TRUE(d.met_slo);
+  EXPECT_FALSE(d.degraded);
+}
+
+TEST(ServeRouter, QualityClampsToTheLadder) {
+  Router router({"a", "b"});
+  seed(router, {5, 5}, 0.0);
+  EXPECT_EQ(router.route(std::nullopt, /*quality=*/99, 0, 1).rung, 1u);
+}
+
+TEST(ServeRouter, ObserveIsAnEwma) {
+  Router router({"a"}, RouterOptions{.ewma_alpha = 0.2, .initial_cost_ms = 1});
+  EXPECT_DOUBLE_EQ(router.snapshot()[0].ewma_ms, 1.0);  // prior
+  router.observe(0, 10);  // first sample replaces the prior outright
+  EXPECT_DOUBLE_EQ(router.snapshot()[0].ewma_ms, 10.0);
+  router.observe(0, 20);
+  EXPECT_DOUBLE_EQ(router.snapshot()[0].ewma_ms, 0.2 * 20 + 0.8 * 10);
+  EXPECT_EQ(router.snapshot()[0].served, 2u);
+}
+
+TEST(ServeRouter, RejectsBadConfig) {
+  EXPECT_THROW(Router({}), std::invalid_argument);
+  EXPECT_THROW(Router({"a"}, RouterOptions{.ewma_alpha = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Router({"a"}, RouterOptions{.ewma_alpha = 1.5}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- framer
+
+TEST(ServeFramer, SplitsPipelinedLinesAndKeepsThePartialTail) {
+  LineFramer framer(64);
+  const std::string bytes = "one\ntwo\r\nthr";
+  framer.feed(bytes.data(), bytes.size());
+  auto line = framer.next();
+  ASSERT_TRUE(line);
+  EXPECT_EQ(line->text, "one");
+  line = framer.next();
+  ASSERT_TRUE(line);
+  EXPECT_EQ(line->text, "two");  // CR before LF is stripped
+  EXPECT_FALSE(framer.next());
+  EXPECT_EQ(framer.partial(), 3u);  // "thr" stays buffered, never delivered
+  framer.feed("ee\n", 3);
+  line = framer.next();
+  ASSERT_TRUE(line);
+  EXPECT_EQ(line->text, "three");
+}
+
+TEST(ServeFramer, ByteAtATimeFeedingChangesNothing) {
+  LineFramer framer(64);
+  const std::string bytes = "hello\nworld\n";
+  for (const char c : bytes) framer.feed(&c, 1);
+  EXPECT_EQ(framer.next()->text, "hello");
+  EXPECT_EQ(framer.next()->text, "world");
+  EXPECT_FALSE(framer.next());
+}
+
+TEST(ServeFramer, OversizedLineYieldsOneMarkerAndTheFramerRecovers) {
+  LineFramer framer(8);
+  const std::string bytes = "0123456789abcdef";  // 16 > 8, no newline yet
+  framer.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(framer.next());  // still waiting for the terminator
+  EXPECT_TRUE(framer.discarding());
+  EXPECT_EQ(framer.partial(), 0u);  // discarded bytes are not buffered
+  framer.feed("XX\nok\n", 6);
+  auto line = framer.next();
+  ASSERT_TRUE(line);
+  EXPECT_TRUE(line->oversized);
+  line = framer.next();
+  ASSERT_TRUE(line);
+  EXPECT_FALSE(line->oversized);
+  EXPECT_EQ(line->text, "ok");
+}
+
+TEST(ServeFramer, MarkersInterleaveInArrivalOrder) {
+  LineFramer framer(4);
+  const std::string bytes = "ab\ntoolongline\ncd\n";
+  framer.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(framer.next()->text, "ab");
+  EXPECT_TRUE(framer.next()->oversized);
+  EXPECT_EQ(framer.next()->text, "cd");
+}
+
+// -------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, RequestRoundTripsAsAFixpoint) {
+  ServeRequest req;
+  req.id = "r-1";
+  req.instance = std::make_shared<Instance>(
+      std::vector<Task>{{3, 1}, {2, 2}}, 2);
+  req.slo_ms = 2.5;
+  req.deadline_ms = 100;
+  req.priority = ServePriority::kHigh;
+  req.quality = 1;
+  const std::string wire = serve_request_to_jsonl(req);
+  const ServeRequest back = serve_request_from_jsonl(wire);
+  EXPECT_EQ(back.id, "r-1");
+  ASSERT_TRUE(back.is_solve());
+  EXPECT_EQ(back.instance->n(), 2u);
+  EXPECT_EQ(back.priority, ServePriority::kHigh);
+  EXPECT_EQ(back.quality, 1u);
+  ASSERT_TRUE(back.slo_ms);
+  EXPECT_DOUBLE_EQ(*back.slo_ms, 2.5);
+  EXPECT_EQ(serve_request_to_jsonl(back), wire);
+}
+
+TEST(ServeProtocol, ControlRequestsRoundTrip) {
+  EXPECT_TRUE(serve_request_from_jsonl(R"({"statsz":true})").statsz);
+  const ServeRequest cancel =
+      serve_request_from_jsonl(R"({"id":"c","cancel":"r9"})");
+  EXPECT_EQ(cancel.cancel_id, "r9");
+  EXPECT_EQ(cancel.id, "c");
+  EXPECT_FALSE(cancel.is_solve());
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  const auto reject = [](const std::string& line) {
+    EXPECT_THROW(serve_request_from_jsonl(line), std::runtime_error) << line;
+  };
+  reject("");
+  reject("not json");
+  reject(R"({"instance":{"m":1,"tasks":[[1,1]]}} trailing)");
+  reject(R"({"bogus":1})");
+  reject(R"({"id":"a","id":"b","instance":{"m":1,"tasks":[[1,1]]}})");
+  reject(R"({"id":"a"})");                      // solve without an instance
+  reject(R"({"statsz":true,"spec":"graham:lpt"})");  // statsz + solve field
+  reject(R"({"cancel":"x","slo_ms":5})");            // cancel + solve field
+  reject(R"({"slo_ms":-1,"instance":{"m":1,"tasks":[[1,1]]}})");
+  reject(R"({"priority":"urgent","instance":{"m":1,"tasks":[[1,1]]}})");
+  reject(R"({"slo_ms":01,"instance":{"m":1,"tasks":[[1,1]]}})");
+}
+
+TEST(ServeProtocol, ResponseLinesCarryRoutingAndResultFields) {
+  SolveResult result;
+  result.feasible = true;
+  result.objectives = {7, 4};
+  ServeResponse response;
+  response.id = "r-1";
+  response.admission = ServeAdmission::kDegraded;
+  response.spec = "graham:lpt";
+  response.rung = 1;
+  response.queue_ms = 0.25;
+  response.solve_ms = 1.5;
+  response.result = &result;
+  const std::string line = serve_response_to_jsonl(response);
+  EXPECT_NE(line.find(R"("id":"r-1")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("admission":"degraded")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("rung":1)"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("feasible":true)"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("cmax":7)"), std::string::npos) << line;
+
+  ServeResponse error;
+  error.ok = false;
+  error.error = "bad \"stuff\"";
+  const std::string error_line = serve_response_to_jsonl(error);
+  EXPECT_NE(error_line.find(R"("ok":false)"), std::string::npos) << error_line;
+  EXPECT_NE(error_line.find(R"(bad \"stuff\")"), std::string::npos)
+      << error_line;
+}
+
+// ---------------------------------------------------------------- server
+
+/// Minimal blocking JSONL client for the integration tests.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& unix_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, unix_path.c_str(), unix_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ADD_FAILURE() << "connect(" << unix_path << "): " << std::strerror(errno);
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size() && fd_ >= 0) {
+      const auto n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ADD_FAILURE() << "send: " << std::strerror(errno);
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  /// The next response line, or nullopt on EOF / timeout.
+  std::optional<std::string> read_line(int timeout_ms = 10000) {
+    for (;;) {
+      const std::size_t nl = inbox_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = inbox_.substr(0, nl);
+        inbox_.erase(0, nl + 1);
+        return line;
+      }
+      pollfd p{};
+      p.fd = fd_;
+      p.events = POLLIN;
+      const int ready = ::poll(&p, 1, timeout_ms);
+      if (ready <= 0) return std::nullopt;  // timeout
+      char buf[4096];
+      const auto n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) return std::nullopt;  // EOF or reset
+      inbox_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string inbox_;
+};
+
+bool contains(const std::string& line, const std::string& token) {
+  return line.find(token) != std::string::npos;
+}
+
+std::string socket_path(const std::string& name) {
+  return ::testing::TempDir() + "storesched_" + name + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+ServeOptions base_options(const std::string& name) {
+  ServeOptions options;
+  options.unix_path = socket_path(name);
+  options.ladder = {"graham:lpt"};
+  options.threads = 2;
+  return options;
+}
+
+constexpr const char* kInstance = R"({"m":2,"tasks":[[3,1],[2,2],[5,4]]})";
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::clear_all(); }
+};
+
+TEST_F(ServeServerTest, RoundTripMatchesInProcessSolve) {
+  ServeOptions options = base_options("roundtrip");
+  options.ladder = {"sbo:lpt,delta=3/2"};
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  client.send_line(std::string(R"({"id":"q","instance":)") + kInstance + "}");
+  const auto line = client.read_line();
+  ASSERT_TRUE(line);
+  EXPECT_TRUE(contains(*line, R"("id":"q")")) << *line;
+  EXPECT_TRUE(contains(*line, R"("ok":true)")) << *line;
+  EXPECT_TRUE(contains(*line, R"("admission":"ok")")) << *line;
+
+  // The served objectives are exactly the in-process solver's.
+  const Instance inst(std::vector<Task>{{3, 1}, {2, 2}, {5, 4}}, 2);
+  const SolveResult expected = make_solver("sbo:lpt,delta=3/2")->solve(inst);
+  ASSERT_TRUE(expected.feasible);
+  EXPECT_TRUE(contains(
+      *line, "\"cmax\":" + std::to_string(expected.objectives.cmax)))
+      << *line;
+  EXPECT_TRUE(contains(
+      *line, "\"mmax\":" + std::to_string(expected.objectives.mmax)))
+      << *line;
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, PipelinedRequestsEachGetTheirResponse) {
+  ServeOptions options = base_options("pipeline");
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  std::string burst;
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += std::string(R"({"id":")") + std::to_string(i) +
+             R"(","instance":)" + kInstance + "}\n";
+  }
+  client.send_raw(burst);  // one write, many requests
+  std::vector<bool> seen(kRequests, false);
+  for (int i = 0; i < kRequests; ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line) << "response " << i << " missing";
+    const std::size_t at = line->find(R"("id":")");
+    ASSERT_NE(at, std::string::npos) << *line;
+    const std::size_t end = line->find('"', at + 6);
+    const int id = std::stoi(line->substr(at + 6, end - (at + 6)));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(id)]) << "duplicate " << id;
+    seen[static_cast<std::size_t>(id)] = true;
+    EXPECT_TRUE(contains(*line, R"("ok":true)")) << *line;
+  }
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, DeadlineExpiredInQueueAnswersInfeasibleNotADrop) {
+  ServeOptions options = base_options("deadline");
+  options.threads = 1;
+  ServeServer server(options);
+  server.start();
+  // The worker stalls 50 ms per request, so the second request's 1 ms
+  // budget is guaranteed to expire while it waits in the queue.
+  failpoint::set("serve.solve", "delay(50)");
+
+  TestClient client(options.unix_path);
+  client.send_line(std::string(R"({"id":"slow","instance":)") + kInstance +
+                   "}");
+  client.send_line(std::string(R"({"id":"late","deadline_ms":1,"instance":)") +
+                   kInstance + "}");
+  std::optional<std::string> late;
+  for (int i = 0; i < 2; ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line);
+    if (contains(*line, R"("id":"late")")) late = *line;
+  }
+  ASSERT_TRUE(late) << "the expired request must still be answered";
+  EXPECT_TRUE(contains(*late, R"("ok":true)")) << *late;
+  EXPECT_TRUE(contains(*late, R"("feasible":false)")) << *late;
+  EXPECT_TRUE(contains(*late, "deadline expired in queue")) << *late;
+
+  // The connection survived: a fresh request on it still answers.
+  failpoint::clear_all();
+  client.send_line(std::string(R"({"id":"after","instance":)") + kInstance +
+                   "}");
+  const auto after = client.read_line();
+  ASSERT_TRUE(after);
+  EXPECT_TRUE(contains(*after, R"("feasible":true)")) << *after;
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.deadline_expired, 1u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, PerConnectionWindowIsEnforced) {
+  ServeOptions options = base_options("window");
+  options.threads = 1;
+  options.conn_window = 2;
+  ServeServer server(options);
+  server.start();
+  failpoint::set("serve.solve", "delay(10)");
+
+  TestClient client(options.unix_path);
+  std::string burst;
+  constexpr int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += std::string(R"({"instance":)") + kInstance + "}\n";
+  }
+  client.send_raw(burst);
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.read_line()) << "response " << i;
+  }
+  // Every request was answered, but never more than conn_window were in
+  // flight at once -- the rest waited in the socket, not the queue.
+  const ServeCounters counters = server.counters();
+  EXPECT_LE(counters.conn_window_peak, 2u);
+  EXPECT_EQ(counters.requests, static_cast<std::uint64_t>(kRequests));
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, QueueBoundRejectsInsteadOfGrowingWithoutLimit) {
+  ServeOptions options = base_options("queuefull");
+  options.threads = 1;
+  options.max_queue = 1;
+  options.conn_window = 16;
+  ServeServer server(options);
+  server.start();
+  failpoint::set("serve.solve", "delay(60)");
+
+  TestClient client(options.unix_path);
+  std::string burst;
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += std::string(R"({"instance":)") + kInstance + "}\n";
+  }
+  client.send_raw(burst);
+  int rejected = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line) << "response " << i;
+    if (contains(*line, R"("admission":"rejected")")) {
+      ++rejected;
+      EXPECT_TRUE(contains(*line, "queue full")) << *line;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(server.counters().rejected, static_cast<std::uint64_t>(rejected));
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, OversizedLineAnswersAnErrorAndTheConnectionSurvives) {
+  ServeOptions options = base_options("oversized");
+  options.max_line = 256;
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  client.send_line(std::string(1000, 'x'));
+  const auto error = client.read_line();
+  ASSERT_TRUE(error);
+  EXPECT_TRUE(contains(*error, R"("ok":false)")) << *error;
+  EXPECT_TRUE(contains(*error, "exceeds")) << *error;
+
+  client.send_line(std::string(R"({"instance":)") + kInstance + "}");
+  const auto ok = client.read_line();
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(contains(*ok, R"("feasible":true)")) << *ok;
+  EXPECT_EQ(server.counters().oversized_lines, 1u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, MidLineDisconnectLeavesTheServerServing) {
+  ServeOptions options = base_options("midline");
+  ServeServer server(options);
+  server.start();
+  {
+    TestClient rude(options.unix_path);
+    rude.send_raw(R"({"instance":{"m":2,"tasks":[[3,)");  // no newline
+    rude.close();  // mid-line disconnect
+  }
+  // The fragment is dropped (it was never a complete request) and the
+  // server keeps serving other clients.
+  TestClient polite(options.unix_path);
+  polite.send_line(std::string(R"({"instance":)") + kInstance + "}");
+  const auto line = polite.read_line();
+  ASSERT_TRUE(line);
+  EXPECT_TRUE(contains(*line, R"("feasible":true)")) << *line;
+  EXPECT_EQ(server.counters().parse_errors, 0u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, StatszReportsQueueAdmissionsAndRungs) {
+  ServeOptions options = base_options("statsz");
+  options.ladder = {"rls:bottom,delta=3", "graham:lpt"};
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  client.send_line(std::string(R"({"instance":)") + kInstance + "}");
+  ASSERT_TRUE(client.read_line());
+  client.send_line(R"({"id":"s","statsz":true})");
+  const auto stats = client.read_line();
+  ASSERT_TRUE(stats);
+  EXPECT_TRUE(contains(*stats, R"("id":"s")")) << *stats;
+  EXPECT_TRUE(contains(*stats, "\"queue_depth\":")) << *stats;
+  EXPECT_TRUE(contains(*stats, R"("spec":"rls:bottom,delta=3")")) << *stats;
+  EXPECT_TRUE(contains(*stats, R"("spec":"graham:lpt")")) << *stats;
+  EXPECT_TRUE(contains(*stats, "\"admissions\":{\"ok\":1")) << *stats;
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, CancelTripsAQueuedRequest) {
+  ServeOptions options = base_options("cancel");
+  options.threads = 1;
+  ServeServer server(options);
+  server.start();
+  failpoint::set("serve.solve", "delay(40)");
+
+  TestClient client(options.unix_path);
+  client.send_line(std::string(R"({"id":"slow","instance":)") + kInstance +
+                   "}");
+  client.send_line(std::string(R"({"id":"victim","instance":)") + kInstance +
+                   "}");
+  client.send_line(R"({"cancel":"victim"})");
+
+  bool acked = false;
+  bool victim_infeasible = false;
+  for (int i = 0; i < 3; ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line);
+    if (contains(*line, R"("cancelled":"victim")")) acked = true;
+    if (contains(*line, R"("id":"victim")") &&
+        contains(*line, R"("feasible":false)")) {
+      victim_infeasible = true;
+    }
+  }
+  EXPECT_TRUE(acked);
+  EXPECT_TRUE(victim_infeasible)
+      << "a cancelled queued request answers infeasible, not silence";
+  EXPECT_EQ(server.counters().cancelled, 1u);
+
+  client.send_line(R"({"cancel":"victim"})");  // already answered by now
+  const auto stale = client.read_line();
+  ASSERT_TRUE(stale);
+  EXPECT_TRUE(contains(*stale, R"("ok":false)")) << *stale;
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, RouterDegradesOverTheLadderUnderASeededCostTable) {
+  ServeOptions options = base_options("routerladder");
+  options.ladder = {"sbo:lpt,delta=3/2", "graham:lpt"};
+  ServeServer server(options);
+  // Pin the cost table before any traffic: the best rung "costs" 100 ms,
+  // the anchor 0.01 ms, and the queue-delay term is negligible.
+  server.router().seed_cost(0, 100.0);
+  server.router().seed_cost(1, 0.01);
+  server.router().seed_overall(0.01);
+  server.start();
+
+  TestClient client(options.unix_path);
+  // Generous SLO: the preferred (best) rung fits.
+  client.send_line(std::string(R"({"id":"a","slo_ms":500,"instance":)") +
+                   kInstance + "}");
+  const auto best = client.read_line();
+  ASSERT_TRUE(best);
+  EXPECT_TRUE(contains(*best, R"("admission":"ok")")) << *best;
+  EXPECT_TRUE(contains(*best, R"("spec":"sbo:lpt,delta=3/2")")) << *best;
+
+  // Tight SLO: the router degrades past the preferred rung and flags it.
+  client.send_line(std::string(R"({"id":"b","slo_ms":5,"instance":)") +
+                   kInstance + "}");
+  const auto degraded = client.read_line();
+  ASSERT_TRUE(degraded);
+  EXPECT_TRUE(contains(*degraded, R"("admission":"degraded")")) << *degraded;
+  EXPECT_TRUE(contains(*degraded, R"("spec":"graham:lpt")")) << *degraded;
+  EXPECT_TRUE(contains(*degraded, R"("rung":1)")) << *degraded;
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, ExplicitSpecBypassesTheRouter) {
+  ServeOptions options = base_options("explicitspec");
+  ServeServer server(options);
+  server.start();
+  TestClient client(options.unix_path);
+  client.send_line(std::string(R"({"spec":"rls:bottom,delta=3","instance":)") +
+                   kInstance + "}");
+  const auto line = client.read_line();
+  ASSERT_TRUE(line);
+  EXPECT_TRUE(contains(*line, R"("spec":"rls:bottom,delta=3")")) << *line;
+  EXPECT_FALSE(contains(*line, "\"rung\":")) << *line;
+
+  // An unknown explicit spec answers ok:false on that request only.
+  client.send_line(std::string(R"({"spec":"nope:bogus","instance":)") +
+                   kInstance + "}");
+  const auto bad = client.read_line();
+  ASSERT_TRUE(bad);
+  EXPECT_TRUE(contains(*bad, R"("ok":false)")) << *bad;
+  EXPECT_EQ(server.counters().solve_errors, 1u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, DrainAnswersEverythingAdmittedThenCloses) {
+  ServeOptions options = base_options("drain");
+  options.threads = 1;
+  ServeServer server(options);
+  server.start();
+  failpoint::set("serve.solve", "delay(15)");
+
+  TestClient client(options.unix_path);
+  constexpr int kRequests = 5;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += std::string(R"({"id":")") + std::to_string(i) +
+             R"(","instance":)" + kInstance + "}\n";
+  }
+  client.send_raw(burst);
+  // Give the loop a moment to admit the burst, then drain concurrently.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread drainer([&server] { server.shutdown(); });
+  int answered = 0;
+  while (const auto line = client.read_line()) {
+    if (contains(*line, "\"id\":\"")) ++answered;
+  }
+  drainer.join();
+  // Every admitted request was answered before the server closed the
+  // connection (read_line sees EOF only after the last response).
+  EXPECT_EQ(answered, kRequests);
+  server.shutdown();  // idempotent
+}
+
+TEST_F(ServeServerTest, StaleUnixSocketFileIsReclaimed) {
+  const std::string path = socket_path("stale");
+  {
+    // Leave a bound-but-dead socket file behind, as a crashed server would.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+        << std::strerror(errno);
+    ::close(fd);  // the file stays on disk
+  }
+  ServeOptions options = base_options("stale");
+  options.unix_path = path;
+  ServeServer server(options);
+  server.start();  // must reclaim, not EADDRINUSE
+  TestClient client(path);
+  client.send_line(std::string(R"({"instance":)") + kInstance + "}");
+  EXPECT_TRUE(client.read_line());
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, ConcurrentClientsSurviveInjectedFaults) {
+  ServeOptions options = base_options("chaos");
+  options.threads = 2;
+  ServeServer server(options);
+  server.start();
+  // Chaos: some accept rounds fail (the connection is retried by the
+  // level-triggered poller), and some request lines answer an injected
+  // error -- but every request line still gets exactly one response.
+  failpoint::set("serve.accept", "prob(0.3,7):throw(accept blip)");
+  failpoint::set("serve.request", "prob(0.15,11):throw(request blip)");
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::atomic<int> answered{0};
+  std::atomic<int> solved{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&options, &answered, &solved] {
+      TestClient client(options.unix_path);
+      for (int i = 0; i < kPerClient; ++i) {
+        client.send_line(std::string(R"({"instance":)") + kInstance + "}");
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto line = client.read_line();
+        if (!line) break;
+        answered.fetch_add(1, std::memory_order_relaxed);
+        if (contains(*line, R"("feasible":true)")) {
+          solved.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_TRUE(contains(*line, "injected fault")) << *line;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  EXPECT_GT(solved.load(), 0);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, TcpListenerRoundTripsOnAnEphemeralPort) {
+  ServeOptions options;
+  options.tcp_port = 0;  // ephemeral
+  options.ladder = {"graham:lpt"};
+  options.threads = 1;
+  ServeServer server(options);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  // TestClient is unix-only; a raw TCP socket keeps this test honest.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.tcp_port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  const std::string request =
+      std::string(R"({"id":"t","instance":)") + kInstance + "}\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string inbox;
+  char buf[4096];
+  while (inbox.find('\n') == std::string::npos) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    inbox.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_TRUE(contains(inbox, R"("id":"t")")) << inbox;
+  EXPECT_TRUE(contains(inbox, R"("feasible":true)")) << inbox;
+  ::close(fd);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace storesched

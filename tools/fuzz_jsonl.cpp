@@ -9,6 +9,8 @@
 //     to an equal instance and is a serialization fixpoint.
 //   * Small accepted instances also solve + serialize through
 //     result_to_jsonl() without throwing (the full service line path).
+//   * serve_request_from_jsonl() (serve/protocol.hpp, the storesched_serve
+//     request line) holds the same reject-or-fixpoint contract.
 //
 // Two build modes (CMakeLists.txt):
 //   * libFuzzer (-DSTORESCHED_LIBFUZZER=ON, Clang): the CI fuzz job runs a
@@ -28,6 +30,7 @@
 #include "common/schedule.hpp"
 #include "core/solver.hpp"
 #include "core/stream.hpp"
+#include "serve/protocol.hpp"
 
 namespace {
 
@@ -83,6 +86,36 @@ void fuzz_one(const std::uint8_t* data, std::size_t size) {
     // rejection is the expected outcome for malformed bytes
   } catch (const std::exception& e) {
     die("error-record parse (only std::runtime_error is allowed)", e);
+  }
+
+  // The serving tier's request wire (serve/protocol.hpp) -- the surface
+  // storesched_serve exposes to raw sockets -- holds the same contract:
+  // std::runtime_error on rejection, canonical fixpoint on acceptance.
+  try {
+    const storesched::ServeRequest request =
+        storesched::serve_request_from_jsonl(line);
+    const std::string wire = storesched::serve_request_to_jsonl(request);
+    const storesched::ServeRequest back =
+        storesched::serve_request_from_jsonl(wire);
+    const bool equal =
+        back.id == request.id && back.spec == request.spec &&
+        back.slo_ms == request.slo_ms &&
+        back.deadline_ms == request.deadline_ms &&
+        back.priority == request.priority && back.quality == request.quality &&
+        back.statsz == request.statsz && back.cancel_id == request.cancel_id &&
+        back.is_solve() == request.is_solve() &&
+        (!request.is_solve() ||
+         instances_equal(*back.instance, *request.instance));
+    if (!equal || storesched::serve_request_to_jsonl(back) != wire) {
+      std::fprintf(stderr,
+                   "fuzz_jsonl: serve-request round-trip mismatch for %s\n",
+                   wire.c_str());
+      std::abort();
+    }
+  } catch (const std::runtime_error&) {
+    // rejection is the expected outcome for malformed bytes
+  } catch (const std::exception& e) {
+    die("serve-request parse (only std::runtime_error is allowed)", e);
   }
 
   Instance inst;
