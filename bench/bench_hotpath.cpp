@@ -70,47 +70,6 @@ Instance uniform_instance(std::size_t n, int m, std::uint64_t seed) {
   return generate_uniform(gp, rng);
 }
 
-/// Loads a committed BENCH_hotpath.json whole. The format is the library's
-/// own flat BenchReport output (one record object per line), so string
-/// scans below are enough -- no JSON parser dependency.
-std::string read_baseline(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read baseline " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// The text of the first record named `name` that contains every needle
-/// (needles pin record keys, e.g. "\"n\": 5000,"). Throws when absent.
-std::string baseline_record(const std::string& text, const std::string& name,
-                            const std::vector<std::string>& needles) {
-  std::size_t at = 0;
-  const std::string name_needle = "\"name\": \"" + name + "\"";
-  while ((at = text.find(name_needle, at)) != std::string::npos) {
-    const std::size_t end = text.find('}', at);
-    if (end == std::string::npos) break;
-    const std::string record = text.substr(at, end - at);
-    bool all = true;
-    for (const std::string& needle : needles) {
-      if (record.find(needle) == std::string::npos) all = false;
-    }
-    if (all) return record;
-    at = end;
-  }
-  throw std::runtime_error("baseline has no matching \"" + name + "\" record");
-}
-
-/// One numeric field out of a baseline_record() slice.
-double record_field(const std::string& record, const std::string& field) {
-  const std::string needle = "\"" + field + "\": ";
-  const std::size_t key = record.find(needle);
-  if (key == std::string::npos) {
-    throw std::runtime_error("baseline record has no field " + field);
-  }
-  return std::stod(record.substr(key + needle.size()));
-}
-
 /// Needles pinning the rls_cell record for one (n, m, kind) cell.
 std::vector<std::string> cell_needles(std::size_t n, int m, const char* kind) {
   return {"\"n\": " + std::to_string(n) + ",",
@@ -122,6 +81,9 @@ std::vector<std::string> cell_needles(std::size_t n, int m, const char* kind) {
 
 int main(int argc, char** argv) {
   using bench::banner;
+  using bench::baseline_record;
+  using bench::read_baseline;
+  using bench::record_field;
 
   banner("HOTPATH", "Old-vs-new wall time of the solve hot paths");
   // Argument validation runs before the BenchReport exists: its

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -144,6 +145,49 @@ class BenchReport {
   std::vector<std::pair<std::string, Fields>> records_;
   bool written_ = false;
 };
+
+/// Loads a committed BENCH_*.json baseline whole. The format is the
+/// library's own flat BenchReport output (one record object per line), so
+/// the string scans below are enough -- no JSON parser dependency.
+inline std::string read_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read baseline " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The text of the first record named `name` that contains every needle
+/// (needles pin record keys, e.g. "\"n\": 5000,"). Throws when absent.
+inline std::string baseline_record(const std::string& text,
+                                   const std::string& name,
+                                   const std::vector<std::string>& needles) {
+  std::size_t at = 0;
+  const std::string name_needle = "\"name\": \"" + name + "\"";
+  while ((at = text.find(name_needle, at)) != std::string::npos) {
+    const std::size_t end = text.find('}', at);
+    if (end == std::string::npos) break;
+    const std::string record = text.substr(at, end - at);
+    bool all = true;
+    for (const std::string& needle : needles) {
+      if (record.find(needle) == std::string::npos) all = false;
+    }
+    if (all) return record;
+    at = end;
+  }
+  throw std::runtime_error("baseline has no matching \"" + name + "\" record");
+}
+
+/// One numeric field out of a baseline_record() slice.
+inline double record_field(const std::string& record,
+                           const std::string& field) {
+  const std::string needle = "\"" + field + "\": ";
+  const std::size_t key = record.find(needle);
+  if (key == std::string::npos) {
+    throw std::runtime_error("baseline record has no field " + field);
+  }
+  return std::stod(record.substr(key + needle.size()));
+}
 
 /// Wall-clock time of fn() in milliseconds (single run).
 template <typename Fn>

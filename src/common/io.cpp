@@ -286,8 +286,21 @@ struct JsonCursor {
 
 }  // namespace
 
+bool has_binary_wire_magic(std::string_view bytes) {
+  return bytes.size() >= sizeof(kBinaryWireMagic) &&
+         bytes.compare(0, sizeof(kBinaryWireMagic),
+                       std::string_view(kBinaryWireMagic,
+                                        sizeof(kBinaryWireMagic))) == 0;
+}
+
 Instance instance_from_jsonl(const std::string& line,
                              std::size_t line_number) {
+  if (has_binary_wire_magic(line)) {
+    throw std::runtime_error(
+        "instance_from_jsonl: " + line_prefix(line_number) +
+        "input is the binary wire format (magic \"STSCHDB1\"), not JSONL -- "
+        "use --format=binary (or auto-detection) instead");
+  }
   JsonCursor cur{line, line_number};
   std::optional<int> m;
   std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>> task_pairs;

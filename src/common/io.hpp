@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/instance.hpp"
@@ -50,6 +51,17 @@ Instance from_text(const std::string& text);
 /// Escapes `text` for embedding inside a JSON string literal (the
 /// surrounding quotes are not included).
 std::string json_escape(const std::string& text);
+
+/// First bytes of the binary columnar wire format (docs/WIRE_FORMAT.md,
+/// storage/wire_format.hpp). Defined here -- below the storage layer -- so
+/// the JSONL parsers can *name* the other wire when handed its bytes:
+/// feeding a binary file to a JSONL reader is a format mix-up worth a
+/// precise error, not a cascade of "expected '{'" noise.
+inline constexpr char kBinaryWireMagic[8] = {'S', 'T', 'S', 'C',
+                                             'H', 'D', 'B', '1'};
+
+/// True iff `bytes` begins with the binary wire magic.
+bool has_binary_wire_magic(std::string_view bytes);
 
 /// Serializes an instance as one compact JSON object -- the line format of
 /// the streaming JSONL wire protocol (core/stream.hpp, storesched_cli):

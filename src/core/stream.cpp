@@ -18,6 +18,7 @@
 #include "common/failpoint.hpp"
 #include "common/io.hpp"
 #include "common/parallel.hpp"
+#include "storage/result_cache.hpp"
 
 namespace storesched {
 
@@ -658,6 +659,9 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
   state.errors = stream.errors;
   state.progress = &stream.progress;
   const auto cancelled = [&] { return cancel && cancel->cancelled(); };
+  // The solver spec is part of the cache key; resolve it once, not per
+  // record (Solver::name() may build a string).
+  const std::string spec = stream.cache != nullptr ? solver.name() : std::string{};
 
   const auto worker = [&](unsigned) {
     for (;;) {
@@ -722,15 +726,31 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
       // waits out its backoff.
       SolveResult result;
       bool solved = false;
+      bool cache_hit = false;
       int attempt = 0;
       int extra_attempts = 0;
       std::exception_ptr solve_error;
       for (;;) {
         ++attempt;
         try {
+          // Cache consult before the first cold attempt only: a record
+          // that reached the retry path already missed. A hit under
+          // STORESCHED_AUDIT=1 that fails its audit throws here and is
+          // handled exactly like a deterministic solve fault.
+          if (stream.cache != nullptr && attempt == 1) {
+            if (auto cached = stream.cache->lookup(*inst, spec, options)) {
+              result = *std::move(cached);
+              solved = true;
+              cache_hit = true;
+              break;
+            }
+          }
           failpoint::hit("stream.solve");
           result = solver.solve(*inst, options);
           solved = true;
+          if (stream.cache != nullptr) {
+            stream.cache->insert(*inst, spec, options, result);
+          }
           break;
         } catch (...) {
           solve_error = std::current_exception();
@@ -750,6 +770,11 @@ StreamStats solve_stream(const Solver& solver, InstanceSource& source,
 
       lock.lock();
       state.stats.retries += static_cast<std::size_t>(extra_attempts);
+      if (cache_hit) {
+        ++state.stats.cache_hits;
+      } else if (stream.cache != nullptr) {
+        ++state.stats.cache_misses;
+      }
       if (state.failed) return;
       if (!solved && state.action == FailureAction::kAbort) {
         record_failure(state, index, solve_error);

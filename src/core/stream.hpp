@@ -63,6 +63,13 @@
 
 #include "core/solver.hpp"
 
+namespace storesched::storage {
+// The result cache (storage/result_cache.hpp). Forward-declared: core sits
+// below storage in the layer order, so StreamOptions can carry a pointer
+// without core/stream.hpp pulling the storage headers in.
+class SolveCache;
+}  // namespace storesched::storage
+
 namespace storesched {
 
 /// Cooperative cancellation flag, shared between the caller and a running
@@ -407,6 +414,12 @@ struct StreamOptions {
   /// only; never called in as-completed mode, which has no contiguity to
   /// report). A throwing callback aborts the run.
   std::function<void(const StreamProgress&)> progress;
+  /// Canonicalization-keyed result cache (storage/result_cache.hpp), not
+  /// owned; must outlive the run. When set, each record is looked up
+  /// before its first solve attempt (a hit delivers the cached result and
+  /// skips the solver) and every cacheable cold solve is inserted after.
+  /// Null = no caching (historical behavior).
+  storage::SolveCache* cache = nullptr;
 };
 
 /// What a pipeline run did. `max_in_flight` is the observed high-water of
@@ -434,6 +447,11 @@ struct StreamStats {
   /// A worker thread failed to spawn but the already-running workers
   /// finished the stream anyway -- parallelism degraded, no work lost.
   bool degraded_spawn = false;
+  /// Result-cache accounting (zero unless StreamOptions::cache was set):
+  /// records served straight from the cache vs records that consulted it
+  /// and had to solve cold.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 /// Drives instances from `source` through `solver` into `sink` with a

@@ -60,6 +60,7 @@ class RequestParser {
     bool saw_id = false, saw_instance = false, saw_spec = false;
     bool saw_slo = false, saw_deadline = false, saw_priority = false;
     bool saw_quality = false, saw_statsz = false, saw_cancel = false;
+    bool saw_ref = false;
     skip_ws();
     expect('{');
     skip_ws();
@@ -77,6 +78,13 @@ class RequestParser {
           require_fresh(saw_instance, key);
           req.instance = std::make_shared<Instance>(
               instance_from_jsonl(parse_raw_object()));
+        } else if (key == "ref") {
+          require_fresh(saw_ref, key);
+          const double v = parse_number("ref");
+          if (v != std::floor(v)) {
+            fail("\"ref\" must be an integer record index");
+          }
+          req.ref = static_cast<std::uint64_t>(v);
         } else if (key == "spec") {
           require_fresh(saw_spec, key);
           req.spec = parse_string();
@@ -133,15 +141,17 @@ class RequestParser {
     const bool solve_fields =
         saw_spec || saw_slo || saw_deadline || saw_priority || saw_quality;
     if (req.statsz) {
-      if (saw_instance || solve_fields || saw_cancel) {
+      if (saw_instance || saw_ref || solve_fields || saw_cancel) {
         fail("\"statsz\" requests carry no solve or cancel fields");
       }
     } else if (!req.cancel_id.empty()) {
-      if (saw_instance || solve_fields) {
+      if (saw_instance || saw_ref || solve_fields) {
         fail("\"cancel\" messages carry no solve fields");
       }
-    } else if (!saw_instance) {
-      fail("request needs \"instance\", \"statsz\", or \"cancel\"");
+    } else if (saw_instance && saw_ref) {
+      fail("\"instance\" and \"ref\" are mutually exclusive");
+    } else if (!saw_instance && !saw_ref) {
+      fail("request needs \"instance\", \"ref\", \"statsz\", or \"cancel\"");
     }
     return req;
   }
@@ -317,6 +327,10 @@ std::string serve_request_to_jsonl(const ServeRequest& request) {
   }
   if (request.instance) {
     os << sep << "\"instance\":" << instance_to_jsonl(*request.instance);
+    sep = ",";
+  }
+  if (request.ref) {
+    os << sep << "\"ref\":" << *request.ref;
     sep = ",";
   }
   os << '}';

@@ -18,7 +18,10 @@
 //
 //   id           optional string, echoed verbatim in the response
 //   instance     the instance object (instance_from_jsonl vocabulary);
-//                required for solve requests
+//                solve requests carry this or "ref"
+//   ref          record index into the server's attached shm instance
+//                store (storesched_serve --store); solves by reference
+//                without shipping the instance bytes over the socket
 //   spec         explicit solver spec -- bypasses the router
 //   slo_ms       per-request latency SLO (milliseconds, decimal allowed);
 //                the router picks the cheapest rung predicted to meet it
@@ -55,11 +58,15 @@ enum class ServePriority { kHigh = 0, kNormal = 1, kLow = 2 };
 /// Canonical wire token for a priority class.
 const char* to_string(ServePriority priority);
 
-/// One parsed request line. Exactly one of {instance, statsz, cancel_id}
-/// is populated (the parser enforces it).
+/// One parsed request line. Exactly one of {instance, ref, statsz,
+/// cancel_id} is populated (the parser enforces it).
 struct ServeRequest {
   std::string id;  ///< echoed in the response; empty = none
   std::shared_ptr<const Instance> instance;
+  /// Record index into the server's attached shm instance store
+  /// (storage/shm_store.hpp) -- solve-by-reference without shipping the
+  /// instance over the socket. Servers without a store answer an error.
+  std::optional<std::uint64_t> ref;
   std::string spec;  ///< explicit solver spec; empty = routed
   std::optional<double> slo_ms;
   std::optional<double> deadline_ms;
@@ -68,7 +75,7 @@ struct ServeRequest {
   bool statsz = false;
   std::string cancel_id;  ///< nonempty = cancel message
 
-  bool is_solve() const { return instance != nullptr; }
+  bool is_solve() const { return instance != nullptr || ref.has_value(); }
 };
 
 /// Serializes a request in canonical key order. Round-trips through

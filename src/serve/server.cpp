@@ -32,6 +32,9 @@
 #include "common/io.hpp"
 #include "common/parallel.hpp"
 #include "serve/protocol.hpp"
+#include "storage/result_cache.hpp"
+#include "storage/shm_store.hpp"
+#include "storage/wire_format.hpp"
 
 namespace storesched {
 namespace {
@@ -204,6 +207,17 @@ struct ServeServer::Impl {
   std::mutex solvers_mu_;
   std::unordered_map<std::string, std::shared_ptr<const Solver>> solvers_;
   static constexpr std::size_t kSolverCacheCap = 128;
+
+  // --- shm store view (own mutex: workers resolve refs mid-solve) -----
+  // One validated InstanceView per published epoch, shared by every
+  // {"ref":N} request until the store republishes. The mapping member
+  // keeps the bytes the view points into alive.
+  struct StoreView {
+    std::shared_ptr<storage::ShmMapping> mapping;
+    wire::InstanceView view;
+  };
+  std::mutex store_mu_;
+  std::shared_ptr<const StoreView> store_view_;
 
   // --- loop-thread only -----------------------------------------------
   Poller poller_;
@@ -379,6 +393,12 @@ struct ServeServer::Impl {
         ",\"deadline_expired\":" + std::to_string(counters_.deadline_expired);
     out += ",\"cancelled\":" + std::to_string(counters_.cancelled);
     out += ",\"solve_errors\":" + std::to_string(counters_.solve_errors);
+    out += ",\"cache_hits\":" + std::to_string(counters_.cache_hits);
+    out += ",\"cache_misses\":" + std::to_string(counters_.cache_misses);
+    out += ",\"cache_bytes\":" +
+           std::to_string(opts().cache != nullptr
+                              ? opts().cache->table_stats().bytes
+                              : 0);
     out += ",\"injected_faults\":" + std::to_string(counters_.injected_faults);
     out += ",\"statsz_requests\":" + std::to_string(counters_.statsz_requests);
     out += ",\"rungs\":[";
@@ -436,6 +456,13 @@ struct ServeServer::Impl {
         ack.cancel_ack = req.cancel_id;
         enqueue_response(conn, ack);
       }
+      return true;
+    }
+
+    if (req.ref && opts().store == nullptr) {
+      enqueue_error(conn, req.id,
+                    "\"ref\" requests need an attached instance store "
+                    "(start the server with --store=<name>)");
       return true;
     }
 
@@ -536,6 +563,42 @@ struct ServeServer::Impl {
     return solver;
   }
 
+  /// Resolves a {"ref":N} request against the attached store's current
+  /// epoch. Throws std::runtime_error (answered ok:false) when nothing is
+  /// published, the index is out of range, or the store went away.
+  std::shared_ptr<const Instance> resolve_ref(std::uint64_t ref) {
+    storage::ShmStore* store = opts().store;  // non-null: checked at admission
+    const std::shared_ptr<storage::ShmMapping> snap = store->snapshot();
+    if (!snap) {
+      throw std::runtime_error("instance store \"" + store->name() +
+                               "\" has no published epoch");
+    }
+    std::shared_ptr<const StoreView> view;
+    {
+      const std::lock_guard<std::mutex> lock(store_mu_);
+      if (store_view_ && store_view_->mapping->epoch() == snap->epoch()) {
+        view = store_view_;
+      }
+    }
+    if (!view) {
+      // Validate the new epoch once, outside the lock; racing workers may
+      // both build it, last one wins (both are equally valid).
+      auto fresh = std::make_shared<StoreView>(
+          StoreView{snap, wire::InstanceView(snap->bytes())});
+      const std::lock_guard<std::mutex> lock(store_mu_);
+      store_view_ = fresh;
+      view = std::move(fresh);
+    }
+    if (ref >= view->view.count()) {
+      throw std::runtime_error(
+          "\"ref\":" + std::to_string(ref) + " out of range: store \"" +
+          store->name() + "\" epoch " + std::to_string(snap->epoch()) +
+          " holds " + std::to_string(view->view.count()) + " instances");
+    }
+    return std::make_shared<const Instance>(view->view.materialize(
+        static_cast<std::size_t>(ref)));
+  }
+
   void process_one() {
     Pending pending;
     {
@@ -562,6 +625,8 @@ struct ServeServer::Impl {
     bool expired = false;
     bool injected = false;
     bool solve_error = false;
+    bool cache_hit = false;
+    bool cache_miss = false;
     try {
       failpoint::hit("serve.solve");
       if (pending.req.deadline_ms &&
@@ -574,7 +639,8 @@ struct ServeServer::Impl {
         have_result = true;
         expired = true;
       } else {
-        const std::shared_ptr<const Solver> solver = solver_for(pending.spec);
+        std::shared_ptr<const Instance> inst = pending.req.instance;
+        if (inst == nullptr) inst = resolve_ref(*pending.req.ref);
         SolveOptions solve_options = opts().solve;
         solve_options.cancel = pending.cancel;
         if (pending.req.deadline_ms) {
@@ -584,11 +650,32 @@ struct ServeServer::Impl {
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::duration<double, std::milli>(remaining_ms));
         }
+        storage::SolveCache* cache = opts().cache;
         const Clock::time_point solve_start = Clock::now();
-        result = solver->solve(*pending.req.instance, solve_options);
+        if (cache != nullptr) {
+          // An audit failure on the hit (STORESCHED_AUDIT=1) throws and is
+          // answered ok:false like any solver fault.
+          if (auto cached = cache->lookup(*inst, pending.spec,
+                                          solve_options)) {
+            result = *std::move(cached);
+            cache_hit = true;
+          } else {
+            cache_miss = true;
+          }
+        }
+        if (!cache_hit) {
+          const std::shared_ptr<const Solver> solver =
+              solver_for(pending.spec);
+          result = solver->solve(*inst, solve_options);
+          if (cache != nullptr) {
+            cache->insert(*inst, pending.spec, solve_options, result);
+          }
+        }
         response.solve_ms = ms_since(solve_start);
         have_result = true;
-        if (pending.rung >= 0) {
+        // Hits skip the router's latency model: a hash lookup says nothing
+        // about what a cold solve on this rung costs.
+        if (pending.rung >= 0 && !cache_hit) {
           router().observe(static_cast<std::size_t>(pending.rung),
                            response.solve_ms);
         }
@@ -610,6 +697,8 @@ struct ServeServer::Impl {
       if (expired) ++counters_.deadline_expired;
       if (injected) ++counters_.injected_faults;
       if (solve_error) ++counters_.solve_errors;
+      if (cache_hit) ++counters_.cache_hits;
+      if (cache_miss) ++counters_.cache_misses;
       ++counters_.responses;
       --inflight_total_;
       const auto fd_it = conn_fd_.find(pending.conn_id);
@@ -890,6 +979,9 @@ ServeCounters ServeServer::counters() const {
   out.connections_open = impl.conns_.size();
   out.queue_depth = impl.queue_depth_;
   out.draining = impl.draining_;
+  if (options_.cache != nullptr) {
+    out.cache_bytes = options_.cache->table_stats().bytes;
+  }
   return out;
 }
 

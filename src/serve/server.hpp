@@ -49,6 +49,13 @@
 #include "core/stream.hpp"
 #include "serve/router.hpp"
 
+namespace storesched::storage {
+// storage/result_cache.hpp and storage/shm_store.hpp; forward-declared so
+// the serve surface does not force the storage headers on every includer.
+class SolveCache;
+class ShmStore;
+}  // namespace storesched::storage
+
 namespace storesched {
 
 struct ServeOptions {
@@ -76,6 +83,16 @@ struct ServeOptions {
   RouterOptions router;
   /// Response line shaping (include_schedule).
   JsonlResultOptions result;
+  /// Canonicalization-keyed result cache (storage/result_cache.hpp), not
+  /// owned; must outlive the server. When set, each admitted solve
+  /// request is looked up before it touches the router -- a hit answers
+  /// without solving (admission "ok", rung -1) -- and every cold routed
+  /// solve is inserted after. Null = no caching.
+  storage::SolveCache* cache = nullptr;
+  /// Attached shm instance store (storage/shm_store.hpp), not owned; must
+  /// outlive the server. Enables {"ref":N} solve-by-reference requests.
+  /// Null = "ref" requests answer an error.
+  storage::ShmStore* store = nullptr;
 };
 
 /// Monotonic counters + gauges, as served by /statsz and counters().
@@ -93,6 +110,9 @@ struct ServeCounters {
   std::uint64_t deadline_expired = 0;  ///< answered without solving
   std::uint64_t cancelled = 0;         ///< cancel messages that hit a token
   std::uint64_t solve_errors = 0;      ///< solver threw (answered ok:false)
+  std::uint64_t cache_hits = 0;        ///< answered from the result cache
+  std::uint64_t cache_misses = 0;      ///< consulted the cache, then solved
+  std::uint64_t cache_bytes = 0;       ///< payload bytes in the shared table
   std::uint64_t injected_faults = 0;   ///< serve.* failpoints that fired
   std::uint64_t statsz_requests = 0;
   std::size_t queue_depth = 0;

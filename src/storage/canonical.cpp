@@ -1,0 +1,131 @@
+#include "storage/canonical.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "storage/wire_format.hpp"
+
+namespace storesched::storage {
+
+namespace {
+
+/// splitmix64 finalizer -- the second lane's word mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Two-lane streaming hasher: lane A is FNV-1a over bytes, lane B chains
+/// splitmix64 over 64-bit words. The lanes share no structure, so a
+/// collision requires beating both independently.
+struct KeyHasher {
+  std::uint64_t a = 0xCBF29CE484222325ull;
+  std::uint64_t b = 0x53544F5245534348ull;  // "STORESCH"
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      a = (a ^ p[i]) * 0x100000001B3ull;
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p + i, 8);
+      b = mix64(b ^ w);
+    }
+    std::uint64_t tail = size;  // fold the length into the ragged word
+    for (; i < size; ++i) tail = (tail << 8) | p[i];
+    b = mix64(b ^ tail);
+  }
+
+  void word(std::uint64_t w) { bytes(&w, 8); }
+
+  CacheKey key() const { return {mix64(a), mix64(b ^ a)}; }
+};
+
+}  // namespace
+
+std::vector<TaskId> canonical_order(const Instance& inst) {
+  std::vector<TaskId> order(inst.n());
+  std::iota(order.begin(), order.end(), TaskId{0});
+  if (inst.has_precedence()) return order;
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const Task& ta = inst.task(a);
+    const Task& tb = inst.task(b);
+    if (ta.p != tb.p) return ta.p < tb.p;
+    return ta.s < tb.s;
+  });
+  return order;
+}
+
+CacheKey cache_key(const Instance& inst, std::span<const TaskId> order,
+                   std::string_view spec, const SolveOptions& options) {
+  KeyHasher h;
+  h.word(wire::kWireVersion);
+  h.word(spec.size());
+  h.bytes(spec.data(), spec.size());
+  h.word(static_cast<std::uint64_t>(inst.m()));
+  h.word(options.memory_capacity.has_value() ? 1 : 0);
+  h.word(static_cast<std::uint64_t>(options.memory_capacity.value_or(0)));
+  h.word(options.validate ? 1 : 0);
+  h.word(inst.n());
+  for (const TaskId id : order) {
+    const Task& t = inst.task(id);
+    h.word(static_cast<std::uint64_t>(t.p));
+    h.word(static_cast<std::uint64_t>(t.s));
+  }
+  if (inst.has_precedence()) {
+    const Dag& dag = inst.dag();
+    h.word(dag.edge_count());
+    for (TaskId u = 0; u < static_cast<TaskId>(inst.n()); ++u) {
+      for (const TaskId v : dag.succs(u)) {
+        h.word((static_cast<std::uint64_t>(u) << 32) |
+               static_cast<std::uint32_t>(v));
+      }
+    }
+  } else {
+    h.word(0);
+  }
+  return h.key();
+}
+
+namespace {
+
+/// Applies `result.schedule[from[k]] -> out[to[k]]` style reindexing with
+/// perm mapping canonical position k to original id order[k].
+void permute_schedule(SolveResult& result, std::span<const TaskId> order,
+                      bool to_canonical) {
+  if (result.schedule.n() == 0 || !result.schedule.fully_assigned()) return;
+  const Schedule& src = result.schedule;
+  const bool timed = src.timed();
+  Schedule dst(src.n(), src.m());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const TaskId canonical = static_cast<TaskId>(k);
+    const TaskId original = order[k];
+    const TaskId from = to_canonical ? original : canonical;
+    const TaskId to = to_canonical ? canonical : original;
+    if (timed) {
+      dst.assign(to, src.proc(from), src.start(from));
+    } else {
+      dst.assign(to, src.proc(from));
+    }
+  }
+  result.schedule = std::move(dst);
+}
+
+}  // namespace
+
+void schedule_to_canonical(SolveResult& result,
+                           std::span<const TaskId> order) {
+  permute_schedule(result, order, /*to_canonical=*/true);
+}
+
+void schedule_from_canonical(SolveResult& result,
+                             std::span<const TaskId> order) {
+  permute_schedule(result, order, /*to_canonical=*/false);
+}
+
+}  // namespace storesched::storage

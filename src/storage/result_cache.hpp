@@ -1,0 +1,158 @@
+// Canonicalization-keyed result cache over a flat memory region.
+//
+// The table is built to live inside a shared-memory segment (the shm
+// store's cache region, storage/shm_store.hpp) and be used concurrently by
+// unrelated processes without any lock: fixed-size slots, each guarded by
+// its own seqlock, every shared word a lock-free std::atomic<uint64_t>.
+//
+//   slot := [seq][key_hi][key_lo][payload_size][payload words ...]
+//
+// Writers claim a slot by CAS-ing its (even) sequence to odd, write key
+// and payload with relaxed stores, then release-store seq back to even+2.
+// Readers acquire-load seq (odd = under construction, probe on), copy key
+// and payload words relaxed, fence, and re-check seq -- a torn read is
+// detected and retried, never returned. Payloads are the self-contained
+// result blobs of wire::encode_result_payload(), so a hit reproduces the
+// original result byte-for-byte through every serializer.
+//
+// Collision/eviction policy: open addressing over a small probe window; a
+// full window overwrites its first slot (it is a cache -- losing an entry
+// costs one re-solve). Oversized payloads are skipped, counted, and never
+// split across slots.
+//
+// SolveCache is the solver-facing facade: it canonicalizes the instance
+// (storage/canonical.hpp), keys it, stores canonical-order schedules, and
+// remaps them back on hit. Results computed under a deadline or a fired
+// cancel token are never inserted -- both can truncate a solve, and a
+// cache must only serve results any cold solve would reproduce. Under
+// STORESCHED_AUDIT=1 every hit's schedule is re-audited before it is
+// returned; a violation throws (a poisoned cache must stop the run, not
+// leak wrong answers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/canonical.hpp"
+
+namespace storesched::storage {
+
+/// Monotonic counters. Table-wide counters live in the region itself, so
+/// every attached process sees one shared truth.
+struct CacheTableStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t skipped = 0;  ///< payload too large for a slot
+  std::uint64_t bytes = 0;    ///< payload bytes currently stored
+};
+
+/// The raw keyed byte-blob table over a caller-provided region (or, for
+/// single-process use, a private heap region it allocates itself).
+class CacheTable {
+ public:
+  /// Bytes a region needs for `slot_count` slots of `payload_bytes` each
+  /// (both rounded up internally; slot_count to a power of two).
+  static std::size_t required_bytes(std::size_t slot_count,
+                                    std::size_t payload_bytes);
+
+  /// Private in-memory table (solve_stream's default when no shm store is
+  /// attached).
+  CacheTable(std::size_t slot_count, std::size_t payload_bytes);
+
+  /// Table over caller-owned memory: `initialize` stamps a fresh header
+  /// (the publisher's job); attaching readers pass false and the header
+  /// is validated instead. `base` must be 8-aligned and `size` at least
+  /// required_bytes of the header's geometry. Throws std::runtime_error
+  /// on any mismatch.
+  CacheTable(void* base, std::size_t size, std::size_t slot_count,
+             std::size_t payload_bytes, bool initialize);
+
+  CacheTable(const CacheTable&) = delete;
+  CacheTable& operator=(const CacheTable&) = delete;
+
+  /// Copies the payload stored under `key` out, or nullopt. Lock-free;
+  /// safe against concurrent writers in other processes.
+  std::optional<std::string> lookup(const CacheKey& key) const;
+
+  /// Stores `payload` under `key` (overwriting any colliding entry).
+  /// Returns false -- counted in stats().skipped -- when the payload does
+  /// not fit a slot.
+  bool insert(const CacheKey& key, std::string_view payload);
+
+  CacheTableStats stats() const;
+
+  std::size_t payload_capacity() const { return payload_words_ * 8; }
+
+ private:
+  using Word = std::atomic<std::uint64_t>;
+
+  Word* slot(std::size_t index) const;
+
+  std::vector<std::uint64_t> owned_;  ///< backing for the private mode
+  Word* header_ = nullptr;
+  Word* slots_ = nullptr;
+  std::size_t slot_count_ = 0;     ///< power of two
+  std::size_t payload_words_ = 0;  ///< payload capacity per slot, in words
+};
+
+/// Per-facade counters (one process's view; serve statsz reports these).
+struct SolveCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t bytes = 0;  ///< shared table payload bytes (region-wide)
+};
+
+/// Solver-facing cache facade. Thread-safe: lookup/insert may be called
+/// from any number of pipeline workers concurrently.
+class SolveCache {
+ public:
+  /// Cache geometry defaults: 4096 slots x 1 KiB payload = ~4.2 MiB.
+  static constexpr std::size_t kDefaultSlots = 4096;
+  static constexpr std::size_t kDefaultPayloadBytes = 1024;
+
+  /// Private in-process cache.
+  explicit SolveCache(std::size_t slot_count = kDefaultSlots,
+                      std::size_t payload_bytes = kDefaultPayloadBytes);
+
+  /// Cache over an externally managed region (see CacheTable).
+  SolveCache(void* base, std::size_t size, std::size_t slot_count,
+             std::size_t payload_bytes, bool initialize);
+
+  /// Returns the cached result for (inst, spec, options), remapped into
+  /// this instance's task ids, or nullopt. Under STORESCHED_AUDIT=1 the
+  /// hit is audited against `inst` first; a violation throws
+  /// std::logic_error.
+  std::optional<SolveResult> lookup(const Instance& inst,
+                                    std::string_view spec,
+                                    const SolveOptions& options);
+
+  /// Inserts a cold solve's result. No-op (and not an error) when the
+  /// result is not cacheable: solved under a deadline, or with a cancel
+  /// token attached, or with a payload too large for a slot.
+  void insert(const Instance& inst, std::string_view spec,
+              const SolveOptions& options, const SolveResult& result);
+
+  /// This process's hit/miss/insert counts plus the shared table's
+  /// current payload byte total.
+  SolveCacheStats stats() const;
+
+  /// The shared table's own (region-wide) counters.
+  CacheTableStats table_stats() const { return table_.stats(); }
+
+ private:
+  CacheTable table_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+};
+
+/// True when `options` disqualify a solve from cache insertion.
+bool cache_exempt(const SolveOptions& options);
+
+}  // namespace storesched::storage

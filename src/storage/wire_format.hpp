@@ -1,0 +1,157 @@
+// The binary columnar wire format: versioned, checksummed, mmap-able.
+//
+// JSONL is the interchange wire -- self-describing, greppable, sharded with
+// coreutils -- but at millions of tiny instances its parse cost dominates
+// the pipeline (bench_scaling's ingest cell). This module is the companion
+// wire for bulk and shared-memory paths: a sectioned little-endian container
+// that decodes by pointer arithmetic instead of byte-at-a-time parsing, and
+// that a reader can consume straight out of an mmap'd file or a shared
+// memory region (storage/shm_store.hpp) without copying the columns.
+//
+// Layout (full diagram and compat rules: docs/WIRE_FORMAT.md):
+//
+//   [WireHeader]  magic "STSCHDB1", version, payload kind + count, file
+//                 size, CRC32 over the header itself
+//   [SectionEntry x N]  per section: kind, element count, byte offset
+//                 (8-aligned), byte size, CRC32 over the section bytes
+//   [section bytes ...]
+//
+// Instance files are columnar: one InstanceRecord per instance (m, flags,
+// [task_offset, task_count) into the p/s columns, [edge_offset, edge_count)
+// into the edge columns) over shared i64 p / i64 s / i32 edge-endpoint
+// arrays. DAG edges are stored source-sorted per instance -- the CSR order
+// DagFrontierView uses -- so rebuilding adjacency is a linear append.
+// Result files are the same container with kind=results: fixed-width
+// ResultRecords over diagnostics-char / proc / start columns, carrying every
+// field a JSONL result line can (encode_result/decode_result round-trip
+// through result_to_jsonl() byte-identically). The result cache
+// (storage/result_cache.hpp) stores exactly these record payloads.
+//
+// Reader contract (the fuzz oracle's): decode_instances()/decode_results()
+// either return the parsed payload or throw std::runtime_error naming the
+// offense -- bad magic, version skew, truncation, misaligned or overlapping
+// sections, checksum mismatch, counts that do not add up, weights or edges
+// the Instance/Dag constructors reject. A hostile file is an error, never
+// UB: every offset and count is bounds-checked against the buffer before it
+// is dereferenced, and all arithmetic is overflow-checked. Writers always
+// produce canonical bytes: encode(decode(encode(x))) == encode(x).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/instance.hpp"
+#include "core/solver.hpp"
+
+namespace storesched::wire {
+
+/// Format version this build writes; readers accept exactly this version
+/// (the format carries no compat shims yet -- see docs/WIRE_FORMAT.md for
+/// the evolution rules a version bump must follow).
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// What a container's payload is.
+enum class PayloadKind : std::uint32_t { kInstances = 1, kResults = 2 };
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range. Exposed for tests and
+/// the shm store's publish-time integrity stamp.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+// ---------------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------------
+
+/// Serializes instances into one canonical binary container.
+std::string encode_instances(std::span<const Instance> instances);
+
+/// One decoded result row: the record index solve_stream assigned plus the
+/// reconstructed result (extras channels excluded -- the binary wire, like
+/// the JSONL wire, carries the common fields and the schedule only).
+struct IndexedResult {
+  std::uint64_t index = 0;
+  SolveResult result;
+};
+
+/// Serializes result rows into one canonical binary container. Schedules
+/// ride along whenever present (include_schedule shaping is a JSONL
+/// rendering decision, not a storage one).
+std::string encode_results(std::span<const IndexedResult> results);
+
+// ---------------------------------------------------------------------------
+// Decoding (strict: std::runtime_error on any malformed byte).
+// ---------------------------------------------------------------------------
+
+/// Payload kind of a well-formed header, or nullopt when `bytes` does not
+/// even start with the magic (format sniffing; never throws).
+std::optional<PayloadKind> sniff_kind(std::string_view bytes);
+
+/// Parses a whole instance container into owned Instances.
+std::vector<Instance> decode_instances(std::string_view bytes);
+
+/// Parses a whole result container.
+std::vector<IndexedResult> decode_results(std::string_view bytes);
+
+/// Zero-copy random-access view over an instance container sitting in an
+/// mmap'd file or a shared-memory region. Construction validates the whole
+/// container (header, section table, checksums, every record's offsets,
+/// every task weight and edge) exactly like decode_instances -- after it
+/// succeeds, materialize() cannot throw on format grounds and readers may
+/// touch the columns freely. The viewed bytes must outlive the view and
+/// stay immutable (the shm store's published regions are read-only by
+/// contract).
+class InstanceView {
+ public:
+  /// Validates and indexes `bytes`. Throws std::runtime_error as above.
+  explicit InstanceView(std::string_view bytes);
+
+  std::size_t count() const { return records_.size(); }
+
+  /// Rebuilds instance `i` as an owning Instance (weights and adjacency
+  /// copied out of the columns). Precondition: i < count().
+  Instance materialize(std::size_t i) const;
+
+  /// Direct column access for ingest paths that do not need an Instance.
+  std::span<const std::int64_t> task_p(std::size_t i) const;
+  std::span<const std::int64_t> task_s(std::size_t i) const;
+  int m(std::size_t i) const;
+  bool has_dag(std::size_t i) const;
+
+ private:
+  struct Record {
+    std::uint64_t task_offset = 0;
+    std::uint64_t task_count = 0;
+    std::uint64_t edge_offset = 0;
+    std::uint64_t edge_count = 0;
+    std::int32_t m = 1;
+    bool dag = false;
+  };
+
+  std::vector<Record> records_;
+  const std::int64_t* p_ = nullptr;
+  const std::int64_t* s_ = nullptr;
+  const std::int32_t* edge_src_ = nullptr;
+  const std::int32_t* edge_dst_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Result-record payloads (shared with the result cache).
+// ---------------------------------------------------------------------------
+
+/// Serializes one result as a self-contained little-endian blob -- the
+/// per-record unit the result container sections are built from and the
+/// exact payload storage/result_cache.hpp stores per slot. Fails (returns
+/// an empty string) only when the result cannot be represented: the wire
+/// carries i64 fields, so nothing a solver produces is rejected today.
+std::string encode_result_payload(const SolveResult& result);
+
+/// Parses an encode_result_payload() blob back. Throws std::runtime_error
+/// on truncation or internal inconsistency (the cache's seqlock makes torn
+/// reads impossible, but a decoding layer never trusts its input).
+SolveResult decode_result_payload(std::string_view bytes);
+
+}  // namespace storesched::wire

@@ -72,3 +72,11 @@
 #include "serve/protocol.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
+
+// The storage tier: binary wire format, shared-memory instance store,
+// canonicalization-keyed result cache (docs/WIRE_FORMAT.md).
+#include "storage/binary_stream.hpp"
+#include "storage/canonical.hpp"
+#include "storage/result_cache.hpp"
+#include "storage/shm_store.hpp"
+#include "storage/wire_format.hpp"

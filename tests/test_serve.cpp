@@ -23,6 +23,9 @@
 #include "serve/protocol.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
+#include "storage/result_cache.hpp"
+#include "storage/shm_store.hpp"
+#include "storage/wire_format.hpp"
 
 namespace storesched {
 namespace {
@@ -216,6 +219,21 @@ TEST(ServeProtocol, ControlRequestsRoundTrip) {
   EXPECT_FALSE(cancel.is_solve());
 }
 
+TEST(ServeProtocol, RefRequestsRoundTripAsAFixpoint) {
+  ServeRequest req;
+  req.id = "r-2";
+  req.ref = 7;
+  req.spec = "graham:lpt";
+  const std::string wire = serve_request_to_jsonl(req);
+  const ServeRequest back = serve_request_from_jsonl(wire);
+  ASSERT_TRUE(back.is_solve());
+  EXPECT_EQ(back.instance, nullptr);
+  ASSERT_TRUE(back.ref);
+  EXPECT_EQ(*back.ref, 7u);
+  EXPECT_EQ(back.spec, "graham:lpt");
+  EXPECT_EQ(serve_request_to_jsonl(back), wire);
+}
+
 TEST(ServeProtocol, RejectsMalformedRequests) {
   const auto reject = [](const std::string& line) {
     EXPECT_THROW(serve_request_from_jsonl(line), std::runtime_error) << line;
@@ -231,6 +249,9 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
   reject(R"({"slo_ms":-1,"instance":{"m":1,"tasks":[[1,1]]}})");
   reject(R"({"priority":"urgent","instance":{"m":1,"tasks":[[1,1]]}})");
   reject(R"({"slo_ms":01,"instance":{"m":1,"tasks":[[1,1]]}})");
+  reject(R"({"ref":0,"instance":{"m":1,"tasks":[[1,1]]}})");  // both sources
+  reject(R"({"ref":1.5})");                      // fractional record index
+  reject(R"({"statsz":true,"ref":0})");          // statsz + solve field
 }
 
 TEST(ServeProtocol, ResponseLinesCarryRoutingAndResultFields) {
@@ -741,6 +762,112 @@ TEST_F(ServeServerTest, ConcurrentClientsSurviveInjectedFaults) {
   EXPECT_EQ(answered.load(), kClients * kPerClient);
   EXPECT_GT(solved.load(), 0);
   server.shutdown();
+}
+
+TEST_F(ServeServerTest, ResultCacheAnswersDuplicatesAndCountsThem) {
+  storage::SolveCache cache;
+  ServeOptions options = base_options("cache");
+  options.cache = &cache;
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  client.send_line(std::string(R"({"id":"cold","instance":)") + kInstance +
+                   "}");
+  const auto cold = client.read_line();
+  ASSERT_TRUE(cold);
+  EXPECT_TRUE(contains(*cold, R"("ok":true)")) << *cold;
+
+  client.send_line(std::string(R"({"id":"warm","instance":)") + kInstance +
+                   "}");
+  const auto warm = client.read_line();
+  ASSERT_TRUE(warm);
+
+  // The hit is byte-identical to the cold solve past the per-request
+  // envelope (id and timings differ by construction).
+  const auto fields_after = [](const std::string& line) {
+    const std::size_t at = line.find("\"feasible\":");
+    return at == std::string::npos ? line : line.substr(at);
+  };
+  EXPECT_EQ(fields_after(*cold), fields_after(*warm)) << *cold << "\n"
+                                                      << *warm;
+
+  client.send_line(R"({"id":"s","statsz":true})");
+  const auto statsz = client.read_line();
+  ASSERT_TRUE(statsz);
+  EXPECT_TRUE(contains(*statsz, R"("cache_hits":1)")) << *statsz;
+  EXPECT_TRUE(contains(*statsz, R"("cache_misses":1)")) << *statsz;
+  EXPECT_FALSE(contains(*statsz, R"("cache_bytes":0)")) << *statsz;
+
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.cache_misses, 1u);
+  EXPECT_GT(counters.cache_bytes, 0u);
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, RefWithoutAStoreAnswersAnErrorNotADrop) {
+  ServeOptions options = base_options("refless");
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  client.send_line(R"({"id":"r","ref":0})");
+  const auto line = client.read_line();
+  ASSERT_TRUE(line);
+  EXPECT_TRUE(contains(*line, R"("ok":false)")) << *line;
+  EXPECT_TRUE(contains(*line, "--store")) << *line;
+
+  // The connection survives; a normal request still answers.
+  client.send_line(std::string(R"({"id":"n","instance":)") + kInstance + "}");
+  const auto next = client.read_line();
+  ASSERT_TRUE(next);
+  EXPECT_TRUE(contains(*next, R"("ok":true)")) << *next;
+  server.shutdown();
+}
+
+TEST_F(ServeServerTest, RefSolvesFromTheAttachedStore) {
+  const std::string store_name =
+      "storesched-test-serve-ref-" + std::to_string(::getpid());
+  storage::ShmStore::unlink(store_name);
+  storage::ShmStore store = storage::ShmStore::create(store_name);
+  const std::vector<Instance> instances = {
+      Instance(std::vector<Task>{{3, 1}, {2, 2}, {5, 4}}, 2),
+      Instance(std::vector<Task>{{7, 7}}, 1),
+  };
+  store.publish(wire::encode_instances(instances));
+
+  ServeOptions options = base_options("refstore");
+  options.store = &store;
+  ServeServer server(options);
+  server.start();
+
+  TestClient client(options.unix_path);
+  client.send_line(R"({"id":"by-ref","ref":0})");
+  const auto by_ref = client.read_line();
+  ASSERT_TRUE(by_ref);
+  EXPECT_TRUE(contains(*by_ref, R"("ok":true)")) << *by_ref;
+
+  client.send_line(std::string(R"({"id":"inline","instance":)") + kInstance +
+                   "}");
+  const auto inline_line = client.read_line();
+  ASSERT_TRUE(inline_line);
+  const auto fields_after = [](const std::string& line) {
+    const std::size_t at = line.find("\"feasible\":");
+    return at == std::string::npos ? line : line.substr(at);
+  };
+  EXPECT_EQ(fields_after(*by_ref), fields_after(*inline_line))
+      << *by_ref << "\n"
+      << *inline_line;
+
+  client.send_line(R"({"id":"oob","ref":2})");
+  const auto oob = client.read_line();
+  ASSERT_TRUE(oob);
+  EXPECT_TRUE(contains(*oob, R"("ok":false)")) << *oob;
+  EXPECT_TRUE(contains(*oob, "out of range")) << *oob;
+
+  server.shutdown();
+  EXPECT_GT(storage::ShmStore::unlink(store_name), 0u);
 }
 
 TEST_F(ServeServerTest, TcpListenerRoundTripsOnAnEphemeralPort) {

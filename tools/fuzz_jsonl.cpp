@@ -1,5 +1,7 @@
-// Fuzz target for the JSONL wire format (common/io.hpp) -- the parsing
-// surface a serving tier exposes to untrusted bytes.
+// Fuzz target for the wire formats -- the parsing surfaces a serving tier
+// exposes to untrusted bytes: the JSONL wires (common/io.hpp,
+// core/stream.hpp, serve/protocol.hpp) and the binary container
+// (storage/wire_format.hpp).
 //
 // Contract under fuzzing:
 //   * instance_from_jsonl() either returns a valid Instance or throws
@@ -11,6 +13,13 @@
 //     result_to_jsonl() without throwing (the full service line path).
 //   * serve_request_from_jsonl() (serve/protocol.hpp, the storesched_serve
 //     request line) holds the same reject-or-fixpoint contract.
+//   * The binary wire holds it too, byte-for-byte: decode_instances() /
+//     decode_results() / decode_result_payload() either parse or throw
+//     std::runtime_error (truncations, bit flips, hostile section tables
+//     are errors, never UB), accepted payloads are a
+//     decode -> encode -> decode fixpoint, and the zero-copy InstanceView
+//     (the mmap/shm read path) accepts exactly what decode_instances()
+//     accepts and materializes equal instances.
 //
 // Two build modes (CMakeLists.txt):
 //   * libFuzzer (-DSTORESCHED_LIBFUZZER=ON, Clang): the CI fuzz job runs a
@@ -22,15 +31,18 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/io.hpp"
 #include "common/schedule.hpp"
 #include "core/solver.hpp"
 #include "core/stream.hpp"
 #include "serve/protocol.hpp"
+#include "storage/wire_format.hpp"
 
 namespace {
 
@@ -56,6 +68,127 @@ bool instances_equal(const Instance& a, const Instance& b) {
   }
   if (a.has_precedence() && !(a.dag() == b.dag())) return false;
   return true;
+}
+
+/// The binary container (storage/wire_format.hpp): every decoder over the
+/// input bytes, a canonical-bytes fixpoint for whatever they accept, and
+/// owning-decoder/zero-copy-view agreement.
+void fuzz_binary(const std::string& line) {
+  // InstanceView is the mmap/shm read path and requires 8-aligned bytes
+  // (pages are); give the fuzz input the same guarantee.
+  std::vector<std::uint64_t> aligned(line.size() / 8 + 1);
+  std::memcpy(aligned.data(), line.data(), line.size());
+  const std::string_view bytes(reinterpret_cast<const char*>(aligned.data()),
+                               line.size());
+
+  // Instance containers: decode -> encode -> decode fixpoint, and the
+  // zero-copy view must accept exactly what the owning decoder accepts.
+  bool decoded_ok = false;
+  std::vector<Instance> decoded;
+  try {
+    decoded = storesched::wire::decode_instances(bytes);
+    decoded_ok = true;
+  } catch (const std::runtime_error&) {
+    // rejection is the expected outcome for hostile bytes
+  } catch (const std::exception& e) {
+    die("binary instance decode (only std::runtime_error is allowed)", e);
+  }
+  bool view_ok = false;
+  try {
+    const storesched::wire::InstanceView view(bytes);
+    view_ok = true;
+    if (decoded_ok) {
+      if (view.count() != decoded.size()) {
+        std::fprintf(stderr, "fuzz_jsonl: InstanceView count %zu != %zu\n",
+                     view.count(), decoded.size());
+        std::abort();
+      }
+      for (std::size_t i = 0; i < decoded.size(); ++i) {
+        if (!instances_equal(view.materialize(i), decoded[i])) {
+          std::fprintf(stderr,
+                       "fuzz_jsonl: InstanceView materialize(%zu) mismatch\n",
+                       i);
+          std::abort();
+        }
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // rejection is the expected outcome for hostile bytes
+  } catch (const std::exception& e) {
+    die("InstanceView (only std::runtime_error is allowed)", e);
+  }
+  if (decoded_ok != view_ok) {
+    std::fprintf(stderr,
+                 "fuzz_jsonl: decode_instances %s but InstanceView %s\n",
+                 decoded_ok ? "accepted" : "rejected",
+                 view_ok ? "accepted" : "rejected");
+    std::abort();
+  }
+  if (decoded_ok) {
+    try {
+      const std::string canon = storesched::wire::encode_instances(decoded);
+      const std::vector<Instance> back =
+          storesched::wire::decode_instances(canon);
+      bool equal = back.size() == decoded.size();
+      for (std::size_t i = 0; equal && i < back.size(); ++i) {
+        equal = instances_equal(back[i], decoded[i]);
+      }
+      if (!equal || storesched::wire::encode_instances(back) != canon) {
+        std::fprintf(stderr,
+                     "fuzz_jsonl: binary instance container not a fixpoint\n");
+        std::abort();
+      }
+    } catch (const std::exception& e) {
+      die("binary instance re-encode of an accepted container", e);
+    }
+  }
+
+  // Result containers: same fixpoint, compared through the JSONL surface
+  // (the equality every downstream consumer sees).
+  try {
+    const std::vector<storesched::wire::IndexedResult> results =
+        storesched::wire::decode_results(bytes);
+    const std::string canon = storesched::wire::encode_results(results);
+    const std::vector<storesched::wire::IndexedResult> back =
+        storesched::wire::decode_results(canon);
+    bool equal = back.size() == results.size();
+    for (std::size_t i = 0; equal && i < back.size(); ++i) {
+      equal = back[i].index == results[i].index &&
+              storesched::result_to_jsonl(0, back[i].result,
+                                          {.include_schedule = true}) ==
+                  storesched::result_to_jsonl(0, results[i].result,
+                                              {.include_schedule = true});
+    }
+    if (!equal || storesched::wire::encode_results(back) != canon) {
+      std::fprintf(stderr,
+                   "fuzz_jsonl: binary result container not a fixpoint\n");
+      std::abort();
+    }
+  } catch (const std::runtime_error&) {
+    // rejection is the expected outcome for hostile bytes
+  } catch (const std::exception& e) {
+    die("binary result decode (only std::runtime_error is allowed)", e);
+  }
+
+  // Bare result-payload blobs (the result cache's slot format).
+  try {
+    const storesched::SolveResult result =
+        storesched::wire::decode_result_payload(bytes);
+    const std::string canon = storesched::wire::encode_result_payload(result);
+    const storesched::SolveResult back =
+        storesched::wire::decode_result_payload(canon);
+    if (storesched::result_to_jsonl(0, back, {.include_schedule = true}) !=
+            storesched::result_to_jsonl(0, result,
+                                        {.include_schedule = true}) ||
+        storesched::wire::encode_result_payload(back) != canon) {
+      std::fprintf(stderr, "fuzz_jsonl: result payload not a fixpoint\n");
+      std::abort();
+    }
+  } catch (const std::runtime_error&) {
+    // rejection is the expected outcome for hostile bytes
+  } catch (const std::exception& e) {
+    die("result payload decode (only std::runtime_error is allowed)", e);
+  }
 }
 
 void fuzz_one(const std::uint8_t* data, std::size_t size) {
@@ -117,6 +250,8 @@ void fuzz_one(const std::uint8_t* data, std::size_t size) {
   } catch (const std::exception& e) {
     die("serve-request parse (only std::runtime_error is allowed)", e);
   }
+
+  fuzz_binary(line);
 
   Instance inst;
   try {

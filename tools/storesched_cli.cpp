@@ -78,6 +78,16 @@ struct CliOptions {
   bool check = false;
   std::string expect_path;
 
+  // Storage tier (docs/WIRE_FORMAT.md).
+  storage::WireFormatKind format = storage::WireFormatKind::kAuto;
+  bool convert = false;          // `convert` subcommand
+  std::string convert_to = "binary";  // --to=binary|jsonl
+  std::string store_name;        // --store=NAME: solve from the shm store
+  std::string store_publish;     // --store-publish=NAME
+  std::string store_info;        // --store-info=NAME
+  std::string store_unlink;      // --store-unlink=NAME
+  bool cache = false;            // --cache: result cache for solve mode
+
   bool list_specs = false;
   bool help = false;
 };
@@ -86,7 +96,10 @@ void print_usage(std::ostream& os) {
   os << "usage: storesched_cli --spec=SPEC [options] < in.jsonl > out.jsonl\n"
         "       storesched_cli --gen=COUNT [--gen-n=N] [--gen-m=M]\n"
         "                      [--gen-kind=KIND | --gen-dag=FAMILY] [--seed=S]\n"
+        "       storesched_cli convert [--to=binary|jsonl] < in > out\n"
         "       storesched_cli --check --spec=SPEC --expect=RESULTS.jsonl\n"
+        "       storesched_cli --store-publish=NAME < instances\n"
+        "       storesched_cli --store-info=NAME | --store-unlink=NAME\n"
         "       storesched_cli --list-specs\n"
         "\n"
         "Solve mode (default): one instance JSON object per input line, one\n"
@@ -127,6 +140,24 @@ void print_usage(std::ostream& os) {
         "\n"
         "Gen mode: KIND in {uniform, correlated, anticorrelated, bimodal},\n"
         "or --gen-dag in {layered, random, forkjoin, cholesky, fft, soc}.\n"
+        "\n"
+        "Storage (docs/WIRE_FORMAT.md):\n"
+        "  --format=F         instance input wire: auto (default, sniffs the\n"
+        "                     magic bytes), jsonl, or binary\n"
+        "  convert --to=F     re-encode the input instances as binary\n"
+        "                     (default) or jsonl; lossless both ways\n"
+        "  --store-publish=N  publish the input instances into the named\n"
+        "                     shared-memory store (atomic epoch swap;\n"
+        "                     attached readers are never torn)\n"
+        "  --store=N          solve from the named store's current epoch\n"
+        "                     instead of stdin\n"
+        "  --store-info=N     print the store's epoch, instance count, and\n"
+        "                     result-cache counters\n"
+        "  --store-unlink=N   remove every segment of the store, including\n"
+        "                     orphans left by killed writers\n"
+        "  --cache            canonicalization-keyed result cache for solve\n"
+        "                     mode; shared when --store is set, private\n"
+        "                     otherwise\n"
         "\n"
         "Check mode: re-solves the input instances in-process (solve_batch)\n"
         "and diffs feasibility + (Cmax, Mmax) against --expect; exits 1 on\n"
@@ -241,6 +272,26 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.check = true;
     } else if (arg.rfind("--expect=", 0) == 0) {
       cli.expect_path = value_of("--expect=");
+    } else if (arg == "convert") {
+      cli.convert = true;
+    } else if (arg.rfind("--to=", 0) == 0) {
+      cli.convert_to = value_of("--to=");
+      if (cli.convert_to != "binary" && cli.convert_to != "jsonl") {
+        throw std::runtime_error("--to must be binary or jsonl, got \"" +
+                                 cli.convert_to + "\"");
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      cli.format = storage::wire_format_from_string(value_of("--format="));
+    } else if (arg.rfind("--store=", 0) == 0) {
+      cli.store_name = value_of("--store=");
+    } else if (arg.rfind("--store-publish=", 0) == 0) {
+      cli.store_publish = value_of("--store-publish=");
+    } else if (arg.rfind("--store-info=", 0) == 0) {
+      cli.store_info = value_of("--store-info=");
+    } else if (arg.rfind("--store-unlink=", 0) == 0) {
+      cli.store_unlink = value_of("--store-unlink=");
+    } else if (arg == "--cache") {
+      cli.cache = true;
     } else {
       throw std::runtime_error("unknown flag \"" + arg +
                                "\" (--help for usage)");
@@ -281,6 +332,69 @@ int run_gen(const CliOptions& cli, std::ostream& out) {
   // exit 0, or a sharded study silently runs on fewer instances.
   out.flush();
   if (!out) throw std::runtime_error("writing instances failed");
+  return 0;
+}
+
+/// Slurps every instance from `in`, honoring --format (auto sniffs the
+/// magic bytes). The converter and the store publisher both need the full
+/// set in memory: the binary container's section layout is global.
+std::vector<Instance> read_instances(const CliOptions& cli, std::istream& in) {
+  std::vector<Instance> instances;
+  const auto source = storage::open_instance_source(in, cli.format);
+  while (std::shared_ptr<const Instance> inst = source->next()) {
+    instances.push_back(*inst);
+  }
+  return instances;
+}
+
+int run_convert(const CliOptions& cli, std::istream& in, std::ostream& out) {
+  const std::vector<Instance> instances = read_instances(cli, in);
+  if (cli.convert_to == "binary") {
+    const std::string bytes = wire::encode_instances(instances);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  } else {
+    for (const Instance& inst : instances) {
+      out << instance_to_jsonl(inst) << '\n';
+    }
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("writing converted instances failed");
+  std::cerr << "[storesched_cli] convert: " << instances.size()
+            << " instances -> " << cli.convert_to << "\n";
+  return 0;
+}
+
+int run_store_publish(const CliOptions& cli, std::istream& in) {
+  const std::vector<Instance> instances = read_instances(cli, in);
+  storage::ShmStore store = storage::ShmStore::create(cli.store_publish);
+  store.publish(wire::encode_instances(instances));
+  const storage::ShmStore::Info info = store.info();
+  std::cerr << "[storesched_cli] store " << cli.store_publish
+            << ": published epoch " << info.epoch << " ("
+            << info.instances << " instances, " << info.data_bytes
+            << " bytes)\n";
+  return 0;
+}
+
+int run_store_info(const CliOptions& cli, std::ostream& out) {
+  storage::ShmStore store = storage::ShmStore::attach(cli.store_info);
+  const storage::ShmStore::Info info = store.info();
+  out << "{\"store\":\"" << json_escape(cli.store_info)
+      << "\",\"epoch\":" << info.epoch
+      << ",\"instances\":" << info.instances
+      << ",\"data_bytes\":" << info.data_bytes
+      << ",\"cache\":{\"hits\":" << info.cache.hits
+      << ",\"misses\":" << info.cache.misses
+      << ",\"inserts\":" << info.cache.inserts
+      << ",\"bytes\":" << info.cache.bytes << "}}" << std::endl;
+  if (!out) throw std::runtime_error("writing store info failed");
+  return 0;
+}
+
+int run_store_unlink(const CliOptions& cli) {
+  const std::size_t removed = storage::ShmStore::unlink(cli.store_unlink);
+  std::cerr << "[storesched_cli] store " << cli.store_unlink << ": removed "
+            << removed << " segment(s)\n";
   return 0;
 }
 
@@ -342,6 +456,11 @@ void print_summary(const std::string& solver_name, const CliOptions& cli,
             << " results (" << stats.feasible << " feasible), max "
             << stats.max_in_flight << " in flight, window " << stats.window
             << (cli.window == 0 ? " (adaptive)" : "");
+  if (cli.cache) {
+    // Cache-less runs keep the historical summary byte-for-byte.
+    std::cerr << ", cache " << stats.cache_hits << " hits / "
+              << stats.cache_misses << " misses";
+  }
   if (stats.failed > 0) std::cerr << ", " << stats.failed << " failed";
   if (stats.retries > 0) {
     std::cerr << ", " << stats.retries << " retries (" << stats.recovered
@@ -370,8 +489,29 @@ int run_solve(const CliOptions& cli, std::istream& in, std::ostream& out) {
   stream.cancel = token;
   const SignalCancelWatcher watcher(token);
 
+  // Storage attachments must outlive the run (StreamOptions carries a bare
+  // cache pointer; the shm source maps the store's bytes).
+  std::optional<storage::ShmStore> store;
+  std::unique_ptr<storage::SolveCache> private_cache;
+  if (!cli.store_name.empty()) {
+    store.emplace(storage::ShmStore::attach(cli.store_name));
+  }
+  if (cli.cache) {
+    if (store) {
+      stream.cache = &store->cache();
+    } else {
+      private_cache = std::make_unique<storage::SolveCache>();
+      stream.cache = private_cache.get();
+    }
+  }
+
   StreamStats stats;
   if (!cli.journal_path.empty()) {
+    if (store || cli.format == storage::WireFormatKind::kBinary) {
+      throw std::runtime_error(
+          "--journal resumes by re-reading JSONL files (drop --store / "
+          "--format=binary)");
+    }
     // Journaled path: the journal layer owns file lifecycles (it truncates
     // outputs to the checkpoint on resume), so it takes paths, not streams.
     if (cli.input_path.empty() || cli.output_path.empty()) {
@@ -417,9 +557,12 @@ int run_solve(const CliOptions& cli, std::istream& in, std::ostream& out) {
       err_sink.emplace(err_file);
       stream.errors = &*err_sink;
     }
-    JsonlInstanceSource source(in);
+    const std::unique_ptr<InstanceSource> source =
+        store ? std::unique_ptr<InstanceSource>(
+                    std::make_unique<storage::ShmInstanceSource>(*store))
+              : storage::open_instance_source(in, cli.format);
     JsonlResultSink sink(out, {.include_schedule = cli.include_schedule});
-    stats = solve_stream(*solver, source, sink, solve_options_from(cli),
+    stats = solve_stream(*solver, *source, sink, solve_options_from(cli),
                          stream);
     // A result line lost to a failed final flush must not exit 0: a
     // downstream shard merge would silently drop it.
@@ -486,11 +629,7 @@ int run_check(const CliOptions& cli, std::istream& in) {
 
   // Re-solve in-process through the batch API (itself a solve_stream
   // wrapper, but an independent path through VectorSink + solve_batch).
-  std::vector<Instance> instances;
-  JsonlInstanceSource source(in);
-  while (std::shared_ptr<const Instance> inst = source.next()) {
-    instances.push_back(*inst);
-  }
+  const std::vector<Instance> instances = read_instances(cli, in);
   const std::vector<SolveResult> results = solve_batch(
       cli.spec, instances, solve_options_from(cli), {.threads = cli.threads});
 
@@ -556,6 +695,28 @@ int main(int argc, char** argv) {
         }
       }
       return run_gen(cli, cli.output_path.empty() ? std::cout : out_file);
+    }
+    if (!cli.store_unlink.empty()) return run_store_unlink(cli);
+    if (!cli.store_info.empty()) return run_store_info(cli, std::cout);
+    if (cli.convert || !cli.store_publish.empty()) {
+      std::ifstream in_file;
+      if (!cli.input_path.empty()) {
+        in_file.open(cli.input_path, std::ios::binary);
+        if (!in_file) {
+          throw std::runtime_error("cannot read --input=" + cli.input_path);
+        }
+      }
+      std::istream& in = cli.input_path.empty() ? std::cin : in_file;
+      if (!cli.store_publish.empty()) return run_store_publish(cli, in);
+      std::ofstream out_file;
+      if (!cli.output_path.empty()) {
+        out_file.open(cli.output_path, std::ios::binary);
+        if (!out_file) {
+          throw std::runtime_error("cannot write --output=" + cli.output_path);
+        }
+      }
+      return run_convert(cli, in,
+                         cli.output_path.empty() ? std::cout : out_file);
     }
     if (cli.spec.empty()) {
       print_usage(std::cerr);

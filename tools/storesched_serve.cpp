@@ -17,7 +17,9 @@
 // Exit status: 0 clean drain, 1 runtime failure (bad spec, bind error), 2
 // usage errors.
 #include <csignal>
+#include <cstdint>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -36,6 +38,8 @@ void handle_signal(int) {
 struct ServeCli {
   ServeOptions options;
   std::string router_spec = "rls:bottom,delta=3;sbo:lpt,delta=3/2";
+  std::string store_name;  ///< shm instance store to attach; empty = none
+  bool cache = false;      ///< enable the canonicalization result cache
   bool help = false;
 };
 
@@ -60,6 +64,14 @@ void print_usage(std::ostream& os) {
         "  --capacity=N       memory capacity for constrained:* solvers\n"
         "  --validate         validate every feasible schedule\n"
         "  --schedule         include \"proc\"/\"start\" in responses\n"
+        "\n"
+        "Storage (docs/WIRE_FORMAT.md):\n"
+        "  --store=NAME       attach the shm instance store NAME (published\n"
+        "                     by storesched_cli --store-publish); enables\n"
+        "                     {\"ref\":N} solve-by-reference requests\n"
+        "  --cache            canonicalization-keyed result cache; shared\n"
+        "                     across processes when --store is set, private\n"
+        "                     otherwise\n"
         "\n"
         "Protocol, SLO and priority fields, fairness model: docs/SERVING.md.\n"
         "SIGTERM/SIGINT drain gracefully and exit 0.\n";
@@ -124,6 +136,13 @@ ServeCli parse_cli(int argc, char** argv) {
       cli.options.solve.validate = true;
     } else if (arg == "--schedule") {
       cli.options.result.include_schedule = true;
+    } else if (arg.rfind("--store=", 0) == 0) {
+      cli.store_name = value_of("--store=");
+      if (cli.store_name.empty()) {
+        throw std::runtime_error("--store needs a store name");
+      }
+    } else if (arg == "--cache") {
+      cli.cache = true;
     } else {
       throw std::runtime_error("unknown option: " + arg);
     }
@@ -163,6 +182,22 @@ int main(int argc, char** argv) {
   cli.options.ladder = split_ladder(cli.router_spec);
 
   try {
+    // Storage attachments outlive the server (ServeOptions carries bare
+    // pointers): declared first, destroyed last.
+    std::optional<storage::ShmStore> store;
+    std::unique_ptr<storage::SolveCache> private_cache;
+    if (!cli.store_name.empty()) {
+      store.emplace(storage::ShmStore::attach(cli.store_name));
+      cli.options.store = &*store;
+      if (cli.cache) cli.options.cache = &store->cache();
+      const storage::ShmStore::Info info = store->info();
+      std::cerr << "[storesched_serve] store " << cli.store_name << ": epoch="
+                << info.epoch << " instances=" << info.instances << "\n";
+    } else if (cli.cache) {
+      private_cache = std::make_unique<storage::SolveCache>();
+      cli.options.cache = private_cache.get();
+    }
+
     ServeServer server(cli.options);
     server.start();
     g_server = &server;
@@ -187,7 +222,19 @@ int main(int argc, char** argv) {
     std::cerr << "[storesched_serve] drained: requests=" << counters.requests
               << " responses=" << counters.responses
               << " rejected=" << counters.rejected
-              << " deadline_expired=" << counters.deadline_expired << "\n";
+              << " deadline_expired=" << counters.deadline_expired;
+    if (cli.cache) {
+      // Cache-less runs keep the historical drain line byte-for-byte (the
+      // cram suite pins it).
+      const std::uint64_t consulted =
+          counters.cache_hits + counters.cache_misses;
+      std::cerr << " cache_hits=" << counters.cache_hits
+                << " cache_misses=" << counters.cache_misses
+                << " cache_hit_rate="
+                << (consulted > 0 ? 100 * counters.cache_hits / consulted : 0)
+                << "%";
+    }
+    std::cerr << "\n";
     return 0;
   } catch (const std::exception& err) {
     std::cerr << "storesched_serve: " << err.what() << "\n";
